@@ -1,0 +1,36 @@
+"""Shared benchmark helpers.
+
+Each benchmark regenerates one table or figure of the paper.  Results
+are printed and also written to ``benchmarks/results/<name>.txt`` so a
+``pytest benchmarks/ --benchmark-only`` run leaves the reproduced
+artifacts on disk next to the timing table.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduced artifact and persist it under results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+    print(f"\n===== {name} =====\n{text}\n")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once (these are experiment
+    harnesses, not microbenchmarks — repetition would multiply minutes).
+    """
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,91 @@
+"""Ablation A3 (§V "Distributed Log Parsing") — chunked parallel parsing.
+
+The paper's discussion proposes parallelization as the way out of
+Finding 3 — specifically for the *slow clustering-based* parsers
+("Clustering algorithms which could be parallelized should be
+considered").  This ablation measures the simplest design — chunk,
+parse independently, merge equal templates — for LogSig, whose local
+search is expensive enough that worker processes pay for themselves,
+and contrasts it with IPLoM, which parses so fast that process overhead
+eats any gain (so parallelizing it is pointless, also a finding).
+"""
+
+import os
+import time
+
+from repro.datasets import generate_dataset, get_dataset_spec
+from repro.evaluation.fmeasure import f_measure
+from repro.parsers import ChunkedParallelParser, Iplom, LogSig
+
+from .conftest import emit
+
+LINES = 60_000
+CHUNK = 7_500
+
+
+def _logsig_factory():
+    return LogSig(groups=29, seed=1)
+
+
+def _run():
+    dataset = generate_dataset(get_dataset_spec("HDFS"), LINES, seed=1)
+    truth = dataset.truth_assignments
+    results = {}
+
+    def measure(label, parser):
+        started = time.perf_counter()
+        parsed = parser.parse(dataset.records)
+        elapsed = time.perf_counter() - started
+        results[label] = (
+            elapsed,
+            f_measure(parsed.assignments, truth),
+            len(parsed.events),
+        )
+
+    measure("LogSig whole", LogSig(groups=29, seed=1))
+    for workers in (1, 4):
+        measure(
+            f"LogSig chunked x{workers}",
+            ChunkedParallelParser(
+                _logsig_factory, chunk_size=CHUNK, workers=workers
+            ),
+        )
+    measure("IPLoM whole", Iplom())
+    measure(
+        "IPLoM chunked x4",
+        ChunkedParallelParser(Iplom, chunk_size=CHUNK, workers=4),
+    )
+    return results
+
+
+def test_ablation_parallel_parsing(once):
+    results = once(_run)
+    lines = [
+        f"{label:18s} time={elapsed:7.2f}s f_measure={score:.3f} "
+        f"events={events}"
+        for label, (elapsed, score, events) in results.items()
+    ]
+    emit("ablation_parallel", "\n".join(lines))
+
+    whole_time, whole_score, _ = results["LogSig whole"]
+    seq_time, seq_score, _ = results["LogSig chunked x1"]
+    par_time, par_score, _ = results["LogSig chunked x4"]
+
+    # Four workers must beat one worker on the expensive parser — but a
+    # speedup is only physically observable with multiple cores.
+    cores = len(os.sched_getaffinity(0))
+    if cores >= 4:
+        assert par_time < seq_time * 0.8
+    elif cores == 1:
+        # Single-core host: require only that the process pool does not
+        # blow the runtime up (bounded overhead).
+        assert par_time < seq_time * 2.0
+
+    # Chunking must not destroy accuracy.
+    assert par_score > whole_score - 0.15
+    assert par_score == seq_score  # same chunks, same seeds, same merge
+
+    # IPLoM is too fast for multiprocessing to pay off at this scale —
+    # the overhead statement, not a speedup statement.
+    iplom_whole, _, _ = results["IPLoM whole"]
+    assert iplom_whole < results["LogSig whole"][0]

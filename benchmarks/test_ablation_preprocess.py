@@ -1,0 +1,59 @@
+"""Ablation A1 (Finding 2) — what preprocessing buys each parser.
+
+Table II shows preprocessing in aggregate; this ablation isolates the
+delta per parser on the two datasets with the strongest effects: BGL
+(core-id removal rescues SLCT and LogSig) and HDFS (block-id + IP
+removal rescues LKE).  IPLoM, which "considers preprocessing internally
+in its four-step process", must be flat.
+"""
+
+from repro.evaluation.accuracy import evaluate_accuracy
+
+from .conftest import emit
+
+CELLS = [
+    ("SLCT", "BGL"),
+    ("LogSig", "BGL"),
+    ("LKE", "HDFS"),
+    ("IPLoM", "BGL"),
+    ("IPLoM", "HDFS"),
+]
+
+
+def _run():
+    deltas = {}
+    for parser, dataset in CELLS:
+        sample = 500 if parser == "LKE" else 2000
+        runs = 3 if parser in {"LKE", "LogSig"} else 1
+        raw = evaluate_accuracy(
+            parser, dataset, sample_size=sample, runs=runs, seed=1
+        )
+        preprocessed = evaluate_accuracy(
+            parser, dataset, sample_size=sample, preprocess=True,
+            runs=runs, seed=1,
+        )
+        deltas[(parser, dataset)] = (
+            raw.mean_f_measure,
+            preprocessed.mean_f_measure,
+        )
+    return deltas
+
+
+def test_ablation_preprocessing(once):
+    deltas = once(_run)
+    lines = [
+        f"{parser:7s} {dataset:6s} raw={raw:.3f} preprocessed={pre:.3f} "
+        f"delta={pre - raw:+.3f}"
+        for (parser, dataset), (raw, pre) in deltas.items()
+    ]
+    emit("ablation_preprocess", "\n".join(lines))
+
+    # Strong rescues.
+    assert deltas[("SLCT", "BGL")][1] > deltas[("SLCT", "BGL")][0] + 0.10
+    assert deltas[("LogSig", "BGL")][1] > deltas[("LogSig", "BGL")][0] + 0.10
+    assert deltas[("LKE", "HDFS")][1] > deltas[("LKE", "HDFS")][0] + 0.20
+
+    # IPLoM flat (within noise) on both datasets.
+    for dataset in ("BGL", "HDFS"):
+        raw, pre = deltas[("IPLoM", dataset)]
+        assert abs(pre - raw) < 0.05

@@ -1,0 +1,73 @@
+"""Ablation A4 — the TF-IDF step of the anomaly-detection pipeline.
+
+Xu et al. weight the event count matrix with TF-IDF before PCA.  This
+ablation reruns the ground-truth pipeline with and without it:
+
+* with TF-IDF, ubiquitous-event columns are zeroed — rare-event
+  anomalies stand out (high precision), but count-only anomalies
+  (under-replication) become invisible: the 66% detection ceiling of
+  Table III;
+* without TF-IDF, raw counts dominate and the normal space absorbs the
+  wrong directions, degrading precision and/or recall.
+"""
+
+from repro.datasets import generate_hdfs_sessions
+from repro.mining.anomaly import detect_anomalies
+from repro.evaluation.mining_impact import score_detection
+from repro.parsers import OracleParser
+
+from .conftest import emit
+
+N_BLOCKS = 5_000
+
+
+def _run():
+    dataset = generate_hdfs_sessions(N_BLOCKS, seed=11)
+    parsed = OracleParser().parse(dataset.records)
+    rows = {}
+    for label, use_tf_idf in [("with-tfidf", True), ("without-tfidf", False)]:
+        detection = detect_anomalies(parsed, use_tf_idf=use_tf_idf)
+        reported, detected, false_alarms = score_detection(
+            detection.flagged_sessions, dataset.labels
+        )
+        subtle = {
+            block
+            for block, scenario in dataset.scenarios.items()
+            if scenario == "subtle"
+        }
+        rows[label] = {
+            "reported": reported,
+            "detected": detected,
+            "false_alarms": false_alarms,
+            "subtle_detected": len(detection.flagged_sessions & subtle),
+            "n_subtle": len(subtle),
+            "n_anomalies": len(dataset.anomaly_blocks),
+        }
+    return rows
+
+
+def test_ablation_tfidf(once):
+    rows = once(_run)
+    lines = [
+        f"{label:15s} reported={row['reported']:4d} "
+        f"detected={row['detected']:4d}/{row['n_anomalies']} "
+        f"false_alarms={row['false_alarms']:4d} "
+        f"subtle={row['subtle_detected']}/{row['n_subtle']}"
+        for label, row in rows.items()
+    ]
+    emit("ablation_tfidf", "\n".join(lines))
+
+    with_tfidf = rows["with-tfidf"]
+    without = rows["without-tfidf"]
+
+    # TF-IDF: clean precision, but zero subtle (count-only) detections —
+    # the mechanism behind the paper's 66% ground-truth ceiling.
+    assert with_tfidf["subtle_detected"] == 0
+    assert with_tfidf["false_alarms"] <= with_tfidf["reported"] * 0.1
+    assert with_tfidf["detected"] > 0
+
+    # Dropping TF-IDF changes the operating point substantially.
+    assert (
+        without["false_alarms"] != with_tfidf["false_alarms"]
+        or without["detected"] != with_tfidf["detected"]
+    )

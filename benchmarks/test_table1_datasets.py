@@ -1,0 +1,46 @@
+"""Table I — summary of the five log datasets.
+
+Regenerates each synthetic dataset at a laptop-scale slice (the paper's
+full sizes are matched by the spec's ``reference_size`` but generating
+16.4M lines inside a benchmark serves no purpose) and reports the
+columns of Table I: #Logs (reference scale), token-length range, and
+#Events — the latter two measured from generated data, not just quoted.
+"""
+
+from repro.datasets import generate_dataset, iter_dataset_specs
+from repro.evaluation.reports import render_table1
+
+from .conftest import emit
+
+#: Lines generated per dataset for the measured columns.
+SLICE = 20_000
+
+
+def _build_rows():
+    rows = []
+    for spec in iter_dataset_specs():
+        size = min(SLICE, spec.reference_size)
+        dataset = generate_dataset(spec, size, seed=1)
+        lengths = [len(record.tokens) for record in dataset.records]
+        rows.append(
+            (
+                spec,
+                spec.reference_size,
+                (min(lengths), max(lengths)),
+                len(dataset.observed_event_ids()),
+            )
+        )
+    return rows
+
+
+def test_table1_dataset_summary(once):
+    rows = once(_build_rows)
+    text = render_table1(rows)
+    emit("table1_datasets", text)
+    # The paper's event counts must be exactly matched by the banks.
+    paper_events = {"BGL": 376, "HPC": 105, "Proxifier": 8, "HDFS": 29,
+                    "Zookeeper": 80}
+    for spec, _n, _lengths, observed_events in rows:
+        assert observed_events == paper_events[spec.name]
+    # And the reference sizes must sum to the paper's 16,441,570 lines.
+    assert sum(spec.reference_size for spec, *_ in rows) == 16_441_570

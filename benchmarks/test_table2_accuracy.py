@@ -1,0 +1,117 @@
+"""Table II — parsing accuracy of the four parsers on 2k samples,
+raw vs. preprocessed (RQ1, Findings 1 & 2).
+
+Methodology follows §IV-B: 2k random samples per dataset, parameters
+tuned per dataset, randomized parsers averaged over several runs.
+Deviations from the paper's protocol, for wall-clock sanity: LKE runs
+on 500-line samples (its O(n²) clustering is the subject of Finding 3,
+not of this table) and the randomized parsers average 3 runs instead
+of 10.
+
+Expected shape (paper values in the printed table): overall accuracy
+high; IPLoM best overall (≈0.88 average); LKE collapses on HPC;
+preprocessing helps SLCT/LKE/LogSig but not IPLoM.
+"""
+
+import statistics
+
+from repro.evaluation.accuracy import evaluate_accuracy
+from repro.evaluation.reports import render_table2
+
+from .conftest import emit
+
+PARSERS = ["SLCT", "IPLoM", "LKE", "LogSig"]
+DATASETS = ["BGL", "HPC", "HDFS", "Zookeeper", "Proxifier"]
+
+#: Paper's Table II values (raw, preprocessed) for the printed diff.
+PAPER = {
+    ("SLCT", "BGL"): (0.61, 0.94), ("SLCT", "HPC"): (0.81, 0.86),
+    ("SLCT", "HDFS"): (0.86, 0.93), ("SLCT", "Zookeeper"): (0.92, 0.92),
+    ("SLCT", "Proxifier"): (0.89, None),
+    ("IPLoM", "BGL"): (0.99, 0.99), ("IPLoM", "HPC"): (0.64, 0.64),
+    ("IPLoM", "HDFS"): (0.99, 1.00), ("IPLoM", "Zookeeper"): (0.94, 0.90),
+    ("IPLoM", "Proxifier"): (0.90, None),
+    ("LKE", "BGL"): (0.67, 0.70), ("LKE", "HPC"): (0.17, 0.17),
+    ("LKE", "HDFS"): (0.57, 0.96), ("LKE", "Zookeeper"): (0.78, 0.82),
+    ("LKE", "Proxifier"): (0.81, None),
+    ("LogSig", "BGL"): (0.26, 0.98), ("LogSig", "HPC"): (0.77, 0.87),
+    ("LogSig", "HDFS"): (0.91, 0.93), ("LogSig", "Zookeeper"): (0.96, 0.99),
+    ("LogSig", "Proxifier"): (0.84, None),
+}
+
+
+def _run_cell(parser, dataset):
+    sample_size = 500 if parser == "LKE" else 2000
+    runs = 3 if parser in {"LKE", "LogSig"} else 1
+    raw = evaluate_accuracy(
+        parser, dataset, sample_size=sample_size, runs=runs, seed=1
+    )
+    preprocessed = None
+    if PAPER[(parser, dataset)][1] is not None:
+        preprocessed = evaluate_accuracy(
+            parser,
+            dataset,
+            sample_size=sample_size,
+            preprocess=True,
+            runs=runs,
+            seed=1,
+        )
+    return raw, preprocessed
+
+
+def _run_table():
+    return {
+        (parser, dataset): _run_cell(parser, dataset)
+        for parser in PARSERS
+        for dataset in DATASETS
+    }
+
+
+def test_table2_parsing_accuracy(once):
+    results = once(_run_table)
+    measured = render_table2(results, PARSERS, DATASETS)
+    paper_rows = "\n".join(
+        f"{parser:7s} "
+        + "  ".join(
+            f"{PAPER[(parser, d)][0]:.2f}/"
+            + (
+                f"{PAPER[(parser, d)][1]:.2f}"
+                if PAPER[(parser, d)][1] is not None
+                else "-"
+            )
+            for d in DATASETS
+        )
+        for parser in PARSERS
+    )
+    emit(
+        "table2_accuracy",
+        f"Measured (raw/preprocessed):\n{measured}\n\n"
+        f"Paper (raw/preprocessed), datasets {DATASETS}:\n{paper_rows}",
+    )
+
+    # Finding 1: overall accuracy is high.
+    raw_scores = [raw.mean_f_measure for raw, _pre in results.values()]
+    assert statistics.fmean(raw_scores) > 0.6
+
+    # IPLoM has the best overall average (paper: 0.88).
+    def average(parser):
+        return statistics.fmean(
+            results[(parser, d)][0].mean_f_measure for d in DATASETS
+        )
+
+    iplom_average = average("IPLoM")
+    assert iplom_average == max(average(p) for p in PARSERS)
+    assert 0.8 < iplom_average < 1.0
+
+    # LKE collapses on HPC (paper 0.17).
+    assert results[("LKE", "HPC")][0].mean_f_measure < 0.4
+
+    # Finding 2: preprocessing helps SLCT and LogSig on BGL a lot...
+    for parser in ("SLCT", "LogSig"):
+        raw, preprocessed = results[(parser, "BGL")]
+        assert preprocessed.mean_f_measure > raw.mean_f_measure + 0.1
+    # ...but does not help IPLoM anywhere (within noise).
+    for dataset in DATASETS:
+        raw, preprocessed = results[("IPLoM", dataset)]
+        if preprocessed is not None:
+            assert preprocessed.mean_f_measure <= raw.mean_f_measure + 0.05

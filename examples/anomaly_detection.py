@@ -1,0 +1,60 @@
+"""HDFS anomaly detection with swappable parsers (the paper's RQ3).
+
+Reproduces the §III-B pipeline — parse, event count matrix, TF-IDF,
+PCA with the Q-statistic threshold — on simulated HDFS block sessions,
+once with the ground-truth parser and once with SLCT, and shows how
+parser choice changes what the detector reports (Table III in
+miniature).
+
+Run:  python examples/anomaly_detection.py
+"""
+
+from repro import OracleParser, detect_anomalies, generate_hdfs_sessions
+from repro.evaluation.mining_impact import (
+    score_detection,
+    table3_parser_factory,
+)
+
+
+def report(name, parsed, dataset):
+    detection = detect_anomalies(parsed)
+    reported, detected, false_alarms = score_detection(
+        detection.flagged_sessions, dataset.labels
+    )
+    total = len(dataset.anomaly_blocks)
+    print(
+        f"{name:12s} events={len(parsed.events):4d} "
+        f"k={detection.model.fitted_components:2d} "
+        f"Q_alpha={detection.threshold:8.2f} "
+        f"reported={reported:4d} detected={detected:4d}/{total} "
+        f"false_alarms={false_alarms}"
+    )
+    return detection
+
+
+def main() -> None:
+    # 3,000 block sessions at the paper's ~2.9% anomaly rate.
+    dataset = generate_hdfs_sessions(3_000, seed=7)
+    print(
+        f"simulated {len(dataset)} log lines over {len(dataset.labels)} "
+        f"blocks ({len(dataset.anomaly_blocks)} true anomalies)\n"
+    )
+
+    oracle = OracleParser().parse(dataset.records)
+    detection = report("GroundTruth", oracle, dataset)
+
+    slct = table3_parser_factory("SLCT").parse(dataset.records)
+    report("SLCT", slct, dataset)
+
+    # Peek at what the detector saw for a flagged block.
+    if detection.flagged_sessions:
+        block = sorted(detection.flagged_sessions)[0]
+        scenario = dataset.scenarios[block]
+        print(f"\nexample flagged block {block} (scenario: {scenario}):")
+        for record in dataset.records:
+            if record.session_id == block:
+                print(f"  [{record.truth_event}] {record.content[:70]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Deployment verification by event-sequence comparison (§III-A).
+
+Shang et al. compare the event sequences an application produced in a
+small test deployment against those after cloud deployment; only novel
+sequences go to a human.  This example builds a "pseudo-cloud" HDFS run
+and a "production" run with extra injected failures, parses both, and
+reports the sequence delta — first with the ground-truth parser, then
+with SLCT, showing how parsing errors destroy the review reduction.
+
+Run:  python examples/deployment_verification.py
+"""
+
+from repro import OracleParser, generate_hdfs_sessions
+from repro.evaluation.mining_impact import table3_parser_factory
+from repro.mining.verification import compare_deployments
+
+
+def main() -> None:
+    # Reference (pseudo-cloud) run: small, healthy.
+    reference = generate_hdfs_sessions(400, seed=1, anomaly_rate=0.0)
+    # Deployment run: bigger, with real failures mixed in.
+    deployment = generate_hdfs_sessions(1_200, seed=2, anomaly_rate=0.05)
+    n_bad = len(deployment.anomaly_blocks)
+    print(
+        f"reference: {len(reference.labels)} blocks; deployment: "
+        f"{len(deployment.labels)} blocks with {n_bad} anomalous\n"
+    )
+
+    for label, parser_factory in [
+        ("GroundTruth", OracleParser),
+        ("SLCT", lambda: table3_parser_factory("SLCT")),
+    ]:
+        parser = parser_factory()
+        delta = compare_deployments(
+            parser.parse(reference.records),
+            parser.parse(deployment.records),
+            signature="set",
+        )
+        print(
+            f"{label:12s} sequences to review: {delta.n_reported:5d} "
+            f"(reduction ratio {delta.reduction_ratio:.2f})"
+        )
+
+    print(
+        "\nA perfect parser reports only genuinely novel behaviour; a "
+        "noisy parser invents sequence variants and floods the review "
+        "queue — the paper's argument for why this task needs accurate "
+        "parsing."
+    )
+
+
+if __name__ == "__main__":
+    main()

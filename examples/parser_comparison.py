@@ -1,0 +1,50 @@
+"""Compare all four parsers on each dataset, raw vs. preprocessed.
+
+A miniature of Table II: 1k-message samples, one run per cell (use the
+benchmark harness for the averaged, full-size version).  Prints the
+F-measure grid and each parser's wall-clock time, illustrating
+Findings 1–3 interactively.
+
+Run:  python examples/parser_comparison.py [dataset ...]
+"""
+
+import sys
+import time
+
+from repro import DATASET_NAMES, PARSER_NAMES
+from repro.evaluation.accuracy import evaluate_accuracy
+
+
+def main() -> None:
+    datasets = sys.argv[1:] or DATASET_NAMES
+    header = f"{'parser':8s} {'dataset':10s} {'raw':>6s} {'prep':>6s} {'time':>7s}"
+    print(header)
+    print("-" * len(header))
+    for dataset in datasets:
+        for parser in PARSER_NAMES:
+            sample = 400 if parser == "LKE" else 1_000
+            started = time.perf_counter()
+            raw = evaluate_accuracy(
+                parser, dataset, sample_size=sample, runs=1, seed=1
+            )
+            try:
+                preprocessed = evaluate_accuracy(
+                    parser,
+                    dataset,
+                    sample_size=sample,
+                    preprocess=True,
+                    runs=1,
+                    seed=1,
+                )
+                prep = f"{preprocessed.mean_f_measure:.2f}"
+            except Exception:
+                prep = "-"  # Proxifier has no preprocessing rules
+            elapsed = time.perf_counter() - started
+            print(
+                f"{parser:8s} {dataset:10s} "
+                f"{raw.mean_f_measure:6.2f} {prep:>6s} {elapsed:6.1f}s"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Quickstart: generate logs, parse them, inspect the two output files.
+
+This walks the standard contract of §II-C end to end:
+
+    raw log file  ->  parser  ->  log events + structured logs
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Iplom,
+    f_measure,
+    generate_dataset,
+    get_dataset_spec,
+)
+from repro.datasets import write_parse_result, write_raw_log
+
+
+def main() -> None:
+    # 1. Generate a synthetic HDFS log (the real dataset's 29 event
+    #    templates with exact ground-truth labels).
+    spec = get_dataset_spec("HDFS")
+    dataset = generate_dataset(spec, 2_000, seed=42)
+    write_raw_log(dataset.records, "quickstart_hdfs.log")
+    print(f"generated {len(dataset)} raw {spec.name} log messages")
+
+    # 2. Parse with IPLoM — the paper's most accurate parser overall.
+    parser = Iplom()
+    result = parser.parse(dataset.records)
+    print(f"{parser.name} extracted {len(result.events)} log events")
+
+    # 3. The parser's two outputs: events file + structured log file.
+    events_path, structured_path = write_parse_result(
+        result, "quickstart_hdfs"
+    )
+    print(f"wrote {events_path} and {structured_path}")
+
+    print("\nfirst five extracted events:")
+    for event in result.events[:5]:
+        print(f"  {event.event_id}: {event.template}")
+
+    print("\nfirst five structured lines:")
+    for structured in list(result.structured())[:5]:
+        print(
+            f"  line {structured.line_no}: {structured.event_id}  "
+            f"<- {structured.record.content[:60]}"
+        )
+
+    # 4. Score the parse against the generator's ground truth with the
+    #    paper's metric (pairwise F-measure).
+    score = f_measure(result.assignments, dataset.truth_assignments)
+    print(f"\nparsing accuracy (F-measure): {score:.3f}")
+
+
+if __name__ == "__main__":
+    main()

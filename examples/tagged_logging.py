@@ -1,0 +1,43 @@
+"""Event-ID logging practice (§V direction 2) demonstrated end to end.
+
+The paper closes by suggesting that developers record event ids in log
+messages at write time, turning parsing into a trivial lookup.  This
+example simulates the before/after: the same HDFS log parsed
+statistically (IPLoM) vs. read back from event-id tags, with metrics
+for both.
+
+Run:  python examples/tagged_logging.py
+"""
+
+from repro import Iplom, generate_dataset, get_dataset_spec
+from repro.evaluation.metrics import summary
+from repro.parsers import TaggedLogParser, tag_records
+
+
+def main() -> None:
+    dataset = generate_dataset(get_dataset_spec("HDFS"), 5_000, seed=9)
+    truth = dataset.truth_assignments
+
+    print("before (plain logs, statistical parsing with IPLoM):")
+    parsed = Iplom().parse(dataset.records)
+    for metric, value in summary(parsed.assignments, truth).items():
+        print(f"  {metric:20s} {value:.3f}")
+    print(f"  events found: {len(parsed.events)} (29 true)")
+
+    print("\nafter (event-id tags written at the log statement):")
+    tagged = tag_records(dataset.records)
+    print(f"  sample line: {tagged[0].content[:72]}")
+    result = TaggedLogParser().parse(tagged)
+    for metric, value in summary(result.assignments, truth).items():
+        print(f"  {metric:20s} {value:.3f}")
+    print(f"  events found: {len(result.events)} (29 true)")
+
+    print(
+        "\nTagged logs make every downstream mining task start from the "
+        "exact event inventory — the paper's 'good logging practice from "
+        "the perspective of log mining'."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,277 @@
+"""Command-line interface: ``repro-logparse`` / ``python -m repro``.
+
+Subcommands:
+
+* ``generate`` — write a synthetic dataset to a raw log file.
+* ``parse`` — parse a raw log file with a chosen parser, writing the
+  standard ``.events`` / ``.structured`` outputs of §II-C.
+* ``evaluate`` — F-measure of a parser on a sampled dataset (Table II
+  style, one cell).
+* ``mine`` — run PCA anomaly detection on simulated HDFS sessions with
+  a chosen parser (Table III style, one row).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.errors import ReproError
+from repro.datasets import (
+    DATASET_NAMES,
+    generate_dataset,
+    generate_hdfs_sessions,
+    get_dataset_spec,
+    read_raw_log,
+    write_parse_result,
+    write_raw_log,
+)
+from repro.evaluation import evaluate_accuracy, evaluate_mining_impact
+from repro.evaluation.mining_impact import table3_parser_factory
+from repro.parsers import PARSER_NAMES, default_preprocessor, make_parser
+
+
+def _add_generate(subparsers) -> None:
+    cmd = subparsers.add_parser(
+        "generate", help="generate a synthetic dataset into a raw log file"
+    )
+    cmd.add_argument("dataset", choices=DATASET_NAMES)
+    cmd.add_argument("output", help="raw log file to write")
+    cmd.add_argument("--size", type=int, default=2000)
+    cmd.add_argument("--seed", type=int, default=None)
+
+
+def _add_parse(subparsers) -> None:
+    cmd = subparsers.add_parser(
+        "parse", help="parse a raw log file into events + structured logs"
+    )
+    cmd.add_argument("parser", choices=PARSER_NAMES)
+    cmd.add_argument("input", help="raw log file to parse")
+    cmd.add_argument(
+        "--output-stem",
+        default=None,
+        help="stem for .events/.structured outputs (default: input path)",
+    )
+    cmd.add_argument(
+        "--preprocess-dataset",
+        default=None,
+        help="apply this dataset's domain-knowledge preprocessing rules",
+    )
+    cmd.add_argument(
+        "--groups",
+        type=int,
+        default=50,
+        help="LogSig only: number of signature groups",
+    )
+    cmd.add_argument("--support", type=float, default=0.005, help="SLCT only")
+    cmd.add_argument("--seed", type=int, default=None)
+
+
+def _add_evaluate(subparsers) -> None:
+    cmd = subparsers.add_parser(
+        "evaluate", help="parsing accuracy (F-measure) on a sampled dataset"
+    )
+    cmd.add_argument("parser", choices=PARSER_NAMES)
+    cmd.add_argument("dataset", choices=DATASET_NAMES)
+    cmd.add_argument("--sample-size", type=int, default=2000)
+    cmd.add_argument("--preprocess", action="store_true")
+    cmd.add_argument("--runs", type=int, default=None)
+    cmd.add_argument("--seed", type=int, default=None)
+
+
+def _add_metrics(subparsers) -> None:
+    cmd = subparsers.add_parser(
+        "metrics",
+        help="all clustering metrics of a parser on a sampled dataset",
+    )
+    cmd.add_argument("parser", choices=PARSER_NAMES)
+    cmd.add_argument("dataset", choices=DATASET_NAMES)
+    cmd.add_argument("--sample-size", type=int, default=2000)
+    cmd.add_argument("--preprocess", action="store_true")
+    cmd.add_argument("--seed", type=int, default=None)
+
+
+def _add_tune(subparsers) -> None:
+    cmd = subparsers.add_parser(
+        "tune",
+        help="grid-search parser parameters on a 2k sample (Finding 4)",
+    )
+    cmd.add_argument("parser", choices=PARSER_NAMES)
+    cmd.add_argument("dataset", choices=DATASET_NAMES)
+    cmd.add_argument("--sample-size", type=int, default=2000)
+    cmd.add_argument("--seed", type=int, default=None)
+
+
+def _add_mine(subparsers) -> None:
+    cmd = subparsers.add_parser(
+        "mine",
+        help="PCA anomaly detection over simulated HDFS block sessions",
+    )
+    cmd.add_argument(
+        "parser", choices=[*PARSER_NAMES, "GroundTruth"]
+    )
+    cmd.add_argument("--blocks", type=int, default=2000)
+    cmd.add_argument("--seed", type=int, default=None)
+    cmd.add_argument("--alpha", type=float, default=0.001)
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-logparse",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_generate(subparsers)
+    _add_parse(subparsers)
+    _add_evaluate(subparsers)
+    _add_metrics(subparsers)
+    _add_tune(subparsers)
+    _add_mine(subparsers)
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    spec = get_dataset_spec(args.dataset)
+    dataset = generate_dataset(spec, args.size, seed=args.seed)
+    write_raw_log(dataset.records, args.output)
+    print(
+        f"wrote {len(dataset)} {spec.name} log messages "
+        f"({len(dataset.observed_event_ids())} event types) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_parse(args) -> int:
+    records = read_raw_log(args.input)
+    preprocessor = (
+        default_preprocessor(args.preprocess_dataset)
+        if args.preprocess_dataset
+        else None
+    )
+    params: dict = {"preprocessor": preprocessor}
+    if args.parser == "LogSig":
+        params.update(groups=args.groups, seed=args.seed)
+    elif args.parser == "SLCT":
+        params.update(support=args.support)
+    elif args.parser == "LKE":
+        params.update(seed=args.seed)
+    parser = make_parser(args.parser, **params)
+    result = parser.parse(records)
+    stem = args.output_stem or args.input
+    events_path, structured_path = write_parse_result(result, stem)
+    print(
+        f"{parser.name}: {len(result.events)} events from "
+        f"{len(records)} lines -> {events_path}, {structured_path}"
+    )
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    result = evaluate_accuracy(
+        args.parser,
+        args.dataset,
+        sample_size=args.sample_size,
+        preprocess=args.preprocess,
+        runs=args.runs,
+        seed=args.seed,
+    )
+    print(
+        f"{result.parser} on {result.dataset} "
+        f"({'preprocessed' if result.preprocessed else 'raw'}, "
+        f"{result.sample_size} lines, {len(result.runs)} run(s)): "
+        f"F-measure {result.mean_f_measure:.3f}"
+        + (
+            f" ± {result.stdev_f_measure:.3f}"
+            if len(result.runs) > 1
+            else ""
+        )
+    )
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from repro.datasets import generate_dataset, sample_records
+    from repro.evaluation.accuracy import tuned_parser_factory
+    from repro.evaluation.fmeasure import singletonize_outliers
+    from repro.evaluation.metrics import summary
+
+    spec = get_dataset_spec(args.dataset)
+    generated = generate_dataset(
+        spec, max(3 * args.sample_size, 4000), seed=args.seed
+    )
+    sampled = sample_records(
+        generated.records, args.sample_size, seed=args.seed
+    )
+    truth = [record.truth_event or "" for record in sampled]
+    parser = tuned_parser_factory(
+        args.parser, args.dataset, preprocess=args.preprocess,
+        seed=args.seed,
+    )
+    parsed = parser.parse(sampled)
+    scores = summary(singletonize_outliers(parsed.assignments), truth)
+    print(f"{parser.name} on {spec.name} ({len(sampled)} lines):")
+    for metric, value in scores.items():
+        print(f"  {metric:20s} {value:.3f}")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from repro.evaluation.tuning import tune_on_dataset
+
+    report = tune_on_dataset(
+        args.parser,
+        args.dataset,
+        sample_size=args.sample_size,
+        seed=args.seed,
+    )
+    print(
+        f"tuned {report.parser} on a {report.sample_size}-line "
+        f"{report.dataset} sample ({len(report.candidates)} candidates, "
+        f"{report.total_seconds:.1f}s total):"
+    )
+    for candidate in sorted(
+        report.candidates, key=lambda c: -c.f_measure
+    ):
+        print(
+            f"  F={candidate.f_measure:.3f} ({candidate.seconds:5.1f}s) "
+            f"{dict(candidate.params)}"
+        )
+    print(f"best: {dict(report.best.params)}")
+    return 0
+
+
+def _cmd_mine(args) -> int:
+    dataset = generate_hdfs_sessions(args.blocks, seed=args.seed)
+    parser = table3_parser_factory(args.parser, seed=args.seed)
+    row = evaluate_mining_impact(parser, dataset, alpha=args.alpha)
+    print(
+        f"{row.parser}: parsing accuracy {row.parsing_accuracy:.2f}, "
+        f"reported {row.reported}, detected {row.detected} "
+        f"({row.detection_rate:.0%} of {row.true_anomalies}), "
+        f"false alarms {row.false_alarms} ({row.false_alarm_rate:.1%})"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "parse": _cmd_parse,
+    "evaluate": _cmd_evaluate,
+    "metrics": _cmd_metrics,
+    "tune": _cmd_tune,
+    "mine": _cmd_mine,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

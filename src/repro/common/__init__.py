@@ -1,0 +1,37 @@
+"""Shared utilities: tokenization, core data types, errors, RNG helpers."""
+
+from repro.common.errors import (
+    ReproError,
+    ParserConfigurationError,
+    DatasetError,
+    EvaluationError,
+)
+from repro.common.types import (
+    EventTemplate,
+    LogRecord,
+    ParseResult,
+    StructuredLog,
+)
+from repro.common.tokenize import (
+    WILDCARD,
+    is_wildcard,
+    render_template,
+    template_matches,
+    tokenize,
+)
+
+__all__ = [
+    "ReproError",
+    "ParserConfigurationError",
+    "DatasetError",
+    "EvaluationError",
+    "EventTemplate",
+    "LogRecord",
+    "ParseResult",
+    "StructuredLog",
+    "WILDCARD",
+    "is_wildcard",
+    "render_template",
+    "template_matches",
+    "tokenize",
+]

@@ -1,0 +1,27 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to distinguish configuration problems from data
+problems.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ParserConfigurationError(ReproError):
+    """A log parser was constructed or invoked with invalid parameters."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated, loaded, or validated."""
+
+
+class EvaluationError(ReproError):
+    """An evaluation harness was given inconsistent or unusable inputs."""
+
+
+class MiningError(ReproError):
+    """A log mining model was given inconsistent or unusable inputs."""

@@ -1,0 +1,116 @@
+"""Low-level string/sequence helpers used by the parsers.
+
+Includes the weighted edit distance LKE clusters with, longest common
+subsequence extraction for template generation, and small formatting
+helpers for the report renderers.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+
+
+def edit_distance(
+    a: Sequence[str],
+    b: Sequence[str],
+    weight: Callable[[int], float] | None = None,
+) -> float:
+    """Token-level (weighted) edit distance between token sequences.
+
+    With *weight* ``None`` this is the classic Levenshtein distance over
+    tokens (each insert/delete/substitute costs 1).  With a *weight*
+    function, an edit touching position ``i`` (0-based, in whichever
+    sequence the operation indexes) costs ``weight(i)`` — LKE uses a
+    weight that decays with the token index so that early tokens (likely
+    constants) dominate the distance.
+    """
+    cost = weight if weight is not None else (lambda _i: 1.0)
+    n, m = len(a), len(b)
+    # dp[j] = distance between a[:i] and b[:j] for the current row i.
+    previous = [0.0] * (m + 1)
+    for j in range(1, m + 1):
+        previous[j] = previous[j - 1] + cost(j - 1)
+    for i in range(1, n + 1):
+        current = [previous[0] + cost(i - 1)] + [0.0] * m
+        for j in range(1, m + 1):
+            if a[i - 1] == b[j - 1]:
+                substitution = previous[j - 1]
+            else:
+                substitution = previous[j - 1] + cost(max(i, j) - 1)
+            deletion = previous[j] + cost(i - 1)
+            insertion = current[j - 1] + cost(j - 1)
+            current[j] = min(substitution, deletion, insertion)
+        previous = current
+    return previous[m]
+
+
+def sigmoid_position_weight(length_a: int, length_b: int) -> Callable[[int], float]:
+    """LKE's position weight: high for early tokens, decaying smoothly.
+
+    Fu et al. weight an edit at token index ``x`` by a logistic curve
+    centred mid-message, ``1 / (1 + e^(x - midpoint))`` — edits near the
+    head of the message (where constants live) cost nearly 1, edits in
+    the tail (where parameters live) cost nearly 0.
+    """
+    midpoint = min(length_a, length_b) / 2.0
+
+    def weight(index: int) -> float:
+        return 1.0 / (1.0 + math.exp(index - midpoint))
+
+    return weight
+
+
+def longest_common_subsequence(
+    a: Sequence[str], b: Sequence[str]
+) -> list[str]:
+    """Longest common subsequence of two token sequences.
+
+    Used by LKE's template generation: the template of a cluster is the
+    common token skeleton of its members.
+    """
+    n, m = len(a), len(b)
+    lengths = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n - 1, -1, -1):
+        row = lengths[i]
+        below = lengths[i + 1]
+        for j in range(m - 1, -1, -1):
+            if a[i] == b[j]:
+                row[j] = below[j + 1] + 1
+            else:
+                row[j] = max(below[j], row[j + 1])
+    # Recover one LCS by walking the table.
+    result: list[str] = []
+    i = j = 0
+    while i < n and j < m:
+        if a[i] == b[j]:
+            result.append(a[i])
+            i += 1
+            j += 1
+        elif lengths[i + 1][j] >= lengths[i][j + 1]:
+            i += 1
+        else:
+            j += 1
+    return result
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render a plain-text table with left-aligned, width-padded columns."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width must match header width")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines.extend(
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in cells
+    )
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Tokenization and template conventions shared by every parser.
+
+The paper's parsers all operate on whitespace-delimited tokens of the free
+text *content* of a log message (headers such as timestamps are stripped by
+the dataset loader before parsing).  A *template* is a token sequence in
+which variable positions are replaced by the wildcard token ``*`` — e.g.
+``Receiving block * src: * dest: *``.
+
+This module fixes those conventions in one place:
+
+* :func:`tokenize` — split a message into tokens,
+* :data:`WILDCARD` — the variable-position marker,
+* :func:`render_template` — join a token sequence back into a template
+  string,
+* :func:`template_matches` — check whether a template covers a concrete
+  message.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+#: Marker used in templates for a variable (parameter) position.
+WILDCARD = "*"
+
+
+def tokenize(message: str) -> list[str]:
+    """Split a raw log message content into whitespace-delimited tokens.
+
+    Consecutive whitespace is collapsed; leading/trailing whitespace is
+    ignored.  The empty message tokenizes to an empty list.
+
+    >>> tokenize("Receiving block blk_123  src: /10.0.0.1:50010")
+    ['Receiving', 'block', 'blk_123', 'src:', '/10.0.0.1:50010']
+    """
+    return message.split()
+
+
+def is_wildcard(token: str) -> bool:
+    """Return True if *token* marks a variable position in a template."""
+    return token == WILDCARD
+
+
+def render_template(tokens: Sequence[str]) -> str:
+    """Join template tokens into the canonical single-space-separated form.
+
+    >>> render_template(["Receiving", "block", "*"])
+    'Receiving block *'
+    """
+    return " ".join(tokens)
+
+
+def template_matches(template: str, message: str) -> bool:
+    """Return True if *message* is an instance of *template*.
+
+    Matching is positional: both are tokenized, lengths must agree, and at
+    every position the template token must either equal the message token
+    or be the wildcard.
+
+    >>> template_matches("Receiving block *", "Receiving block blk_1")
+    True
+    >>> template_matches("Receiving block *", "Deleting block blk_1")
+    False
+    """
+    t_tokens = tokenize(template)
+    m_tokens = tokenize(message)
+    if len(t_tokens) != len(m_tokens):
+        return False
+    return all(
+        is_wildcard(t) or t == m for t, m in zip(t_tokens, m_tokens)
+    )
+
+
+def generalize(tokens_a: Sequence[str], tokens_b: Sequence[str]) -> list[str]:
+    """Merge two equal-length token sequences into their common template.
+
+    Positions where the sequences agree keep the token; positions where
+    they differ become wildcards.  Raises ``ValueError`` on length
+    mismatch — same-length membership is each parser's responsibility.
+
+    >>> generalize(["open", "file", "a.txt"], ["open", "file", "b.txt"])
+    ['open', 'file', '*']
+    """
+    if len(tokens_a) != len(tokens_b):
+        raise ValueError(
+            f"cannot generalize sequences of different lengths "
+            f"({len(tokens_a)} vs {len(tokens_b)})"
+        )
+    return [
+        a if a == b and not is_wildcard(a) and not is_wildcard(b) else WILDCARD
+        for a, b in zip(tokens_a, tokens_b)
+    ]
+
+
+def template_from_cluster(token_lists: Sequence[Sequence[str]]) -> list[str]:
+    """Build a template from a cluster of same-length token sequences.
+
+    A position keeps its token only when every member agrees on it;
+    otherwise it becomes a wildcard.  This is the "log template
+    generation" step shared by SLCT, IPLoM, LKE, and LogSig.
+
+    Raises ``ValueError`` when the cluster is empty or lengths disagree.
+    """
+    if not token_lists:
+        raise ValueError("cannot build a template from an empty cluster")
+    width = len(token_lists[0])
+    template = list(token_lists[0])
+    for tokens in token_lists[1:]:
+        if len(tokens) != width:
+            raise ValueError(
+                "cannot build a template from sequences of different lengths"
+            )
+        for i, token in enumerate(tokens):
+            if template[i] != token:
+                template[i] = WILDCARD
+    return template

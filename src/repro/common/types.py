@@ -1,0 +1,164 @@
+"""Core data types: log records, event templates, and parse results.
+
+These types fix the standard input/output contract described in §II-C of
+the paper: a parser consumes a file (or list) of raw log messages and
+produces two artifacts —
+
+* a list of **log events** (:class:`EventTemplate`), each the constant
+  part of one message type with variables masked by ``*``; and
+* **structured logs** (:class:`StructuredLog`), the original message
+  sequence with each message mapped to its event id.
+
+Both are bundled in :class:`ParseResult`, whose ``assignments`` vector
+(one event id per input line, in input order) is what every evaluation
+in the paper consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterator, Sequence
+
+from repro.common.tokenize import template_matches, tokenize
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One raw log message, split into header fields and free-text content.
+
+    Attributes:
+        content: the free-text message content (the part parsers see).
+        timestamp: the header timestamp string (may be empty).
+        session_id: identifier grouping related records (e.g. the HDFS
+            block id), used by log mining; empty when not applicable.
+        truth_event: ground-truth event id when known (synthetic datasets
+            carry it; real logs would not), else ``None``.
+    """
+
+    content: str
+    timestamp: str = ""
+    session_id: str = ""
+    truth_event: str | None = None
+
+    @property
+    def tokens(self) -> list[str]:
+        """Whitespace tokens of the message content."""
+        return tokenize(self.content)
+
+
+@dataclass(frozen=True)
+class EventTemplate:
+    """A log event: an id plus its template string with ``*`` wildcards."""
+
+    event_id: str
+    template: str
+
+    @property
+    def tokens(self) -> list[str]:
+        return tokenize(self.template)
+
+    def matches(self, message: str) -> bool:
+        """True if *message* is an instance of this template."""
+        return template_matches(self.template, message)
+
+
+@dataclass(frozen=True)
+class StructuredLog:
+    """One structured (parsed) log line: original record + assigned event."""
+
+    line_no: int
+    record: LogRecord
+    event_id: str
+
+
+@dataclass
+class ParseResult:
+    """The two-file output of a log parser, as in-memory objects.
+
+    Attributes:
+        events: the extracted event templates, in discovery order.
+        assignments: for input line ``i``, ``assignments[i]`` is the event
+            id assigned to that line.  Lines a parser declines to cluster
+            (e.g. SLCT outliers) get :data:`OUTLIER_EVENT_ID`.
+        records: the input records in original order.
+    """
+
+    OUTLIER_EVENT_ID = "OUTLIER"
+
+    events: list[EventTemplate] = field(default_factory=list)
+    assignments: list[str] = field(default_factory=list)
+    records: list[LogRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.assignments) != len(self.records):
+            raise ValueError(
+                f"assignments ({len(self.assignments)}) and records "
+                f"({len(self.records)}) must have equal length"
+            )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def event_ids(self) -> list[str]:
+        return [event.event_id for event in self.events]
+
+    def template_of(self, event_id: str) -> str:
+        """Return the template string for *event_id*.
+
+        Raises ``KeyError`` for unknown ids (including the outlier id,
+        which deliberately has no template).
+        """
+        for event in self.events:
+            if event.event_id == event_id:
+                return event.template
+        raise KeyError(event_id)
+
+    def structured(self) -> Iterator[StructuredLog]:
+        """Iterate over structured log lines in input order."""
+        for i, (record, event_id) in enumerate(
+            zip(self.records, self.assignments)
+        ):
+            yield StructuredLog(line_no=i, record=record, event_id=event_id)
+
+    def groups(self) -> dict[str, list[int]]:
+        """Map each event id to the list of line indices assigned to it."""
+        clusters: dict[str, list[int]] = {}
+        for i, event_id in enumerate(self.assignments):
+            clusters.setdefault(event_id, []).append(i)
+        return clusters
+
+    def events_file_lines(self) -> list[str]:
+        """Render the 'log events' output file (one ``id<TAB>template``)."""
+        return [f"{e.event_id}\t{e.template}" for e in self.events]
+
+    def structured_file_lines(self) -> list[str]:
+        """Render the 'structured logs' output file.
+
+        One line per input record: ``line_no<TAB>timestamp<TAB>session``
+        ``<TAB>event_id`` — matching the structured-log table of Fig. 1.
+        """
+        return [
+            f"{s.line_no}\t{s.record.timestamp}\t{s.record.session_id}"
+            f"\t{s.event_id}"
+            for s in self.structured()
+        ]
+
+
+def records_from_contents(
+    contents: Sequence[str],
+    session_ids: Sequence[str] | None = None,
+) -> list[LogRecord]:
+    """Wrap bare message strings into :class:`LogRecord` objects.
+
+    Convenience for tests and examples that start from plain strings.
+    """
+    if session_ids is not None and len(session_ids) != len(contents):
+        raise ValueError("session_ids must be as long as contents")
+    return [
+        LogRecord(
+            content=content,
+            session_id=session_ids[i] if session_ids is not None else "",
+        )
+        for i, content in enumerate(contents)
+    ]

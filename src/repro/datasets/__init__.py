@@ -1,0 +1,47 @@
+"""Synthetic reproductions of the paper's five log datasets.
+
+The paper evaluates on BGL, HPC, HDFS, Zookeeper, and Proxifier logs.
+Those production datasets cannot be redistributed here, so each module in
+this package defines a *template bank* modeled on the corresponding
+system's published log formats and a generator that emits raw log
+messages together with exact ground-truth event labels.  Table I's
+dataset statistics (#events, token-length ranges) are matched by
+construction; see DESIGN.md §2 for the substitution rationale.
+"""
+
+from repro.datasets.base import (
+    DatasetSpec,
+    SyntheticDataset,
+    Template,
+    TemplateBank,
+)
+from repro.datasets.generator import generate_dataset
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    get_dataset_spec,
+    iter_dataset_specs,
+)
+from repro.datasets.hdfs import generate_hdfs_sessions, HdfsSessionDataset
+from repro.datasets.loader import (
+    read_raw_log,
+    write_raw_log,
+    write_parse_result,
+    sample_records,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "SyntheticDataset",
+    "Template",
+    "TemplateBank",
+    "generate_dataset",
+    "DATASET_NAMES",
+    "get_dataset_spec",
+    "iter_dataset_specs",
+    "generate_hdfs_sessions",
+    "HdfsSessionDataset",
+    "read_raw_log",
+    "write_raw_log",
+    "write_parse_result",
+    "sample_records",
+]

@@ -1,0 +1,480 @@
+"""BGL dataset: a 376-event template bank modeled on BlueGene/L RAS logs.
+
+The real BGL dataset (Oliner & Stearley, DSN 2007) was collected from the
+131,072-processor BlueGene/L machine at LLNL: 4,747,963 messages across
+376 event types, with message lengths from ~10 to ~102 tokens.  The bank
+below reconstructs the RAS message families that dominate that data —
+cache/memory ECC and parity events, ciod control-stream errors, machine
+check interrupts, torus/tree network errors, node-card and service-card
+hardware monitoring, kernel panics, and a handful of very long register
+dumps — including the ``generating core.<n>`` family the paper singles
+out as the reason LogSig's raw accuracy collapses on BGL.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import DatasetSpec, Template, TemplateBank
+
+_CACHE_UNITS = [
+    "L1 data cache",
+    "L1 instruction cache",
+    "L2 cache",
+    "L3 cache",
+    "L3 directory",
+    "L3 EDRAM bank",
+    "DDR memory controller",
+    "DDR chipkill symbol",
+    "torus sender fifo",
+    "torus receiver fifo",
+    "tree sender fifo",
+    "tree receiver fifo",
+]
+
+_CACHE_CONDITIONS = [
+    "parity error detected and corrected",
+    "single symbol error detected and corrected",
+    "double-bit error detected",
+    "uncorrectable error detected",
+]
+
+_MACHINE_CHECK_CAUSES = [
+    "L2 dcache unit data parity error",
+    "L2 dcache unit tag parity error",
+    "L2 icache unit data parity error",
+    "L2 icache unit tag parity error",
+    "L3 major internal error",
+    "L3 minor internal error",
+    "DDR failing data registers updated",
+    "DDR command error",
+    "DDR address error",
+    "instruction address breakpoint",
+    "data address breakpoint",
+    "imprecise machine check",
+    "torus non-recoverable error",
+    "torus recoverable error",
+    "tree non-recoverable error",
+    "tree recoverable error",
+    "blind port interrupt",
+    "devbus non-recoverable error",
+    "plb arbiter timeout",
+    "scratch SRAM parity error",
+    "lockbox access violation",
+    "ethernet unit fatal error",
+    "UPC interval timer interrupt",
+    "watchdog timer interrupt",
+]
+
+_TORUS_DIRECTIONS = ["x+", "x-", "y+", "y-", "z+", "z-"]
+
+_TORUS_CONDITIONS = [
+    "retransmission count <num> exceeds threshold",
+    "link error detected by receiver",
+    "packet CRC mismatch count <num>",
+]
+
+_CIOD_MESSAGES = [
+    "ciod: Error reading message prefix after <num> bytes on CioStream socket to <ip>:<port>",
+    "ciod: Error reading message prefix on CioStream socket to <ip>:<port> Link has been severed",
+    "ciod: failed to read message prefix on control stream CioStream socket to <ip>:<port>",
+    "ciod: Error loading <path> invalid or missing program image No such file or directory",
+    "ciod: Error loading <path> invalid or missing program image Exec format error",
+    "ciod: Error loading <path> program image too big <num> > <num>",
+    "ciod: Error creating node map from file <path> No child processes",
+    "ciod: Error opening node map file <path> No such file or directory",
+    "ciod: LOGIN chdir <path> failed: No such file or directory",
+    "ciod: LOGIN chdir <path> failed: Input/output error",
+    "ciod: cpu <num> at treeaddr <num> sent unrecognized message <hex>",
+    "ciod: duplicate canonical-rank <num> to logical-rank <num> mapping at line <num> of node map file <path>",
+    "ciod: generated <num> core files for program <path>",
+    "ciod: In packet from node <num> <num> message code <num> is not <num> or 4294967295",
+    "ciod: In packet from node <num> <num> message still ready for node <num>",
+    "ciod: Missing or invalid fields on line <num> of node map file <path>",
+    "ciod: pollControlDescriptors: Detected the debugger died",
+    "ciod: Received signal <snum> while attempting to read message prefix on control stream socket to <ip>:<port>",
+]
+
+_KERNEL_EVENTS = [
+    "rts panic! - stopping execution",
+    "rts: kernel terminated for reason <num>",
+    "rts: bad message header: invalid cpu <num>",
+    "rts internal error",
+    "start initialization of CIOD tree protocol",
+    "external input interrupt (unit=<hex> bit=<snum>): uncorrectable torus error",
+    "external input interrupt (unit=<hex> bit=<snum>): tree receiver <snum> in resynch mode",
+    "external input interrupt (unit=<hex> bit=<snum>): number of corrected SRAM errors has exceeded threshold",
+    "data TLB error interrupt",
+    "instruction TLB error interrupt",
+    "data storage interrupt caused by dcbz instruction",
+    "instruction storage interrupt: permission violation",
+    "program interrupt: illegal instruction",
+    "program interrupt: privileged instruction",
+    "program interrupt: trap instruction",
+    "program interrupt: fp compare instruction",
+    "program interrupt: unimplemented operation",
+    "program interrupt: imprecise exception",
+    "alignment interrupt at address <hex>",
+    "floating point unavailable interrupt",
+    "auxiliary processor unavailable interrupt",
+    "debug interrupt enable set in machine state register",
+    "kernel panic mode entered - halting core <num>",
+    "total of <num> ddr error(s) detected and corrected over <num> seconds",
+    "total of <num> ddr error(s) detected and corrected on rank <snum> symbol <num> over <num> seconds",
+    "<num> ddr errors(s) detected and corrected on rank <snum> symbol <num> bit <num>",
+    "CE sym <num> at <hex> mask <hex>",
+    "memory manager address not aligned: <hex>",
+    "wait state enable bit set in machine state register",
+    "msync timeout after <num> cycles",
+    "invalid or missing program image No such device",
+    "exited normally with exit code <snum>",
+    "killed with signal <snum>",
+    "core configuration register: <hex>",
+    "instruction cache parity error corrected",
+]
+
+_EXIT_SIGNALS = [
+    "Hangup",
+    "Interrupt",
+    "Quit",
+    "Illegal instruction",
+    "Trace/breakpoint trap",
+    "Aborted",
+    "Bus error",
+    "Floating point exception",
+    "Killed",
+    "User defined signal 1",
+    "User defined signal 2",
+    "Segmentation fault",
+    "Broken pipe",
+    "Alarm clock",
+    "Terminated",
+    "Stopped (signal)",
+]
+
+_BGLMASTER_EVENTS = [
+    "BGLMASTER failover: mmcs_server failed, restarting",
+    "BGLMASTER failover: ciodb failed, restarting",
+    "BGLMASTER failover: idoproxy failed, restarting",
+    "BGLMASTER started as primary on <host>",
+    "BGLMASTER started as backup on <host>",
+    "BGLMASTER heartbeat lost from <host> after <num> seconds",
+    "BGLMASTER: mmcs_server exited with status <snum>",
+    "BGLMASTER: ciodb exited with status <snum>",
+    "BGLMASTER: idoproxy exited with status <snum>",
+    "BGLMASTER configuration reloaded from <path>",
+    "BGLMASTER console connection accepted from <ip>:<port>",
+    "BGLMASTER console connection closed from <ip>:<port>",
+]
+
+_THERMAL_COMPONENTS = [
+    "ASIC",
+    "DRAM module",
+    "optical module",
+    "power converter",
+]
+
+_IDO_COMMAND_ERRORS = [
+    "idoproxy error sending reset command to <node>: timeout after <num> ms",
+    "idoproxy error sending boot command to <node>: timeout after <num> ms",
+    "idoproxy error sending status command to <node>: timeout after <num> ms",
+    "idoproxy error sending shutdown command to <node>: timeout after <num> ms",
+    "idoproxy retry limit reached for command <num> to <node>",
+    "idoproxy dropped <num> packets from <node> due to bad checksum",
+    "idoproxy queue overflow: <num> commands pending for <node>",
+    "idoproxy lost carrier on serial port to <node>",
+    "idoproxy invalid response opcode <hex> from <node>",
+    "idoproxy session to <node> reestablished after <num> retries",
+]
+
+_NODECARD_SENSORS = [
+    "temperature sensor",
+    "voltage sensor 1.5V rail",
+    "voltage sensor 2.5V rail",
+    "voltage sensor 3.3V rail",
+    "clock frequency sensor",
+    "fan tachometer",
+    "current sensor",
+    "humidity sensor",
+]
+
+_MONITOR_EVENTS = [
+    "MidplaneSwitchController performing bit sparing on <node> bit <num>",
+    "MidplaneSwitchController clock signal lost on jtag port <num>",
+    "Error getting detailed hardware info for node <node>",
+    "Node card VPD check: missing serial number for node <node>",
+    "Node card is not fully functional: <node>",
+    "problem communicating with service card <node> ido chip: <hex>",
+    "problem communicating with node card <node> ido chip: <hex>",
+    "PrepareForService shutting down node card <node>",
+    "PrepareForService shutting down service card <node>",
+    "PrepareForService shutting down link card <node>",
+    "LinkCard power module <node> is not accessible",
+    "LinkCard is not fully functional: <node>",
+    "No power module <node> found found on link card",
+    "While initializing link card <node> chip <num> got JTAG error <hex>",
+    "fan module <node> speed <num> rpm below minimum",
+    "power module <node> output current <float> amps over limit",
+    "power deactivated: <node>",
+    "power activated: <node>",
+    "service card <node> ethernet port failed to negotiate link",
+    "ido packet timeout while polling node card <node>",
+]
+
+_MMCS_EVENTS = [
+    "idoproxydb hit ASSERT condition: ASSERT expression=<num> source file=<path> line=<num>",
+    "idoproxydb has been started: $Name: <path> $ Input parameters: -enableflush -loguserinfo <path>",
+    "mmcs_server_connect failed to connect to <ip>:<port>",
+    "DeclareServiceNetworkCharacteristics has been run but the DB is not empty",
+    "BglIdoChip table has <num> rows not matching machine topology",
+    "ido chip status changed: <node> now in state <num>",
+    "lib_ido_error: -<num> unexpected socket error: Broken pipe",
+    "socket closed by peer <ip>:<port> while waiting for reply",
+    "can not get assembly information for node card <node>",
+    "mailbox error on node <node>: <hex>",
+    "boot program load failed for block <node> status <num>",
+    "block allocation failed: partition <node> already booted",
+    "ciodb has been restarted",
+    "mmcs db server has been started: $Name: <path> $ Input parameters: -dbproperties <path>",
+    "idoproxy communication failure detected on <node>",
+]
+
+_APP_EVENTS = [
+    "APP FATAL failed to mmap <num> bytes: Cannot allocate memory",
+    "APP FATAL job <num> timed out after <num> seconds",
+    "APP SEVERE tree network send failed rc <num>",
+    "APP SEVERE MPI rank <num> out of range on node <node>",
+    "APP INFO barrier enter rank <num> of <num>",
+    "APP INFO checkpoint written to <path> in <float> seconds",
+]
+
+
+def _register_dump(name: str, registers: list[str]) -> str:
+    """Build one very long register-dump template (tens of tokens)."""
+    fields = " ".join(f"{register}: <hex>" for register in registers)
+    return f"{name} {fields}"
+
+
+_LONG_DUMPS = [
+    _register_dump(
+        "machine check status register summary:",
+        [f"mcsr{i}" for i in range(24)],
+    ),
+    _register_dump(
+        "general purpose registers:",
+        [f"r{i}" for i in range(32)],
+    ),
+    _register_dump(
+        "floating point registers:",
+        [f"fpr{i}" for i in range(32)],
+    ),
+    _register_dump(
+        "special purpose registers:",
+        ["lr", "cr", "xer", "ctr", "srr0", "srr1", "csrr0", "csrr1",
+         "dear", "esr", "mcsr", "tsr", "tcr", "dbsr", "pid", "ccr0"],
+    ),
+    _register_dump(
+        "torus hardware status dump:",
+        [f"dcr{i:02d}" for i in range(40)],
+    ),
+    _register_dump(
+        "tree arbiter state dump:",
+        [f"arb{i:02d}" for i in range(28)],
+    ),
+]
+
+# Long tail of rare, individually-worded RAS events.  Real BGL's tail
+# events differ in wording and shape (not just in one location token),
+# which is what lets the heuristic parsers separate them even at one or
+# two occurrences each.
+_TAIL_EVENTS = [
+    "ddr: activating redundant bit steering: rank=<snum> symbol=<num>",
+    "ddr: scrub cycle completed, no errors found",
+    "ddr: redundant bit steering disabled on rank <snum>",
+    "ddr: memory controller initialization complete",
+    "ddr: refresh rate lowered to compensate for temperature",
+    "L3 ecc control register reset to default value",
+    "L3 global flush of pending writebacks initiated",
+    "L3 cache flush completed in <num> cycles",
+    "L2 array initialization skipped: already initialized",
+    "L1 flush on context switch enabled",
+    "icache prefetch depth set to <snum>",
+    "dcache write-through mode enabled by configuration",
+    "snoop filter disabled for debug",
+    "lockbox master unlocked for core <snum>",
+    "sram scrub started at address <hex>",
+    "sram scrub finished at address <hex>",
+    "interrupt vector table relocated to <hex>",
+    "decrementer interrupt armed with period <num>",
+    "fit interrupt period set to <num> cycles",
+    "watchdog period extended to <num> seconds",
+    "tlb invalidate all broadcast to both cores",
+    "mmu page table walk error recovered",
+    "floating point status register cleared after exception",
+    "fpu pipeline drained before checkpoint",
+    "double hummer unit disabled for diagnostic run",
+    "dma engine channel <snum> reset",
+    "dma descriptor ring exhausted, allocating <num> more entries",
+    "torus injection fifo watermark set to <num>",
+    "torus reception fifo watermark set to <num>",
+    "torus neighbor handshake completed on all six links",
+    "torus route table checksum verified",
+    "torus deterministic routing enabled",
+    "torus adaptive routing enabled",
+    "tree arithmetic unit self test passed",
+    "tree class route <snum> reconfigured",
+    "tree bandwidth counter overflow, resetting",
+    "barrier network armed for partition",
+    "barrier released after <num> microseconds",
+    "global interrupt asserted by compute node <node>",
+    "collective network idle timeout after <num> ms",
+    "ethernet unit link negotiated at 1000 Mbps full duplex",
+    "ethernet transmit queue stalled, restarting",
+    "ethernet receive checksum offload enabled",
+    "jtag mailbox handshake completed",
+    "jtag access to node <node> granted to service console",
+    "palomino chip reset sequence initiated",
+    "clock tree resynchronized after drift of <num> ppm",
+    "clock card primary oscillator selected",
+    "midplane power rail <snum> stabilized at <float> volts",
+    "bulk power module load balanced across <snum> units",
+    "service action pending: replace fan assembly on <node>",
+    "service action completed: fan assembly replaced on <node>",
+    "environmental monitor polling interval set to <num> seconds",
+    "cabinet door opened, airflow compensation engaged",
+    "cabinet door closed, airflow back to normal profile",
+    "link card optical transceiver temperature <num> C nominal",
+    "link card lane <snum> realigned after skew detection",
+    "spider chip port <snum> parity protected mode enabled",
+    "boot image checksum verified for block <node>",
+    "boot loader handed off control to compute node kernel",
+    "kernel command line parsed: <num> arguments",
+    "initial ramdisk unpacked: <num> KB",
+    "personality record loaded for partition <node>",
+    "partition geometry set to <snum> x <snum> x <snum>",
+    "job loader contacted control system at <ip>:<port>",
+    "application image distributed to <num> nodes in <float> seconds",
+    "standard input redirected to service node stream",
+    "standard output flushed: <num> bytes pending at exit",
+    "core file limit set to <num> per node",
+    "checkpoint library preloaded for restart support",
+    "restart from checkpoint <path> requested",
+    "restart completed: <num> processes resumed",
+    "heartbeat to service node missed once, retrying",
+    "heartbeat restored after <num> missed intervals",
+    "console session attached by operator <user>",
+    "console session detached by operator <user>",
+    "rts: stack guard page armed at <hex>",
+    "rts: heap extended by <num> KB",
+    "rts: mmap region reserved at <hex> length <num>",
+    "rts: signal handler installed for signal <snum>",
+    "rts: thread stack allocated for pthread <num>",
+    "rts: barrier entered by both cores",
+    "rts: scratch space reclaimed: <num> KB",
+    "mcp: message layer initialized with <num> buffers",
+    "mcp: eager limit set to <num> bytes",
+    "mcp: rendezvous protocol selected for large messages",
+    "mcp: collective shortcut enabled for allreduce",
+    "mailbox: command <num> acknowledged by service node",
+    "mailbox: unsolicited status frame discarded",
+    "power: core voltage adjusted to <float> V for frequency step",
+    "power: sleep state entered on idle core",
+    "power: sleep state exited after interrupt",
+    "temperature: compute ASIC at <num> C within envelope",
+    "temperature: exceeded soft limit, fan speed raised",
+    "temperature: returned below soft limit",
+    "parity: bus transaction retried successfully",
+    "parity: retry budget exhausted, escalating to machine check",
+    "diagnostic: memory march test pass <snum> complete",
+    "diagnostic: torus loopback test passed on all links",
+    "diagnostic: tree loopback test passed",
+    "diagnostic: full system test suite finished with <num> warnings",
+    "config: rollover of event log after <num> records",
+    "config: RAS filtering threshold set to <num> per minute",
+    "config: verbose kernel logging enabled by operator",
+    "config: verbose kernel logging disabled by operator",
+    "security: invalid service console credential from <ip>",
+    "security: service console credential accepted for <user>",
+    "security: service console session idle timeout after <num> minutes",
+]
+
+
+def _build_templates() -> list[Template]:
+    templates: list[Template] = []
+
+    def add(pattern: str, weight: float = 1.0) -> None:
+        templates.append(
+            Template(f"BGL{len(templates) + 1}", pattern, weight=weight)
+        )
+
+    # High-frequency kernel families first (weights mimic BGL's skew:
+    # a few event types cover most of the data).
+    add("generating <core>", weight=150)
+    add("ciod: Message code <num> is not <num> or 4294967295", weight=120)
+    add(
+        "ddr: excessive soft failures, consider replacing the ddr memory on this card",
+        weight=80,
+    )
+    add("critical input interrupt (unit=<hex> bit=<snum>): warning for torus <node> wire", weight=60)
+
+    for unit in _CACHE_UNITS:
+        for condition in _CACHE_CONDITIONS:
+            add(f"{unit} {condition} at address <hex>", weight=6)
+    for unit in _CACHE_UNITS:
+        add(
+            f"{unit} error count exceeded threshold: <num> errors in <num> seconds",
+            weight=2,
+        )
+    for cause in _MACHINE_CHECK_CAUSES:
+        add(f"machine check interrupt (bit=<snum>): {cause}", weight=3)
+    for direction in _TORUS_DIRECTIONS:
+        for condition in _TORUS_CONDITIONS:
+            add(f"torus {direction} {condition} on node <node>", weight=2)
+    for message in _CIOD_MESSAGES:
+        add(message, weight=8)
+    for event in _KERNEL_EVENTS:
+        add(event, weight=10)
+    for sensor in _NODECARD_SENSORS:
+        add(f"node card {sensor} reading <float> over threshold on <node>", weight=2)
+        add(f"node card {sensor} reading <float> under threshold on <node>", weight=1)
+    for event in _MONITOR_EVENTS:
+        add(event, weight=3)
+    for event in _MMCS_EVENTS:
+        add(event, weight=3)
+    for event in _APP_EVENTS:
+        add(event, weight=4)
+    for signal in _EXIT_SIGNALS:
+        add(f"exited abnormally due to signal: {signal}", weight=2)
+    for event in _BGLMASTER_EVENTS:
+        add(event, weight=1.5)
+    for component in _THERMAL_COMPONENTS:
+        add(f"{component} temperature <num> C over threshold on <node>", weight=1)
+        add(f"{component} temperature back in range on <node>", weight=1)
+    for event in _IDO_COMMAND_ERRORS:
+        add(event, weight=1.5)
+    for dump in _LONG_DUMPS:
+        add(dump, weight=1.5)
+
+    remaining = 376 - len(templates)
+    if remaining < 0:
+        raise AssertionError(
+            f"BGL bank over target: {len(templates)} > 376 templates"
+        )
+    if remaining > len(_TAIL_EVENTS):
+        raise AssertionError(
+            f"BGL tail too short: need {remaining}, have "
+            f"{len(_TAIL_EVENTS)}"
+        )
+    for event in _TAIL_EVENTS[:remaining]:
+        add(event, weight=0.5)
+    return templates
+
+
+BGL_BANK = TemplateBank(name="BGL", templates=tuple(_build_templates()))
+
+BGL_SPEC = DatasetSpec(
+    name="BGL",
+    description="BlueGene/L supercomputer (LLNL)",
+    bank=BGL_BANK,
+    reference_size=4_747_963,
+    paper_events=376,
+    paper_length_range=(10, 102),
+)

@@ -1,0 +1,150 @@
+"""HPC dataset: a 105-event bank modeled on the LANL HPC cluster logs.
+
+The real dataset (LANL operational data release) comes from a 49-node
+high-performance cluster; it is dominated by short hardware-state and
+interconnect messages.  The paper notes that LKE's aggressive
+single-linkage clustering collapses almost all HPC messages into one
+cluster — the bank therefore deliberately contains many short templates
+that share leading tokens (``ClusterFS failed ...``, ``PSU status ...``)
+so that close message pairs exist, reproducing that failure mode.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import DatasetSpec, Template, TemplateBank
+
+#: LANL node states; every ordered transition is its own event type in
+#: the real data ("<node> <from-state> <to-state>").
+_NODE_STATES = ["running", "down", "boot", "halt", "offline"]
+
+_STATE_TRANSITIONS = [
+    (f"<cnode> {from_state} {to_state}", 3)
+    for from_state in _NODE_STATES
+    for to_state in _NODE_STATES
+    if from_state != to_state
+]
+
+_HANDWRITTEN = [
+    # Node/unit state machine — the bulk of the real data.  LANL's
+    # format leads with the reporting node, so the first token is a
+    # variable — a layout that stresses position-weighted distances.
+    ("<cnode> boot (command <num>)", 40),
+    ("<cnode> running running", 60),
+    ("<cnode> halt (command <num>)", 30),
+    *_STATE_TRANSITIONS,
+    ("<cnode> configured out", 10),
+    ("<cnode> configured in", 10),
+    ("<cnode> unavailable due to maintenance", 6),
+    ("<cnode> available for use", 6),
+    ("<cnode> is down", 8),
+    ("<cnode> is up", 8),
+    ("<cnode> removed from scheduling pool", 4),
+    ("<cnode> added to scheduling pool", 4),
+    # Interconnect errors.
+    ("Link error on broadcast tree Interconnect-<hex> [ A_PORT_0 ]", 5),
+    ("Link error on broadcast tree Interconnect-<hex> [ B_PORT_1 ]", 5),
+    ("Link in reset Interconnect-<hex>", 4),
+    ("Temperature ( <num> ) exceeds warning threshold on Interconnect-<hex>", 4),
+    ("Interconnect-<hex> fabric routing table updated with <num> entries", 3),
+    ("Broadcast tree rebuilt in <num> ms after membership change", 2),
+    ("Lustre mount FAILED : <host> : block device <path>", 3),
+    ("ClusterFS failed to mount <path> on <host> rc <num>", 3),
+    ("ClusterFS recovery complete on <host> after <num> seconds", 2),
+    ("ClusterFS server <host> not responding to pings", 3),
+    ("MDS daemon restarted on <host>", 2),
+    ("OST <num> on <host> marked inactive", 2),
+    # Power / environment.
+    ("PSU status ( on off )", 6),
+    ("PSU status ( off on )", 6),
+    ("PSU failure detected on chassis <num> slot <num>", 3),
+    ("Fan speeds ( <num> <num> <num> <num> <num> <num> )", 8),
+    ("Ambient temperature <num> C exceeds limit on chassis <num>", 3),
+    ("Power cycled by operator command <num>", 2),
+    ("UPS transferred to battery power", 1),
+    ("UPS restored to utility power", 1),
+    # Scheduler / jobs.
+    ("Job <num> started on <num> nodes by user <user>", 12),
+    ("Job <num> completed with status <num>", 12),
+    ("Job <num> killed by user <user>", 4),
+    ("Job <num> exceeded wallclock limit of <num> minutes", 3),
+    ("Job <num> failed on node <cnode> signal <snum>", 3),
+    ("Prologue failed for job <num> on <cnode> rc <num>", 2),
+    ("Epilogue failed for job <num> on <cnode> rc <num>", 2),
+    ("Scheduler checkpoint written in <num> ms", 2),
+    # Memory / CPU hardware.
+    ("CPU <snum> machine check error on <cnode>", 3),
+    ("Correctable ECC error on <cnode> DIMM <snum> count <num>", 5),
+    ("Uncorrectable ECC error on <cnode> DIMM <snum>", 2),
+    ("Memory scrub completed on <cnode> in <num> seconds", 2),
+    ("Cache error threshold exceeded on <cnode> CPU <snum>", 2),
+    ("Kernel oops on <cnode> at address <hex>", 2),
+    ("Kernel panic - not syncing: Fatal exception on <cnode>", 2),
+    ("Watchdog reset issued to <cnode>", 2),
+    # Network services.
+    ("dhcpd: DHCPDISCOVER from <hex> via eth<snum>", 4),
+    ("dhcpd: DHCPOFFER on <ip> to <hex> via eth<snum>", 4),
+    ("dhcpd: DHCPREQUEST for <ip> from <hex> via eth<snum>", 4),
+    ("dhcpd: DHCPACK on <ip> to <hex> via eth<snum>", 4),
+    ("ntpd: time reset <float> s", 3),
+    ("ntpd: synchronized to <ip> stratum <snum>", 3),
+    ("sshd: Accepted publickey for <user> from <ip> port <port>", 4),
+    ("sshd: Failed password for <user> from <ip> port <port>", 3),
+    ("sshd: Connection closed by <ip>", 3),
+    ("named: client <ip>#<port>: query refused", 2),
+    ("nfsd: peername failed for <ip>", 2),
+    ("automount: failed to mount <path> on <host>", 2),
+    # RAID / storage.
+    ("RAID controller <snum> battery charge low on <host>", 2),
+    ("RAID array <snum> degraded on <host> disk <num> offline", 2),
+    ("RAID array <snum> rebuild complete on <host>", 2),
+    ("SMART failure predicted on <host> disk <num>", 2),
+    ("scsi: aborting command due to timeout on <host> channel <snum> id <num>", 2),
+    ("I/O error on device sd<snum> sector <num>", 3),
+]
+
+#: Per-component command status family — the long tail of the real data.
+_COMPONENTS = [
+    "backplane", "fan-tray", "ioc", "nic", "bridge", "router",
+    "powerconv", "midplane", "clockcard", "diagproc",
+]
+
+_COMMAND_STATES = [
+    "detected as offline",
+    "detected as online",
+    "self test failed with code <num>",
+    "firmware updated to revision <num>",
+]
+
+
+def _build_templates() -> list[Template]:
+    templates: list[Template] = []
+
+    def add(pattern: str, weight: float = 1.0) -> None:
+        templates.append(
+            Template(f"HPC{len(templates) + 1}", pattern, weight=weight)
+        )
+
+    for pattern, weight in _HANDWRITTEN:
+        add(pattern, weight)
+    for component in _COMPONENTS:
+        for state in _COMMAND_STATES:
+            if len(templates) >= 105:
+                break
+            add(f"Component {component} unit <snum> {state}", weight=1)
+    if len(templates) != 105:
+        raise AssertionError(
+            f"HPC bank has {len(templates)} templates, expected 105"
+        )
+    return templates
+
+
+HPC_BANK = TemplateBank(name="HPC", templates=tuple(_build_templates()))
+
+HPC_SPEC = DatasetSpec(
+    name="HPC",
+    description="High performance cluster (Los Alamos)",
+    bank=HPC_BANK,
+    reference_size=433_490,
+    paper_events=105,
+    paper_length_range=(6, 104),
+)

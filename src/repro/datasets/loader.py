@@ -1,0 +1,152 @@
+"""File I/O for raw logs and parse results, plus record sampling.
+
+The on-disk raw format matches the paper's Fig. 1: each line is
+``<timestamp>\\t<session_id>\\t<content>`` (tab-separated header fields in
+front of the free-text content; empty fields allowed).  Parse results
+are written as the paper's two output files — ``*.events`` (one
+``event_id<TAB>template`` per line) and ``*.structured`` (one parsed
+line per input record).
+"""
+
+from __future__ import annotations
+
+import os
+from random import Random
+
+from repro.common.errors import DatasetError
+from repro.common.rng import spawn
+from repro.common.types import LogRecord, ParseResult
+
+
+def write_raw_log(records: list[LogRecord], path: str) -> None:
+    """Write *records* to *path* in the tab-separated raw format.
+
+    Ground-truth event ids are intentionally not persisted — the raw
+    file is what a parser would see in the wild.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            if "\t" in record.content:
+                raise DatasetError(
+                    "raw log content must not contain tab characters"
+                )
+            handle.write(
+                f"{record.timestamp}\t{record.session_id}\t{record.content}\n"
+            )
+
+
+def read_raw_log(path: str) -> list[LogRecord]:
+    """Read a raw log file written by :func:`write_raw_log`.
+
+    Lines without tabs are treated as bare content (header-less logs),
+    so plain message-per-line files also load.
+    """
+    if not os.path.exists(path):
+        raise DatasetError(f"raw log file not found: {path}")
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) >= 3:
+                timestamp, session_id, content = (
+                    parts[0],
+                    parts[1],
+                    "\t".join(parts[2:]),
+                )
+            elif len(parts) == 2:
+                timestamp, session_id, content = parts[0], "", parts[1]
+            else:
+                timestamp, session_id, content = "", "", parts[0]
+            records.append(
+                LogRecord(
+                    content=content,
+                    timestamp=timestamp,
+                    session_id=session_id,
+                )
+            )
+    return records
+
+
+def write_parse_result(result: ParseResult, stem: str) -> tuple[str, str]:
+    """Write the two parser output files next to *stem*.
+
+    Returns the ``(events_path, structured_path)`` pair, matching the
+    standard output contract of §II-C.
+    """
+    events_path = f"{stem}.events"
+    structured_path = f"{stem}.structured"
+    with open(events_path, "w", encoding="utf-8") as handle:
+        for line in result.events_file_lines():
+            handle.write(line + "\n")
+    with open(structured_path, "w", encoding="utf-8") as handle:
+        for line in result.structured_file_lines():
+            handle.write(line + "\n")
+    return events_path, structured_path
+
+
+def write_real_format(
+    records: list[LogRecord],
+    path: str,
+    system: str,
+    seed: int | None = None,
+) -> None:
+    """Write *records* as full log lines with the system's real header.
+
+    Produces files that look like the original datasets (BGL RAS
+    prefixes, HDFS class prefixes, …) rather than the tab-separated
+    internal format; see :mod:`repro.datasets.headers`.
+    """
+    from repro.datasets.headers import HeaderFormat
+
+    header = HeaderFormat(system=system)
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in header.add_headers(records, seed=seed):
+            handle.write(line + "\n")
+
+
+def read_real_format(path: str, system: str) -> list[LogRecord]:
+    """Read a real-format log file, stripping the system's header.
+
+    Only the free-text content survives (as in §IV-A: "only the parts
+    of free-text log message contents are used"); header fields are
+    discarded except that the raw line's leading fields could be
+    re-parsed by callers needing them.
+    """
+    from repro.datasets.headers import HeaderFormat
+
+    if not os.path.exists(path):
+        raise DatasetError(f"raw log file not found: {path}")
+    header = HeaderFormat(system=system)
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            records.append(
+                LogRecord(content=header.strip_header(line))
+            )
+    return records
+
+
+def sample_records(
+    records: list[LogRecord],
+    k: int,
+    seed: int | None = None,
+) -> list[LogRecord]:
+    """Randomly sample *k* records without replacement (order preserved).
+
+    The paper samples 2k messages per dataset for the accuracy study
+    because LKE/LogSig cannot parse full datasets in reasonable time.
+    If *k* exceeds the population, all records are returned.
+    """
+    if k <= 0:
+        raise DatasetError(f"sample size must be positive, got {k}")
+    if k >= len(records):
+        return list(records)
+    rng: Random = spawn(seed, f"sample:{k}:{len(records)}")
+    indices = sorted(rng.sample(range(len(records)), k))
+    return [records[i] for i in indices]

@@ -1,0 +1,51 @@
+"""Proxifier dataset: the 8-event bank of the desktop proxy client logs.
+
+Proxifier is standalone Windows software that tunnels application
+connections through a proxy; its log is tiny (10,108 lines, 8 event
+types in the paper's Table I).  The templates mirror the real
+open/close/error message shapes.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import DatasetSpec, Template, TemplateBank
+
+_PROGRAMS = ["chrome.exe", "firefox.exe", "outlook.exe", "Dropbox.exe",
+             "thunderbird.exe", "ssh.exe"]
+
+_HANDWRITTEN = [
+    ("<host>.cse.cuhk.edu.hk:<port> open through proxy proxy.cse.cuhk.edu.hk:5070 HTTPS", 25),
+    ("<host>.cse.cuhk.edu.hk:<port> open through proxy proxy.cse.cuhk.edu.hk:5070 SOCKS5", 15),
+    ("<host>.cse.cuhk.edu.hk:<port> close, <num> bytes sent, <num> bytes received, lifetime <time>", 35),
+    ("<host>.cse.cuhk.edu.hk:<port> close, <num> bytes (<float> KB) sent, <num> bytes (<float> KB) received, lifetime <time>", 15),
+    ("<host>.cse.cuhk.edu.hk:<port> error : Could not connect through proxy proxy.cse.cuhk.edu.hk:5070 - Proxy server cannot establish a connection with the target, status code 403", 3),
+    ("<host>.cse.cuhk.edu.hk:<port> error : Could not connect through proxy proxy.cse.cuhk.edu.hk:5070 - Connection timed out, status code 504", 2),
+    ("proxy.cse.cuhk.edu.hk:5070 HTTPS proxy server responded with status code 503, connection to <host>.cse.cuhk.edu.hk:<port> failed", 1),
+    ("DNS lookup for <host>.cse.cuhk.edu.hk failed, no such host is known", 1),
+]
+
+
+def _build_templates() -> list[Template]:
+    templates = [
+        Template(f"PX{index + 1}", pattern, weight=weight)
+        for index, (pattern, weight) in enumerate(_HANDWRITTEN)
+    ]
+    if len(templates) != 8:
+        raise AssertionError(
+            f"Proxifier bank has {len(templates)} templates, expected 8"
+        )
+    return templates
+
+
+PROXIFIER_BANK = TemplateBank(
+    name="Proxifier", templates=tuple(_build_templates())
+)
+
+PROXIFIER_SPEC = DatasetSpec(
+    name="Proxifier",
+    description="Proxy client (standalone desktop software)",
+    bank=PROXIFIER_BANK,
+    reference_size=10_108,
+    paper_events=8,
+    paper_length_range=(10, 27),
+)

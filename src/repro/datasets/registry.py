@@ -1,0 +1,37 @@
+"""Name-based lookup for the five dataset specs (Table I)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.common.errors import DatasetError
+from repro.datasets.base import DatasetSpec
+from repro.datasets.bgl import BGL_SPEC
+from repro.datasets.hdfs import HDFS_SPEC
+from repro.datasets.hpc import HPC_SPEC
+from repro.datasets.proxifier import PROXIFIER_SPEC
+from repro.datasets.zookeeper import ZOOKEEPER_SPEC
+
+_SPECS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (BGL_SPEC, HPC_SPEC, PROXIFIER_SPEC, HDFS_SPEC, ZOOKEEPER_SPEC)
+}
+
+#: Dataset names in the paper's Table I order.
+DATASET_NAMES = ["BGL", "HPC", "Proxifier", "HDFS", "Zookeeper"]
+
+
+def get_dataset_spec(name: str) -> DatasetSpec:
+    """Look up a dataset spec by (case-insensitive) name."""
+    for spec_name, spec in _SPECS.items():
+        if spec_name.lower() == name.lower():
+            return spec
+    raise DatasetError(
+        f"unknown dataset {name!r}; choose from {DATASET_NAMES}"
+    )
+
+
+def iter_dataset_specs() -> Iterator[DatasetSpec]:
+    """Iterate over all five dataset specs in Table I order."""
+    for name in DATASET_NAMES:
+        yield _SPECS[name]

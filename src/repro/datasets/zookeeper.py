@@ -1,0 +1,130 @@
+"""Zookeeper dataset: an 80-event bank modeled on ZooKeeper server logs.
+
+The paper's Zookeeper data came from a 32-node lab cluster (74,380
+messages, 80 event types, 8–27 tokens).  The bank covers the message
+families a ZooKeeper ensemble actually emits: client connection
+lifecycle (NIOServerCnxn), session tracking, leader election
+(FastLeaderElection), quorum peer state, proposal/commit traffic,
+snapshot and log persistence, and follower/learner handling.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import DatasetSpec, Template, TemplateBank
+
+_HANDWRITTEN = [
+    # Client connections.
+    ("Accepted socket connection from /<ip>:<port>", 30),
+    ("Closed socket connection for client /<ip>:<port> which had sessionid <session>", 25),
+    ("Closed socket connection for client /<ip>:<port> (no session established for client)", 8),
+    ("Client attempting to establish new session at /<ip>:<port>", 20),
+    ("Client attempting to renew session <session> at /<ip>:<port>", 10),
+    ("Established session <session> with negotiated timeout <num> for client /<ip>:<port>", 20),
+    ("Invalid session <session> for client /<ip>:<port> probably expired", 4),
+    ("caught end of stream exception EndOfStreamException: Unable to read additional data from client sessionid <session> likely client has closed socket", 8),
+    ("Exception causing close of session <session> due to java.io.IOException: Connection reset by peer", 4),
+    ("Connection broken for id <num> my id = <num> error =", 4),
+    ("Connection request from old client /<ip>:<port> will be dropped if server is in r-o mode", 2),
+    ("Refusing session request for client /<ip>:<port> as it has seen zxid <hex> our last zxid is <hex> client must try another server", 2),
+    # Session tracker.
+    ("Expiring session <session> timeout of <num>ms exceeded", 10),
+    ("Processed session termination for sessionid: <session>", 10),
+    ("Creating new session <session> with timeout <num>", 6),
+    ("Session <session> closed by client", 4),
+    # Quorum / election.
+    ("New election. My id = <num> proposed zxid=<hex>", 4),
+    ("Notification: <num> (n.leader) <hex> (n.zxid) <num> (n.round) LOOKING (n.state) <num> (n.sid) <hex> (n.peerEPoch) LOOKING (my state)", 6),
+    ("Notification: <num> (n.leader) <hex> (n.zxid) <num> (n.round) FOLLOWING (n.state) <num> (n.sid) <hex> (n.peerEPoch) LOOKING (my state)", 4),
+    ("Notification: <num> (n.leader) <hex> (n.zxid) <num> (n.round) LEADING (n.state) <num> (n.sid) <hex> (n.peerEPoch) LOOKING (my state)", 4),
+    ("Notification time out: <num>", 4),
+    ("FOLLOWING - LEADER ELECTION TOOK - <num>", 2),
+    ("LEADING - LEADER ELECTION TOOK - <num>", 1),
+    ("My election bind port: /<ip>:<port>", 2),
+    ("LOOKING", 3),
+    ("FOLLOWING", 3),
+    ("LEADING", 1),
+    ("shutdown of request processor complete", 3),
+    ("Shutting down", 3),
+    ("Shutdown called java.lang.Exception: shutdown Follower", 2),
+    ("Shutdown called java.lang.Exception: shutdown Leader! reason: Not sufficient followers synced, only synced with sids: [ <num> ]", 1),
+    # Leader/follower traffic.
+    ("Follower sid: <num> : info : org.apache.zookeeper.server.quorum.QuorumPeer$QuorumServer@<hex>", 3),
+    ("Synchronizing with Follower sid: <num> maxCommittedLog=<hex> minCommittedLog=<hex> peerLastZxid=<hex>", 3),
+    ("Sending DIFF zxid=<hex> for peer sid: <num>", 3),
+    ("Sending SNAP zxid=<hex> to sid: <num>", 2),
+    ("Sending TRUNC zxid=<hex> to sid: <num>", 1),
+    ("Received NEWLEADER-ACK message from <num>", 3),
+    ("Have quorum of supporters; starting up and setting last processed zxid: <hex>", 2),
+    ("Getting a diff from the leader <hex>", 3),
+    ("Getting a snapshot from leader", 2),
+    ("Snapshotting: <hex> to <path>", 6),
+    ("Reading snapshot <path>", 4),
+    ("Setting leader epoch <num>", 2),
+    ("Updating epoch to <num> from <path>", 2),
+    ("Follower <num> is ahead of the leader zxid <hex>", 1),
+    ("ACK of proposal <hex> from sid <num> received after timeout", 1),
+    # Request processing.
+    ("Got user-level KeeperException when processing sessionid:<session> type:create cxid:<hex> zxid:<hex> txntype:-1 reqpath:n/a Error Path:<path> Error:KeeperErrorCode = NodeExists for <path>", 8),
+    ("Got user-level KeeperException when processing sessionid:<session> type:delete cxid:<hex> zxid:<hex> txntype:-1 reqpath:n/a Error Path:<path> Error:KeeperErrorCode = NoNode for <path>", 6),
+    ("Got user-level KeeperException when processing sessionid:<session> type:setData cxid:<hex> zxid:<hex> txntype:-1 reqpath:n/a Error Path:<path> Error:KeeperErrorCode = BadVersion for <path>", 4),
+    ("Submitting global closeSession request for session <session>", 4),
+    ("Dropping request: <num>", 2),
+    ("Pending syncs: <num>", 2),
+    # Persistence.
+    ("Creating new log file: log.<hex>", 8),
+    ("Too busy to snap, skipping", 2),
+    ("fsync-ing the write ahead log in SyncThread:<snum> took <num>ms which will adversely effect operation latency. See the ZooKeeper troubleshooting guide", 4),
+    ("Purging snapshots older than <num> hours", 1),
+    ("Removing file: <path>", 2),
+    # Server lifecycle / config.
+    ("Server environment: zookeeper.version = <num>.<num>.<num>-<num> built on <num>/<num>/<num> <time> GMT", 2),
+    ("Server environment: host.name = <host>", 2),
+    ("Server environment: java.version = 1.<snum>.0_<num>", 2),
+    ("Server environment: os.version = <num>.<num>.<num>-<num>-generic", 2),
+    ("Reading configuration from: <path>", 2),
+    ("Defaulting to majority quorums", 1),
+    ("tickTime set to <num>", 1),
+    ("minSessionTimeout set to <num>", 1),
+    ("maxSessionTimeout set to <num>", 1),
+    ("Starting quorum peer", 1),
+    ("binding to port /<ip>:<port>", 2),
+    ("Established connection with leader /<ip>:<port>", 2),
+    ("Resolved hostname: <host> to address: /<ip>", 2),
+    ("Cannot open channel to <num> at election address /<ip>:<port> java.net.ConnectException: Connection refused", 4),
+    ("Interrupted while waiting for message on queue java.lang.InterruptedException", 1),
+    ("Interrupting SendWorker", 2),
+    ("Send worker leaving thread", 2),
+    ("Received connection request /<ip>:<port>", 3),
+    ("First is <num>", 1),
+    ("<num> followers need to sync with leader", 1),
+    ("Processing ruok command from /<ip>:<port>", 2),
+    ("Processing stat command from /<ip>:<port>", 2),
+    ("Processing srvr command from /<ip>:<port>", 1),
+]
+
+
+def _build_templates() -> list[Template]:
+    templates: list[Template] = []
+    for pattern, weight in _HANDWRITTEN:
+        templates.append(
+            Template(f"ZK{len(templates) + 1}", pattern, weight=weight)
+        )
+    if len(templates) != 80:
+        raise AssertionError(
+            f"Zookeeper bank has {len(templates)} templates, expected 80"
+        )
+    return templates
+
+
+ZOOKEEPER_BANK = TemplateBank(
+    name="Zookeeper", templates=tuple(_build_templates())
+)
+
+ZOOKEEPER_SPEC = DatasetSpec(
+    name="Zookeeper",
+    description="Distributed system coordinator (32-node lab cluster)",
+    bank=ZOOKEEPER_BANK,
+    reference_size=74_380,
+    paper_events=80,
+    paper_length_range=(8, 27),
+)

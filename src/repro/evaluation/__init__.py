@@ -1,0 +1,64 @@
+"""Evaluation harnesses for the paper's three research questions.
+
+* RQ1 accuracy — :mod:`repro.evaluation.fmeasure` (the metric) and
+  :mod:`repro.evaluation.accuracy` (the Table II / Fig. 3 harness).
+* RQ2 efficiency — :mod:`repro.evaluation.efficiency` (Fig. 2).
+* RQ3 mining impact — :mod:`repro.evaluation.mining_impact` (Table III).
+"""
+
+from repro.evaluation.fmeasure import (
+    ClusterAgreement,
+    f_measure,
+    pairwise_agreement,
+)
+from repro.evaluation.accuracy import (
+    AccuracyResult,
+    evaluate_accuracy,
+    tuned_parser_factory,
+    TUNED_PARAMETERS,
+)
+from repro.evaluation.efficiency import EfficiencyPoint, measure_runtime
+from repro.evaluation.mining_impact import (
+    MiningImpactRow,
+    evaluate_mining_impact,
+    corrupt_assignments,
+    table3_parser_factory,
+    TABLE3_CONFIGS,
+)
+from repro.evaluation.metrics import (
+    cluster_count_ratio,
+    per_event_recall,
+    purity,
+    rand_index,
+)
+from repro.evaluation.reports import (
+    render_table1,
+    render_table2,
+    render_table3,
+    render_series,
+)
+
+__all__ = [
+    "ClusterAgreement",
+    "f_measure",
+    "pairwise_agreement",
+    "AccuracyResult",
+    "evaluate_accuracy",
+    "tuned_parser_factory",
+    "TUNED_PARAMETERS",
+    "EfficiencyPoint",
+    "measure_runtime",
+    "MiningImpactRow",
+    "evaluate_mining_impact",
+    "corrupt_assignments",
+    "table3_parser_factory",
+    "TABLE3_CONFIGS",
+    "cluster_count_ratio",
+    "per_event_recall",
+    "purity",
+    "rand_index",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_series",
+]

@@ -1,0 +1,148 @@
+"""RQ1 harness: parsing accuracy on 2k samples (Table II, Fig. 3).
+
+Following §IV-B, each parser runs on a random 2k-message sample of each
+dataset (LKE and LogSig cannot parse the full datasets in reasonable
+time); the randomized parsers (LKE, LogSig) are averaged over several
+runs.  Parameters are tuned per dataset — :data:`TUNED_PARAMETERS`
+plays the role of the paper's "parameters are re-tuned to provide good
+Parsing Accuracy" step, and Fig. 3 reuses exactly these 2k-tuned values
+at other sizes to expose parameter-transfer fragility (Finding 4).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from repro.common.errors import EvaluationError
+from repro.datasets import generate_dataset, get_dataset_spec, sample_records
+from repro.evaluation.fmeasure import f_measure, singletonize_outliers
+from repro.parsers import LogParser, default_preprocessor, make_parser
+
+#: Per-(parser, dataset) parameters tuned on the 2k samples, mirroring
+#: the paper's methodology.  LogSig's ``groups`` is set to the dataset's
+#: true event count (the paper tunes "the number of clusters of LogSig
+#: [which] decides the number of events").
+TUNED_PARAMETERS: dict[tuple[str, str], dict] = {
+    ("SLCT", "BGL"): {"support": 0.005},
+    ("SLCT", "HPC"): {"support": 0.015},
+    ("SLCT", "HDFS"): {"support": 0.03},
+    ("SLCT", "Zookeeper"): {"support": 0.005},
+    ("SLCT", "Proxifier"): {"support": 0.01},
+    ("IPLoM", "BGL"): {},
+    ("IPLoM", "HPC"): {},
+    ("IPLoM", "HDFS"): {},
+    ("IPLoM", "Zookeeper"): {},
+    ("IPLoM", "Proxifier"): {},
+    ("LKE", "BGL"): {"split_threshold": 10},
+    ("LKE", "HPC"): {"split_threshold": 6},
+    ("LKE", "HDFS"): {"split_threshold": 20},
+    ("LKE", "Zookeeper"): {"split_threshold": 20},
+    ("LKE", "Proxifier"): {"split_threshold": 8},
+    ("LogSig", "BGL"): {"groups": 376},
+    ("LogSig", "HPC"): {"groups": 105},
+    ("LogSig", "HDFS"): {"groups": 29},
+    ("LogSig", "Zookeeper"): {"groups": 80},
+    ("LogSig", "Proxifier"): {"groups": 8},
+}
+
+#: Parsers whose clustering is randomized and therefore averaged over
+#: several runs in the paper.
+RANDOMIZED_PARSERS = {"LKE", "LogSig"}
+
+
+def tuned_parser_factory(
+    parser_name: str,
+    dataset_name: str,
+    preprocess: bool = False,
+    seed: int | None = None,
+) -> LogParser:
+    """Build *parser_name* with the 2k-tuned parameters for *dataset_name*.
+
+    ``preprocess=True`` attaches the paper's domain-knowledge rules for
+    the dataset (Finding 2); for Proxifier there are none, matching the
+    '-' cells of Table II.
+    """
+    key = (parser_name, get_dataset_spec(dataset_name).name)
+    if key not in TUNED_PARAMETERS:
+        raise EvaluationError(
+            f"no tuned parameters for parser {parser_name!r} on dataset "
+            f"{dataset_name!r}"
+        )
+    params = dict(TUNED_PARAMETERS[key])
+    if parser_name in RANDOMIZED_PARSERS:
+        params["seed"] = seed
+    preprocessor = (
+        default_preprocessor(dataset_name) if preprocess else None
+    )
+    return make_parser(parser_name, preprocessor=preprocessor, **params)
+
+
+@dataclass
+class AccuracyResult:
+    """Accuracy of one parser on one dataset (averaged over runs)."""
+
+    parser: str
+    dataset: str
+    preprocessed: bool
+    sample_size: int
+    runs: list[float] = field(default_factory=list)
+
+    @property
+    def mean_f_measure(self) -> float:
+        return statistics.fmean(self.runs)
+
+    @property
+    def stdev_f_measure(self) -> float:
+        if len(self.runs) < 2:
+            return 0.0
+        return statistics.stdev(self.runs)
+
+
+def evaluate_accuracy(
+    parser_name: str,
+    dataset_name: str,
+    sample_size: int = 2000,
+    preprocess: bool = False,
+    runs: int | None = None,
+    seed: int | None = None,
+    dataset_size: int | None = None,
+) -> AccuracyResult:
+    """F-measure of one parser on a sampled slice of one dataset.
+
+    The dataset is generated at ``dataset_size`` (default: large enough
+    to sample from), then ``sample_size`` messages are sampled as in the
+    paper.  Randomized parsers default to 10 runs with distinct seeds
+    (§IV-A); deterministic ones to a single run.
+    """
+    spec = get_dataset_spec(dataset_name)
+    if runs is None:
+        runs = 10 if parser_name in RANDOMIZED_PARSERS else 1
+    if runs < 1:
+        raise EvaluationError(f"runs must be >= 1, got {runs}")
+    generated = generate_dataset(
+        spec,
+        dataset_size if dataset_size is not None else max(sample_size * 3, 4000),
+        seed=seed,
+    )
+    sampled = sample_records(generated.records, sample_size, seed=seed)
+    truth = [record.truth_event or "" for record in sampled]
+
+    result = AccuracyResult(
+        parser=parser_name,
+        dataset=spec.name,
+        preprocessed=preprocess,
+        sample_size=len(sampled),
+    )
+    for run in range(runs):
+        parser = tuned_parser_factory(
+            parser_name,
+            dataset_name,
+            preprocess=preprocess,
+            seed=(seed or 0) * 1000 + run,
+        )
+        parsed = parser.parse(sampled)
+        result.runs.append(
+            f_measure(singletonize_outliers(parsed.assignments), truth)
+        )
+    return result

@@ -1,0 +1,74 @@
+"""RQ2 harness: running time vs. log volume (Fig. 2) with timeouts.
+
+The paper varies the number of raw log messages per dataset (e.g. BGL
+from 400 to 4M lines) and plots each parser's wall-clock running time
+on a log-log scale.  LKE points beyond its feasible range are simply
+absent from Fig. 2 ("LKE could not parse some scales in a reasonable
+time"); :func:`measure_runtime` reproduces that with a soft time budget:
+when a measurement exceeds it, larger sizes for the same parser are
+reported as skipped rather than run for hours.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from collections.abc import Callable, Sequence
+
+from repro.common.errors import EvaluationError
+from repro.common.types import LogRecord
+from repro.datasets import generate_dataset, get_dataset_spec
+from repro.parsers import LogParser
+
+
+@dataclass(frozen=True)
+class EfficiencyPoint:
+    """One point of a Fig. 2 running-time series."""
+
+    parser: str
+    dataset: str
+    size: int
+    seconds: float | None  # None = skipped (over the time budget)
+
+    @property
+    def skipped(self) -> bool:
+        return self.seconds is None
+
+
+def measure_runtime(
+    parser_factory: Callable[[], LogParser],
+    dataset_name: str,
+    sizes: Sequence[int],
+    seed: int | None = None,
+    time_budget: float | None = None,
+) -> list[EfficiencyPoint]:
+    """Measure one parser's running time at each size of one dataset.
+
+    Sizes must be increasing.  After the first measurement exceeding
+    *time_budget* seconds, all larger sizes are reported as skipped —
+    mirroring the missing LKE points of Fig. 2.
+    """
+    if list(sizes) != sorted(sizes):
+        raise EvaluationError("sizes must be increasing")
+    spec = get_dataset_spec(dataset_name)
+    largest = generate_dataset(spec, max(sizes), seed=seed)
+    points: list[EfficiencyPoint] = []
+    over_budget = False
+    parser_name = parser_factory().name
+    for size in sizes:
+        if over_budget:
+            points.append(
+                EfficiencyPoint(parser_name, spec.name, size, None)
+            )
+            continue
+        records: list[LogRecord] = largest.records[:size]
+        parser = parser_factory()
+        started = time.perf_counter()
+        parser.parse(records)
+        elapsed = time.perf_counter() - started
+        points.append(
+            EfficiencyPoint(parser_name, spec.name, size, elapsed)
+        )
+        if time_budget is not None and elapsed > time_budget:
+            over_budget = True
+    return points

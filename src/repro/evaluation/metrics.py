@@ -1,0 +1,126 @@
+"""Alternative clustering-agreement metrics.
+
+Finding 6 ends with the observation that the F-measure, "despite
+pervasively used in clustering algorithm evaluation, may not be
+suitable to evaluate the effectiveness of log parsing methods on log
+mining" — two parses with near-identical F-measures can differ by an
+order of magnitude downstream.  This module provides the standard
+alternatives so that studies built on this package can report more than
+one view of parsing accuracy:
+
+* :func:`rand_index` — fraction of line pairs on which the two
+  clusterings agree (both together or both apart);
+* :func:`purity` — fraction of lines whose cluster's majority truth
+  event matches their own;
+* :func:`cluster_count_ratio` — predicted/true event-type counts, a
+  cheap fragmentation/merging indicator;
+* :func:`per_event_recall` — recall restricted to one truth event,
+  the right tool for quantifying damage to *critical* events.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+
+from repro.common.errors import EvaluationError
+from repro.evaluation.fmeasure import pairwise_agreement
+
+
+def _check_aligned(predicted: Sequence[str], truth: Sequence[str]) -> None:
+    if len(predicted) != len(truth):
+        raise EvaluationError(
+            f"labelings differ in length: {len(predicted)} vs {len(truth)}"
+        )
+
+
+def rand_index(predicted: Sequence[str], truth: Sequence[str]) -> float:
+    """Rand index: pairwise agreement including true negatives.
+
+    Unlike the F-measure it rewards keeping different events apart, so
+    it is less forgiving of wholesale merging.  Returns 1.0 for
+    fewer than two lines (no pairs to disagree on).
+    """
+    _check_aligned(predicted, truth)
+    n = len(predicted)
+    total_pairs = n * (n - 1) // 2
+    if total_pairs == 0:
+        return 1.0
+    agreement = pairwise_agreement(predicted, truth)
+    true_positives = agreement.true_positives
+    false_positives = agreement.predicted_pairs - true_positives
+    false_negatives = agreement.truth_pairs - true_positives
+    true_negatives = (
+        total_pairs - true_positives - false_positives - false_negatives
+    )
+    return (true_positives + true_negatives) / total_pairs
+
+
+def purity(predicted: Sequence[str], truth: Sequence[str]) -> float:
+    """Purity: each predicted cluster votes its majority truth event.
+
+    High purity with many clusters signals fragmentation; purity is
+    insensitive to splitting, which makes it a useful complement to
+    recall-oriented metrics.
+    """
+    _check_aligned(predicted, truth)
+    if not predicted:
+        return 1.0
+    clusters: dict[str, Counter] = {}
+    for predicted_label, truth_label in zip(predicted, truth):
+        clusters.setdefault(predicted_label, Counter())[truth_label] += 1
+    majority_total = sum(
+        votes.most_common(1)[0][1] for votes in clusters.values()
+    )
+    return majority_total / len(predicted)
+
+
+def cluster_count_ratio(
+    predicted: Sequence[str], truth: Sequence[str]
+) -> float:
+    """Predicted-to-true event-type count ratio.
+
+    1.0 means the parse found exactly as many event types as the ground
+    truth; >1 indicates fragmentation, <1 merging.
+    """
+    _check_aligned(predicted, truth)
+    if not predicted:
+        raise EvaluationError("cannot compute a ratio on empty labelings")
+    return len(set(predicted)) / len(set(truth))
+
+
+def per_event_recall(
+    predicted: Sequence[str],
+    truth: Sequence[str],
+    event: str,
+) -> float:
+    """Pair recall restricted to one truth event.
+
+    The fraction of same-event pairs *of that event* the parse kept
+    together — the direct measurement of Finding 6's "errors on
+    critical events".  Returns 1.0 when the event has fewer than two
+    lines (no pairs to lose).
+    """
+    _check_aligned(predicted, truth)
+    lines = [i for i, label in enumerate(truth) if label == event]
+    if not lines:
+        raise EvaluationError(f"event {event!r} does not occur in truth")
+    total_pairs = len(lines) * (len(lines) - 1) // 2
+    if total_pairs == 0:
+        return 1.0
+    sizes = Counter(predicted[i] for i in lines)
+    kept = sum(count * (count - 1) // 2 for count in sizes.values())
+    return kept / total_pairs
+
+
+def summary(predicted: Sequence[str], truth: Sequence[str]) -> dict:
+    """All scalar metrics in one dictionary (for reports and tests)."""
+    agreement = pairwise_agreement(predicted, truth)
+    return {
+        "f_measure": agreement.f_measure,
+        "precision": agreement.precision,
+        "recall": agreement.recall,
+        "rand_index": rand_index(predicted, truth),
+        "purity": purity(predicted, truth),
+        "cluster_count_ratio": cluster_count_ratio(predicted, truth),
+    }

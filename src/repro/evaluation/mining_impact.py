@@ -1,0 +1,195 @@
+"""RQ3 harness: parser choice vs. anomaly-detection quality (Table III).
+
+Runs the PCA anomaly-detection pipeline over an HDFS session dataset
+once per parser and reports the paper's three columns — Reported
+Anomaly, Detected Anomaly (true positives), False Alarm — next to each
+parser's parsing accuracy, plus the Ground-truth row.
+
+Also provides :func:`corrupt_assignments`, the controlled-error
+injector behind the Finding 6 ablation: corrupting a small share of
+*critical* (anomaly-signalling) events degrades mining by an order of
+magnitude more than corrupting the same share of background events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.common.errors import EvaluationError
+from repro.common.rng import spawn
+from repro.common.types import ParseResult
+from repro.datasets.hdfs import HdfsSessionDataset
+from repro.evaluation.fmeasure import f_measure, singletonize_outliers
+from repro.mining.anomaly import detect_anomalies
+from repro.parsers import LogParser, default_preprocessor, make_parser
+
+#: Parser configurations re-tuned for the anomaly-detection experiment,
+#: mirroring §IV-D: "The parameters of SLCT and LogSig are re-tuned to
+#: provide good Parsing Accuracy."  IPLoM runs with the paper's
+#: preprocessing (block ids + IPs), which its four-step process needs to
+#: keep the ip-prefixed transfer events whole; LKE is excluded exactly
+#: as in the paper (it cannot parse this volume in reasonable time).
+TABLE3_CONFIGS: dict[str, dict] = {
+    "SLCT": {"support": 0.0006},
+    "LogSig": {"groups": 29},
+    "IPLoM": {"preprocess": True},
+    "GroundTruth": {},
+}
+
+
+def table3_parser_factory(
+    parser_name: str, seed: int | None = None
+) -> LogParser:
+    """Build a parser configured as in the Table III experiment."""
+    if parser_name not in TABLE3_CONFIGS:
+        raise EvaluationError(
+            f"no Table III configuration for parser {parser_name!r}; "
+            f"choose from {sorted(TABLE3_CONFIGS)}"
+        )
+    params = dict(TABLE3_CONFIGS[parser_name])
+    preprocessor = (
+        default_preprocessor("HDFS") if params.pop("preprocess", False) else None
+    )
+    if parser_name in {"LogSig", "LKE"}:
+        params["seed"] = seed
+    if parser_name == "GroundTruth":
+        return make_parser(parser_name)
+    return make_parser(parser_name, preprocessor=preprocessor, **params)
+
+
+@dataclass(frozen=True)
+class MiningImpactRow:
+    """One Table III row: a parser's downstream detection quality."""
+
+    parser: str
+    parsing_accuracy: float
+    reported: int
+    detected: int
+    false_alarms: int
+    true_anomalies: int
+
+    @property
+    def detection_rate(self) -> float:
+        if self.true_anomalies == 0:
+            return 0.0
+        return self.detected / self.true_anomalies
+
+    @property
+    def false_alarm_rate(self) -> float:
+        """False alarms relative to reported anomalies (paper's %)."""
+        if self.reported == 0:
+            return 0.0
+        return self.false_alarms / self.reported
+
+
+def score_detection(
+    flagged: frozenset[str],
+    labels: dict[str, bool],
+) -> tuple[int, int, int]:
+    """(reported, detected, false alarms) of a flag set against labels."""
+    unknown = flagged - labels.keys()
+    if unknown:
+        raise EvaluationError(
+            f"flagged sessions missing from labels: {sorted(unknown)[:3]}"
+        )
+    reported = len(flagged)
+    detected = sum(1 for session in flagged if labels[session])
+    return reported, detected, reported - detected
+
+
+def evaluate_mining_impact(
+    parser: LogParser,
+    dataset: HdfsSessionDataset,
+    alpha: float = 0.001,
+) -> MiningImpactRow:
+    """Parse *dataset* with *parser* and score PCA anomaly detection."""
+    parsed = parser.parse(dataset.records)
+    return impact_from_parse(parser.name, parsed, dataset, alpha=alpha)
+
+
+def impact_from_parse(
+    parser_name: str,
+    parsed: ParseResult,
+    dataset: HdfsSessionDataset,
+    alpha: float = 0.001,
+) -> MiningImpactRow:
+    """Score an existing parse result (used by the corruption ablation)."""
+    truth = dataset.truth_assignments()
+    accuracy = f_measure(singletonize_outliers(parsed.assignments), truth)
+    detection = detect_anomalies(parsed, alpha=alpha)
+    reported, detected, false_alarms = score_detection(
+        detection.flagged_sessions, dataset.labels
+    )
+    return MiningImpactRow(
+        parser=parser_name,
+        parsing_accuracy=accuracy,
+        reported=reported,
+        detected=detected,
+        false_alarms=false_alarms,
+        true_anomalies=len(dataset.anomaly_blocks),
+    )
+
+
+def corrupt_assignments(
+    parsed: ParseResult,
+    error_rate: float,
+    target_events: Sequence[str],
+    seed: int | None = None,
+    mode: str = "fragment",
+) -> ParseResult:
+    """Inject parse errors into lines of the given event types.
+
+    A fraction *error_rate* of the lines currently assigned to any of
+    *target_events* is reassigned as if the parser had mis-clustered
+    them.  Two error shapes exist in real parsers and behave very
+    differently downstream:
+
+    * ``mode="fragment"`` — each corrupted line becomes its own bogus
+      singleton event (what SLCT/IPLoM do when a frequent parameter
+      value or a 1-1 mapping splits an event).  Fragmentation creates
+      near-unique high-IDF matrix columns that PCA cannot absorb, so a
+      small error rate on the right events wrecks mining (Finding 6).
+    * ``mode="merge"`` — all corrupted lines share one bogus event
+      (what outlier bucketing does).  Merging is a systematic error the
+      PCA model largely adapts to.
+
+    Everything else is untouched.
+    """
+    if not 0.0 <= error_rate <= 1.0:
+        raise EvaluationError(
+            f"error_rate must be in [0,1], got {error_rate}"
+        )
+    if mode not in {"fragment", "merge"}:
+        raise EvaluationError(
+            f"mode must be 'fragment' or 'merge', got {mode!r}"
+        )
+    targets = set(target_events)
+    missing = targets - {event.event_id for event in parsed.events}
+    if missing:
+        raise EvaluationError(
+            f"target events not in parse result: {sorted(missing)}"
+        )
+    rng = spawn(seed, f"corrupt:{error_rate}:{sorted(targets)}:{mode}")
+    candidate_lines = [
+        index
+        for index, event_id in enumerate(parsed.assignments)
+        if event_id in targets
+    ]
+    n_corrupt = round(error_rate * len(candidate_lines))
+    corrupted_lines = set(
+        rng.sample(candidate_lines, n_corrupt) if n_corrupt else []
+    )
+    assignments = []
+    for index, event_id in enumerate(parsed.assignments):
+        if index not in corrupted_lines:
+            assignments.append(event_id)
+        elif mode == "merge":
+            assignments.append("E_PARSE_ERROR")
+        else:
+            assignments.append(f"E_PARSE_ERROR#{index}")
+    return ParseResult(
+        events=list(parsed.events),
+        assignments=assignments,
+        records=list(parsed.records),
+    )

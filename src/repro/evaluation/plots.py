@@ -1,0 +1,114 @@
+"""ASCII plots for the paper's figures.
+
+The benchmark harness prints tables; for Figs. 2 and 3 a picture is
+genuinely clearer, so this module renders terminal scatter/line plots —
+log-log for running time (Fig. 2's scale) and linear-y for accuracy
+(Fig. 3).  Pure text, no plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+from repro.common.errors import EvaluationError
+
+#: Marker characters assigned to series in order.
+MARKERS = "ox+*#@%&"
+
+
+def _log_positions(values: Sequence[float], width: int) -> list[int]:
+    low = math.log10(min(values))
+    high = math.log10(max(values))
+    span = high - low or 1.0
+    return [
+        round((math.log10(value) - low) / span * (width - 1))
+        for value in values
+    ]
+
+
+def _linear_positions(
+    values: Sequence[float], low: float, high: float, height: int
+) -> list[int]:
+    span = high - low or 1.0
+    return [
+        round((value - low) / span * (height - 1)) for value in values
+    ]
+
+
+def ascii_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    log_x: bool = True,
+    log_y: bool = True,
+    title: str = "",
+) -> str:
+    """Render named (x, y) series as a text plot with a legend.
+
+    Points with non-positive coordinates are invalid on log scales and
+    rejected; series may have different x grids.
+    """
+    points = [
+        (name, x, y)
+        for name, pairs in series.items()
+        for x, y in pairs
+    ]
+    if not points:
+        raise EvaluationError("nothing to plot")
+    xs = [x for _n, x, _y in points]
+    ys = [y for _n, _x, y in points]
+    if log_x and min(xs) <= 0:
+        raise EvaluationError("log-x plot requires positive x values")
+    if log_y and min(ys) <= 0:
+        raise EvaluationError("log-y plot requires positive y values")
+
+    if log_x:
+        columns = dict(zip(points, _log_positions(xs, width)))
+    else:
+        columns = dict(
+            zip(points, _linear_positions(xs, min(xs), max(xs), width))
+        )
+    if log_y:
+        rows = dict(zip(points, _log_positions(ys, height)))
+    else:
+        rows = dict(
+            zip(points, _linear_positions(ys, min(ys), max(ys), height))
+        )
+
+    grid = [[" "] * width for _ in range(height)]
+    marker_of = {
+        name: MARKERS[index % len(MARKERS)]
+        for index, name in enumerate(series)
+    }
+    for point in points:
+        name, _x, _y = point
+        row = height - 1 - rows[point]
+        grid[row][columns[point]] = marker_of[name]
+
+    y_label_top = f"{max(ys):.3g}"
+    y_label_bottom = f"{min(ys):.3g}"
+    gutter = max(len(y_label_top), len(y_label_bottom))
+    lines = []
+    if title:
+        lines.append(title)
+    for index, row in enumerate(grid):
+        if index == 0:
+            label = y_label_top.rjust(gutter)
+        elif index == height - 1:
+            label = y_label_bottom.rjust(gutter)
+        else:
+            label = " " * gutter
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * gutter + " +" + "-" * width)
+    x_left = f"{min(xs):.3g}"
+    x_right = f"{max(xs):.3g}"
+    padding = width - len(x_left) - len(x_right)
+    lines.append(
+        " " * gutter + "  " + x_left + " " * max(padding, 1) + x_right
+    )
+    legend = "  ".join(
+        f"{marker_of[name]}={name}" for name in series
+    )
+    lines.append(legend)
+    return "\n".join(lines)

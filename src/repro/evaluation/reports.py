@@ -1,0 +1,105 @@
+"""ASCII renderers mirroring the paper's tables and figures.
+
+The benchmark harnesses print these so that a run's output can be read
+directly against the paper: Table I (dataset summary), Table II
+(accuracy raw/preprocessed), Table III (anomaly detection), and the
+running-time / accuracy-vs-size series of Figs. 2 and 3.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.common.textutil import format_table
+from repro.datasets.base import DatasetSpec
+from repro.evaluation.accuracy import AccuracyResult
+from repro.evaluation.efficiency import EfficiencyPoint
+from repro.evaluation.mining_impact import MiningImpactRow
+
+
+def render_table1(
+    rows: Sequence[tuple[DatasetSpec, int, tuple[int, int], int]],
+) -> str:
+    """Table I: (spec, #logs, observed length range, #observed events)."""
+    body = [
+        (
+            spec.name,
+            spec.description,
+            f"{n_logs:,}",
+            f"{length_range[0]}~{length_range[1]}",
+            n_events,
+        )
+        for spec, n_logs, length_range, n_events in rows
+    ]
+    return format_table(
+        ["System", "Description", "#Logs", "Length", "#Events"], body
+    )
+
+
+def render_table2(
+    results: Mapping[tuple[str, str], tuple[AccuracyResult, AccuracyResult | None]],
+    parsers: Sequence[str],
+    datasets: Sequence[str],
+) -> str:
+    """Table II: F-measure raw/preprocessed per parser and dataset.
+
+    *results* maps (parser, dataset) to (raw, preprocessed-or-None);
+    missing preprocessed runs render as '-', like Proxifier's column.
+    """
+    body = []
+    for parser in parsers:
+        row: list[object] = [parser]
+        for dataset in datasets:
+            raw, preprocessed = results[(parser, dataset)]
+            preprocessed_text = (
+                f"{preprocessed.mean_f_measure:.2f}"
+                if preprocessed is not None
+                else "-"
+            )
+            row.append(f"{raw.mean_f_measure:.2f}/{preprocessed_text}")
+        body.append(row)
+    return format_table(["Parser", *datasets], body)
+
+
+def render_table3(rows: Sequence[MiningImpactRow]) -> str:
+    """Table III: anomaly detection quality per parser."""
+    body = [
+        (
+            row.parser,
+            f"{row.parsing_accuracy:.2f}",
+            f"{row.reported:,}",
+            f"{row.detected:,} ({row.detection_rate:.0%})",
+            f"{row.false_alarms:,} ({row.false_alarm_rate:.1%})",
+        )
+        for row in rows
+    ]
+    return format_table(
+        [
+            "Parsing",
+            "Accuracy",
+            "Reported Anomaly",
+            "Detected Anomaly",
+            "False Alarm",
+        ],
+        body,
+    )
+
+
+def render_series(
+    title: str,
+    points: Sequence[EfficiencyPoint] | Sequence[tuple[int, float]],
+) -> str:
+    """One Fig. 2/3 series as '<size>: <value>' lines under a title."""
+    lines = [title]
+    for point in points:
+        if isinstance(point, EfficiencyPoint):
+            value = (
+                "skipped (over time budget)"
+                if point.skipped
+                else f"{point.seconds:.3f}s"
+            )
+            lines.append(f"  {point.size:>10,}: {value}")
+        else:
+            size, value = point
+            lines.append(f"  {size:>10,}: {value:.3f}")
+    return "\n".join(lines)

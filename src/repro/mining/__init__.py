@@ -1,0 +1,54 @@
+"""Log mining on top of parsed logs (§III of the paper).
+
+The primary reproduction target is Xu et al.'s PCA anomaly detection
+(:mod:`repro.mining.anomaly`), the paper's RQ3 case study.  The package
+also implements the two other mining tasks §III surveys — deployment
+verification by event-sequence comparison (Shang et al.) and
+Synoptic-style system-model construction (Beschastnikh et al.) — plus
+invariant mining (Lou et al.), all consuming the standard structured
+log output of the parsers.
+"""
+
+from repro.mining.event_matrix import EventCountMatrix, build_event_matrix
+from repro.mining.tfidf import tf_idf_transform
+from repro.mining.pca import PcaAnomalyModel, q_statistic_threshold
+from repro.mining.anomaly import AnomalyDetectionResult, detect_anomalies
+from repro.mining.verification import (
+    SequenceDelta,
+    compare_deployments,
+    event_sequences,
+)
+from repro.mining.model import SystemModel, build_system_model
+from repro.mining.synoptic import (
+    TemporalInvariant,
+    check_invariant,
+    mine_temporal_invariants,
+    refine_model,
+)
+from repro.mining.invariants import (
+    Invariant,
+    mine_invariants,
+    violating_sessions,
+)
+
+__all__ = [
+    "EventCountMatrix",
+    "build_event_matrix",
+    "tf_idf_transform",
+    "PcaAnomalyModel",
+    "q_statistic_threshold",
+    "AnomalyDetectionResult",
+    "detect_anomalies",
+    "SequenceDelta",
+    "compare_deployments",
+    "event_sequences",
+    "SystemModel",
+    "build_system_model",
+    "TemporalInvariant",
+    "check_invariant",
+    "mine_temporal_invariants",
+    "refine_model",
+    "Invariant",
+    "mine_invariants",
+    "violating_sessions",
+]

@@ -1,0 +1,66 @@
+"""End-to-end anomaly detection pipeline (§III-B).
+
+Chains the three steps the paper describes: log parsing (done by the
+caller — the whole point of RQ3 is swapping parsers), event count
+matrix generation, TF-IDF weighting, and PCA detection with the Q_α
+threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.types import ParseResult
+from repro.mining.event_matrix import EventCountMatrix, build_event_matrix
+from repro.mining.pca import DEFAULT_ALPHA, PcaAnomalyModel
+from repro.mining.tfidf import tf_idf_transform
+
+
+@dataclass(frozen=True)
+class AnomalyDetectionResult:
+    """Outcome of the PCA pipeline on one parsed log."""
+
+    flagged_sessions: frozenset[str]
+    spe: np.ndarray
+    threshold: float
+    matrix: EventCountMatrix
+    model: PcaAnomalyModel
+
+    @property
+    def n_flagged(self) -> int:
+        return len(self.flagged_sessions)
+
+
+def detect_anomalies(
+    result: ParseResult,
+    alpha: float = DEFAULT_ALPHA,
+    use_tf_idf: bool = True,
+    n_components: int | None = None,
+) -> AnomalyDetectionResult:
+    """Run matrix generation + TF-IDF + PCA on a parse result.
+
+    Returns the set of session ids whose SPE exceeds Q_α.  ``use_tf_idf``
+    exists for the ablation of the TF-IDF preprocessing step.
+    """
+    counts = build_event_matrix(result)
+    weighted = (
+        tf_idf_transform(counts.matrix) if use_tf_idf else counts.matrix
+    )
+    model = PcaAnomalyModel(alpha=alpha, n_components=n_components)
+    model.fit(weighted)
+    spe = model.spe(weighted)
+    flags = spe > model.threshold
+    flagged = frozenset(
+        session_id
+        for session_id, flagged_row in zip(counts.session_ids, flags)
+        if flagged_row
+    )
+    return AnomalyDetectionResult(
+        flagged_sessions=flagged,
+        spe=spe,
+        threshold=model.threshold,
+        matrix=counts,
+        model=model,
+    )

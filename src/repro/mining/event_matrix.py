@@ -1,0 +1,84 @@
+"""Event count matrix construction (§III-B step 2).
+
+Parsed results are grouped by session (the HDFS block id): each row of
+the matrix is one session, each column one event type, and cell
+``Y[i, j]`` counts how many times event ``j`` occurred in session ``i``.
+The matrix is built in one pass over the structured logs, exactly as
+the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import MiningError
+from repro.common.types import ParseResult
+
+
+@dataclass(frozen=True)
+class EventCountMatrix:
+    """A session-by-event count matrix with row/column identities."""
+
+    matrix: np.ndarray  # shape (n_sessions, n_events), float64
+    session_ids: tuple[str, ...]
+    event_ids: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        n_rows, n_cols = self.matrix.shape
+        if n_rows != len(self.session_ids):
+            raise MiningError(
+                f"matrix has {n_rows} rows but {len(self.session_ids)} "
+                f"session ids"
+            )
+        if n_cols != len(self.event_ids):
+            raise MiningError(
+                f"matrix has {n_cols} columns but {len(self.event_ids)} "
+                f"event ids"
+            )
+
+    @property
+    def n_sessions(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def n_events(self) -> int:
+        return self.matrix.shape[1]
+
+    def row(self, session_id: str) -> np.ndarray:
+        return self.matrix[self.session_ids.index(session_id)]
+
+
+def build_event_matrix(result: ParseResult) -> EventCountMatrix:
+    """Build the session-by-event count matrix from a parse result.
+
+    Sessions are identified by each record's ``session_id``; records
+    with an empty session id are skipped (they belong to no request).
+    Event columns cover every event id occurring in the assignments —
+    including the outlier pseudo-event if the parser produced one,
+    because misparsed lines land there and their effect on mining is
+    precisely what RQ3 measures.
+    """
+    session_index: dict[str, int] = {}
+    event_index: dict[str, int] = {}
+    triples: list[tuple[int, int]] = []
+    for structured in result.structured():
+        session_id = structured.record.session_id
+        if not session_id:
+            continue
+        row = session_index.setdefault(session_id, len(session_index))
+        column = event_index.setdefault(structured.event_id, len(event_index))
+        triples.append((row, column))
+    if not session_index:
+        raise MiningError(
+            "no records carry a session id; cannot build an event matrix"
+        )
+    matrix = np.zeros((len(session_index), len(event_index)), dtype=float)
+    for row, column in triples:
+        matrix[row, column] += 1.0
+    return EventCountMatrix(
+        matrix=matrix,
+        session_ids=tuple(session_index),
+        event_ids=tuple(event_index),
+    )

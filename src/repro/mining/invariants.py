@@ -1,0 +1,136 @@
+"""Invariant mining over structured logs (Lou et al., ATC 2010).
+
+Lou et al. detect system problems by mining linear invariants between
+event counts within a session — e.g. in HDFS, *"number of 'Receiving
+block' events equals number of 'PacketResponder terminating' events"*
+holds for every healthy block.  Sessions violating a mined invariant
+are anomalous.  This is the other classic parse-consuming miner cited
+by the paper (§VI, reference [25]); it exercises the structured-log
+output in a different way from PCA (pairwise count relations instead of
+subspace distance).
+
+Only the practically dominant invariant families are mined:
+
+* equality ``count(A) == count(B)``,
+* ordering ``count(A) >= count(B)``.
+
+An invariant is reported when it holds in at least ``min_support``
+sessions that contain either event and is violated by at most
+``tolerance`` of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.common.errors import MiningError
+from repro.mining.event_matrix import EventCountMatrix
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """One mined count relation between two event types."""
+
+    kind: str  # "eq" or "ge"
+    left: str
+    right: str
+    support: int  # sessions where the relation was checked
+    violations: int  # sessions violating it
+
+    def holds_for(self, left_count: float, right_count: float) -> bool:
+        if self.kind == "eq":
+            return left_count == right_count
+        return left_count >= right_count
+
+    def __str__(self) -> str:
+        symbol = "==" if self.kind == "eq" else ">="
+        return f"count({self.left}) {symbol} count({self.right})"
+
+
+def mine_invariants(
+    counts: EventCountMatrix,
+    min_support: int = 10,
+    tolerance: float = 0.02,
+) -> list[Invariant]:
+    """Mine equality/ordering count invariants from the matrix.
+
+    Args:
+        counts: the session-by-event count matrix.
+        min_support: minimum number of sessions containing either event
+            for the pair to be considered.
+        tolerance: maximum tolerated violation fraction (real logs are
+            noisy; Lou et al. also allow imperfect invariants).
+    """
+    if min_support < 1:
+        raise MiningError(f"min_support must be >= 1, got {min_support}")
+    if not 0.0 <= tolerance < 1.0:
+        raise MiningError(f"tolerance must be in [0,1), got {tolerance}")
+    matrix = counts.matrix
+    invariants: list[Invariant] = []
+    for i, j in combinations(range(counts.n_events), 2):
+        left_column = matrix[:, i]
+        right_column = matrix[:, j]
+        relevant = (left_column > 0) | (right_column > 0)
+        support = int(np.count_nonzero(relevant))
+        if support < min_support:
+            continue
+        left_values = left_column[relevant]
+        right_values = right_column[relevant]
+        eq_violations = int(np.count_nonzero(left_values != right_values))
+        if eq_violations <= tolerance * support:
+            invariants.append(
+                Invariant(
+                    kind="eq",
+                    left=counts.event_ids[i],
+                    right=counts.event_ids[j],
+                    support=support,
+                    violations=eq_violations,
+                )
+            )
+            continue  # equality implies both orderings; skip weaker forms
+        ge_violations = int(np.count_nonzero(left_values < right_values))
+        le_violations = int(np.count_nonzero(left_values > right_values))
+        if ge_violations <= tolerance * support:
+            invariants.append(
+                Invariant(
+                    kind="ge",
+                    left=counts.event_ids[i],
+                    right=counts.event_ids[j],
+                    support=support,
+                    violations=ge_violations,
+                )
+            )
+        elif le_violations <= tolerance * support:
+            invariants.append(
+                Invariant(
+                    kind="ge",
+                    left=counts.event_ids[j],
+                    right=counts.event_ids[i],
+                    support=support,
+                    violations=le_violations,
+                )
+            )
+    return invariants
+
+
+def violating_sessions(
+    counts: EventCountMatrix, invariants: list[Invariant]
+) -> dict[str, list[Invariant]]:
+    """Map each session id to the invariants it violates (if any)."""
+    column_index = {
+        event_id: position
+        for position, event_id in enumerate(counts.event_ids)
+    }
+    violations: dict[str, list[Invariant]] = {}
+    for row, session_id in enumerate(counts.session_ids):
+        for invariant in invariants:
+            left = counts.matrix[row, column_index[invariant.left]]
+            right = counts.matrix[row, column_index[invariant.right]]
+            if (left > 0 or right > 0) and not invariant.holds_for(
+                left, right
+            ):
+                violations.setdefault(session_id, []).append(invariant)
+    return violations

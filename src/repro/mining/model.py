@@ -1,0 +1,93 @@
+"""Synoptic-style system model construction (§III-A).
+
+Beschastnikh et al.'s Synoptic builds a finite-state-machine model of a
+system from its parsed log: states are log events, edges are observed
+"event A is immediately followed by event B within a session"
+transitions, plus synthetic INITIAL/TERMINAL states.  The paper points
+out that a bad parser changes both the states and the layout of the
+model; :func:`build_system_model` lets tests and examples quantify that
+by comparing models built from different parsers' outputs.
+
+The model here is the initial (unrefined) Synoptic graph with
+transition probabilities — sufficient to observe parser-induced model
+distortion, which is what the paper discusses.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.common.errors import MiningError
+from repro.common.types import ParseResult
+from repro.mining.verification import event_sequences
+
+#: Synthetic start/end states of every session walk.
+INITIAL = "__INITIAL__"
+TERMINAL = "__TERMINAL__"
+
+
+@dataclass
+class SystemModel:
+    """A probabilistic FSM mined from session event sequences."""
+
+    states: set[str] = field(default_factory=set)
+    #: (source, target) -> observation count.
+    transitions: Counter = field(default_factory=Counter)
+
+    @property
+    def n_states(self) -> int:
+        return len(self.states)
+
+    @property
+    def n_transitions(self) -> int:
+        return len(self.transitions)
+
+    def probability(self, source: str, target: str) -> float:
+        """Empirical probability of *target* following *source*."""
+        out_edges = [
+            (edge, count)
+            for edge, count in self.transitions.items()
+            if edge[0] == source
+        ]
+        total = sum(count for _edge, count in out_edges)
+        if total == 0:
+            return 0.0
+        return self.transitions[(source, target)] / total
+
+    def successors(self, source: str) -> dict[str, int]:
+        result: dict[str, int] = defaultdict(int)
+        for (edge_source, edge_target), count in self.transitions.items():
+            if edge_source == source:
+                result[edge_target] += count
+        return dict(result)
+
+    def edge_difference(self, other: "SystemModel") -> int:
+        """Number of edges present in exactly one of the two models."""
+        mine = set(self.transitions)
+        theirs = set(other.transitions)
+        return len(mine ^ theirs)
+
+
+def build_system_model(result: ParseResult) -> SystemModel:
+    """Mine the initial Synoptic FSM from a parse result's sessions.
+
+    Each session contributes the walk ``INITIAL → e_1 → … → e_n →
+    TERMINAL``.  Raises when the result contains no sessions, since a
+    model of nothing is meaningless.
+    """
+    sequences = event_sequences(result)
+    if not sequences:
+        raise MiningError(
+            "no sessions in parse result; cannot build a system model"
+        )
+    model = SystemModel()
+    model.states.update((INITIAL, TERMINAL))
+    for sequence in sequences.values():
+        previous = INITIAL
+        for event_id in sequence:
+            model.states.add(event_id)
+            model.transitions[(previous, event_id)] += 1
+            previous = event_id
+        model.transitions[(previous, TERMINAL)] += 1
+    return model

@@ -1,0 +1,37 @@
+"""TF-IDF weighting of the event count matrix (§III-B step 2).
+
+Xu et al. preprocess the event count matrix with TF-IDF before PCA:
+common event types, which occur in almost every session, are weighted
+down because they are unlikely to signal anomalies, while rare event
+types are weighted up.  The inverse document frequency of event ``j``
+is ``log(N / df_j)``, with ``df_j`` the number of sessions in which
+event ``j`` occurs at least once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import MiningError
+
+
+def tf_idf_transform(matrix: np.ndarray) -> np.ndarray:
+    """Apply TF-IDF weighting to a session-by-event count matrix.
+
+    Columns that occur in *every* session get weight ``log(1) = 0`` —
+    fully discounted, which is the desired behaviour for ubiquitous
+    events.  Columns that never occur keep zero weight as well (their
+    counts are all zero anyway).
+    """
+    if matrix.ndim != 2:
+        raise MiningError(
+            f"expected a 2-D count matrix, got shape {matrix.shape}"
+        )
+    n_sessions = matrix.shape[0]
+    if n_sessions == 0:
+        return matrix.astype(float).copy()
+    document_frequency = np.count_nonzero(matrix, axis=0).astype(float)
+    idf = np.zeros(matrix.shape[1])
+    occurring = document_frequency > 0
+    idf[occurring] = np.log(n_sessions / document_frequency[occurring])
+    return matrix.astype(float) * idf

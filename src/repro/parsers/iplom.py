@@ -1,0 +1,308 @@
+"""IPLoM — Iterative Partitioning Log Mining (Makanju et al., KDD 2009).
+
+IPLoM partitions the log through three heuristic steps, then derives one
+template per leaf partition:
+
+1. **Partition by event size** — lines are grouped by token count
+   (templates never change a message's length).
+2. **Partition by token position** — each partition is split on the
+   column with the fewest unique tokens (that column is most likely a
+   constant; splitting on it separates different event types that
+   happen to share a length).
+3. **Partition by search for mapping** — the two most informative
+   columns are chosen and the mapping relation between their unique
+   token sets (1-1, 1-M, M-1, M-M) drives a final split.  Whether the
+   "many" side of a 1-M/M-1 relation is a variable (split on the "1"
+   side) or a set of constants (split on the "many" side) is decided by
+   the lower/upper bound heuristic of the original paper.
+4. **Template generation** — in each leaf partition a column keeps its
+   token when all members agree, otherwise it becomes ``*``.
+
+Parameters mirror the original: cluster goodness threshold ``ct``,
+``lower_bound``/``upper_bound`` for the 1-M decision, and an optional
+partition support threshold ``pst`` that sends undersized partitions to
+the outlier cluster.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from repro.common.errors import ParserConfigurationError
+from repro.common.tokenize import WILDCARD
+from repro.parsers.base import Clustering, LogParser, OUTLIER
+
+
+class Iplom(LogParser):
+    """IPLoM with the original's four tunables.
+
+    Args:
+        ct: cluster goodness threshold in [0, 1]; partitions whose
+            fraction of constant columns exceeds it skip step 3.
+        lower_bound / upper_bound: thresholds of the 1-M "variable or
+            constants?" decision (0 < lower ≤ upper ≤ 1).
+        pst: partition support threshold in [0, 1); partitions holding
+            fewer than ``pst × n_lines`` lines after each step are sent
+            to the outlier cluster (0 disables, the original default).
+        preprocessor: optional domain-knowledge preprocessing.
+    """
+
+    name = "IPLoM"
+
+    def __init__(
+        self,
+        ct: float = 0.35,
+        lower_bound: float = 0.25,
+        upper_bound: float = 0.9,
+        pst: float = 0.0,
+        preprocessor=None,
+    ) -> None:
+        super().__init__(preprocessor=preprocessor)
+        if not 0.0 <= ct <= 1.0:
+            raise ParserConfigurationError(f"ct must be in [0,1], got {ct}")
+        if not 0.0 < lower_bound <= upper_bound <= 1.0:
+            raise ParserConfigurationError(
+                f"need 0 < lower_bound <= upper_bound <= 1, got "
+                f"{lower_bound}, {upper_bound}"
+            )
+        if not 0.0 <= pst < 1.0:
+            raise ParserConfigurationError(
+                f"pst must be in [0,1), got {pst}"
+            )
+        self.ct = ct
+        self.lower_bound = lower_bound
+        self.upper_bound = upper_bound
+        self.pst = pst
+
+    # ------------------------------------------------------------------
+    # Main clustering pipeline
+    # ------------------------------------------------------------------
+
+    def _cluster(self, token_lists: list[list[str]]) -> Clustering:
+        if not token_lists:
+            return Clustering(labels=[], templates=[])
+        n_lines = len(token_lists)
+        min_support = int(self.pst * n_lines)
+
+        outliers: list[int] = []
+
+        def enforce_support(
+            partitions: list[list[int]],
+        ) -> list[list[int]]:
+            if min_support <= 0:
+                return partitions
+            kept = []
+            for partition in partitions:
+                if len(partition) < min_support:
+                    outliers.extend(partition)
+                else:
+                    kept.append(partition)
+            return kept
+
+        by_size = self._partition_by_size(token_lists)
+        by_size = enforce_support(by_size)
+
+        by_position: list[list[int]] = []
+        for partition in by_size:
+            by_position.extend(
+                self._partition_by_position(partition, token_lists)
+            )
+        by_position = enforce_support(by_position)
+
+        leaves: list[list[int]] = []
+        for partition in by_position:
+            leaves.extend(self._partition_by_mapping(partition, token_lists))
+        leaves = enforce_support(leaves)
+
+        labels = [OUTLIER] * n_lines
+        templates: list[list[str]] = []
+        for partition in leaves:
+            template = self._make_template(partition, token_lists)
+            label = len(templates)
+            templates.append(template)
+            for line_no in partition:
+                labels[line_no] = label
+        return Clustering(labels=labels, templates=templates)
+
+    # ------------------------------------------------------------------
+    # Step 1: partition by event size
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _partition_by_size(token_lists: list[list[str]]) -> list[list[int]]:
+        by_length: dict[int, list[int]] = defaultdict(list)
+        for line_no, tokens in enumerate(token_lists):
+            by_length[len(tokens)].append(line_no)
+        return [by_length[length] for length in sorted(by_length)]
+
+    # ------------------------------------------------------------------
+    # Step 2: partition by token position
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _column_cardinalities(
+        partition: list[int], token_lists: list[list[str]]
+    ) -> list[set[str]]:
+        width = len(token_lists[partition[0]])
+        columns: list[set[str]] = [set() for _ in range(width)]
+        for line_no in partition:
+            for position, token in enumerate(token_lists[line_no]):
+                columns[position].add(token)
+        return columns
+
+    def _partition_by_position(
+        self, partition: list[int], token_lists: list[list[str]]
+    ) -> list[list[int]]:
+        width = len(token_lists[partition[0]])
+        if width == 0 or len(partition) <= 1:
+            return [partition]
+        columns = self._column_cardinalities(partition, token_lists)
+        # Choose the non-constant column with the fewest unique tokens;
+        # ties go to the leftmost column (constants tend to lead log
+        # messages).  A column whose cardinality is large relative to
+        # the partition is a free parameter, not a mix of constants —
+        # splitting on it would shatter one event into per-value
+        # fragments, so such columns are skipped (the original's
+        # "partition support" safeguard).
+        candidates = [
+            position
+            for position in range(width)
+            if 1 < len(columns[position]) <= max(2, len(partition) // 4)
+        ]
+        if not candidates:
+            return [partition]
+        split_position = min(
+            candidates, key=lambda position: len(columns[position])
+        )
+        groups: dict[str, list[int]] = defaultdict(list)
+        for line_no in partition:
+            groups[token_lists[line_no][split_position]].append(line_no)
+        return [groups[token] for token in sorted(groups)]
+
+    # ------------------------------------------------------------------
+    # Step 3: partition by search for mapping (bijection)
+    # ------------------------------------------------------------------
+
+    def _partition_by_mapping(
+        self, partition: list[int], token_lists: list[list[str]]
+    ) -> list[list[int]]:
+        width = len(token_lists[partition[0]])
+        if width < 2 or len(partition) <= 1:
+            return [partition]
+        columns = self._column_cardinalities(partition, token_lists)
+
+        constant_columns = sum(1 for column in columns if len(column) == 1)
+        cluster_goodness = constant_columns / width
+        if cluster_goodness > self.ct:
+            return [partition]
+
+        chosen = self._determine_p1_p2(columns)
+        if chosen is None:
+            return [partition]
+        p1, p2 = chosen
+
+        forward: dict[str, set[str]] = defaultdict(set)
+        backward: dict[str, set[str]] = defaultdict(set)
+        p1_line_counts: Counter[str] = Counter()
+        p2_line_counts: Counter[str] = Counter()
+        for line_no in partition:
+            token1 = token_lists[line_no][p1]
+            token2 = token_lists[line_no][p2]
+            forward[token1].add(token2)
+            backward[token2].add(token1)
+            p1_line_counts[token1] += 1
+            p2_line_counts[token2] += 1
+
+        groups: dict[tuple, list[int]] = defaultdict(list)
+        for line_no in partition:
+            token1 = token_lists[line_no][p1]
+            token2 = token_lists[line_no][p2]
+            fan_out = len(forward[token1])
+            fan_in = len(backward[token2])
+            if fan_out == 1 and fan_in == 1:
+                key = ("1-1", token1)
+            elif fan_out > 1 and fan_in == 1:
+                # token1 maps to many p2 values (1-M).
+                if self._many_side_is_variable(
+                    len(forward[token1]), p1_line_counts[token1]
+                ):
+                    key = ("1-M", token1)
+                else:
+                    key = ("1-M-const", token2)
+            elif fan_out == 1 and fan_in > 1:
+                # Many p1 values map to token2 (M-1).
+                if self._many_side_is_variable(
+                    len(backward[token2]), p2_line_counts[token2]
+                ):
+                    key = ("M-1", token2)
+                else:
+                    key = ("M-1-const", token1)
+            else:
+                key = ("M-M",)
+            groups[key].append(line_no)
+        return [groups[key] for key in sorted(groups, key=str)]
+
+    def _determine_p1_p2(
+        self, columns: list[set[str]]
+    ) -> tuple[int, int] | None:
+        """Pick the two columns whose cardinality is most common (>1).
+
+        Columns sharing the modal cardinality are the best candidates
+        for a meaningful mapping; with fewer than two such columns the
+        partition is left alone.
+        """
+        if len(columns) == 2:
+            return (0, 1)
+        cardinalities = [len(column) for column in columns]
+        interesting = [c for c in cardinalities if c > 1]
+        if not interesting:
+            return None
+        modal = Counter(interesting).most_common(1)[0][0]
+        candidates = [
+            position
+            for position, cardinality in enumerate(cardinalities)
+            if cardinality == modal
+        ]
+        if len(candidates) >= 2:
+            return candidates[0], candidates[1]
+        # Fall back: pair the modal column with the next non-constant one.
+        others = [
+            position
+            for position, cardinality in enumerate(cardinalities)
+            if cardinality > 1 and position not in candidates
+        ]
+        if not others:
+            return None
+        return candidates[0], others[0]
+
+    def _many_side_is_variable(self, many_count: int, line_count: int) -> bool:
+        """The original get_rank heuristic for 1-M relations.
+
+        A "many" set nearly as large as its line count looks like a
+        free-ranging variable (split on the "1" side); a small set of
+        repeated values looks like distinct constants (split on the
+        "many" side).  Between the bounds the original defaults to
+        treating the many side as a variable.
+        """
+        ratio = many_count / line_count if line_count else 1.0
+        if ratio <= self.lower_bound:
+            return False
+        if ratio >= self.upper_bound:
+            return True
+        # Between the bounds the original defaults to the variable
+        # interpretation (split on the "1" side).
+        return True
+
+    # ------------------------------------------------------------------
+    # Step 4: template generation
+    # ------------------------------------------------------------------
+
+    def _make_template(
+        self, partition: list[int], token_lists: list[list[str]]
+    ) -> list[str]:
+        columns = self._column_cardinalities(partition, token_lists)
+        first = token_lists[partition[0]]
+        return [
+            first[position] if len(column) == 1 else WILDCARD
+            for position, column in enumerate(columns)
+        ]

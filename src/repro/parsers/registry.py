@@ -1,0 +1,36 @@
+"""Name-based parser construction for the CLI and the harnesses."""
+
+from __future__ import annotations
+
+from repro.common.errors import ParserConfigurationError
+from repro.parsers.base import LogParser
+from repro.parsers.iplom import Iplom
+from repro.parsers.lke import Lke
+from repro.parsers.logsig import LogSig
+from repro.parsers.oracle import OracleParser
+from repro.parsers.slct import Slct
+
+_PARSERS: dict[str, type[LogParser]] = {
+    "SLCT": Slct,
+    "IPLoM": Iplom,
+    "LKE": Lke,
+    "LogSig": LogSig,
+    "GroundTruth": OracleParser,
+}
+
+#: Parser names in the paper's presentation order.
+PARSER_NAMES = ["SLCT", "IPLoM", "LKE", "LogSig"]
+
+
+def make_parser(name: str, **params) -> LogParser:
+    """Construct a parser by (case-insensitive) name.
+
+    Keyword arguments are forwarded to the parser constructor, so e.g.
+    ``make_parser("slct", support=0.005)`` works.
+    """
+    for registered, cls in _PARSERS.items():
+        if registered.lower() == name.lower():
+            return cls(**params)
+    raise ParserConfigurationError(
+        f"unknown parser {name!r}; choose from {sorted(_PARSERS)}"
+    )

@@ -1,0 +1,107 @@
+"""Tests for the RQ1 accuracy harness (Table II / Fig. 3 machinery)."""
+
+import pytest
+
+from repro.common.errors import EvaluationError
+from repro.evaluation.accuracy import (
+    AccuracyResult,
+    RANDOMIZED_PARSERS,
+    TUNED_PARAMETERS,
+    evaluate_accuracy,
+    tuned_parser_factory,
+)
+
+
+class TestTunedParserFactory:
+    def test_all_tuned_cells_buildable(self):
+        for parser_name, dataset_name in TUNED_PARAMETERS:
+            parser = tuned_parser_factory(parser_name, dataset_name, seed=1)
+            assert parser.name.lower() == parser_name.lower()
+
+    def test_preprocess_attaches_rules(self):
+        parser = tuned_parser_factory("SLCT", "HDFS", preprocess=True)
+        assert parser.preprocessor is not None
+
+    def test_proxifier_preprocess_is_none(self):
+        parser = tuned_parser_factory("SLCT", "Proxifier", preprocess=True)
+        assert parser.preprocessor is None
+
+    def test_unknown_dataset_rejected(self):
+        from repro.common.errors import ReproError
+
+        with pytest.raises(ReproError):
+            tuned_parser_factory("SLCT", "NoSuchDataset")
+
+    def test_unknown_parser_rejected(self):
+        with pytest.raises(EvaluationError):
+            tuned_parser_factory("NoSuchParser", "HDFS")
+
+    def test_randomized_parsers_get_seed(self):
+        parser = tuned_parser_factory("LogSig", "HDFS", seed=77)
+        assert parser.seed == 77
+
+    def test_table_covers_all_cells(self):
+        parsers = {key[0] for key in TUNED_PARAMETERS}
+        datasets = {key[1] for key in TUNED_PARAMETERS}
+        assert parsers == {"SLCT", "IPLoM", "LKE", "LogSig"}
+        assert datasets == {"BGL", "HPC", "HDFS", "Zookeeper", "Proxifier"}
+        assert len(TUNED_PARAMETERS) == 20
+
+
+class TestAccuracyResult:
+    def test_mean_and_stdev(self):
+        result = AccuracyResult(
+            parser="X",
+            dataset="Y",
+            preprocessed=False,
+            sample_size=10,
+            runs=[0.8, 0.9],
+        )
+        assert result.mean_f_measure == pytest.approx(0.85)
+        assert result.stdev_f_measure > 0
+
+    def test_single_run_stdev_zero(self):
+        result = AccuracyResult("X", "Y", False, 10, runs=[0.8])
+        assert result.stdev_f_measure == 0.0
+
+
+class TestEvaluateAccuracy:
+    def test_deterministic_parser_single_run_default(self):
+        result = evaluate_accuracy(
+            "IPLoM", "Proxifier", sample_size=300, seed=1
+        )
+        assert len(result.runs) == 1
+
+    def test_randomized_parser_multi_run_default(self):
+        result = evaluate_accuracy(
+            "LogSig", "Proxifier", sample_size=200, seed=1
+        )
+        assert len(result.runs) == 10
+        assert "LogSig" in RANDOMIZED_PARSERS
+
+    def test_explicit_runs_respected(self):
+        result = evaluate_accuracy(
+            "LogSig", "Proxifier", sample_size=150, runs=2, seed=1
+        )
+        assert len(result.runs) == 2
+
+    def test_invalid_runs_rejected(self):
+        with pytest.raises(EvaluationError):
+            evaluate_accuracy("IPLoM", "Proxifier", runs=0)
+
+    def test_scores_in_unit_interval(self):
+        result = evaluate_accuracy(
+            "SLCT", "Zookeeper", sample_size=400, seed=2
+        )
+        assert all(0.0 <= score <= 1.0 for score in result.runs)
+
+    def test_reproducible_with_seed(self):
+        a = evaluate_accuracy("IPLoM", "HDFS", sample_size=300, seed=5)
+        b = evaluate_accuracy("IPLoM", "HDFS", sample_size=300, seed=5)
+        assert a.runs == b.runs
+
+    def test_preprocessing_flag_recorded(self):
+        result = evaluate_accuracy(
+            "IPLoM", "HDFS", sample_size=200, preprocess=True, seed=1
+        )
+        assert result.preprocessed

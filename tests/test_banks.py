@@ -1,0 +1,104 @@
+"""Tests for the five dataset template banks (Table I conformance)."""
+
+import pytest
+
+from repro.common.rng import make_rng
+from repro.common.tokenize import template_matches, tokenize
+from repro.datasets import iter_dataset_specs, get_dataset_spec
+from repro.datasets.base import PLACEHOLDER_PATTERN
+from repro.common.errors import DatasetError
+
+SPECS = list(iter_dataset_specs())
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+class TestBankConformance:
+    def test_event_count_matches_table1(self, spec):
+        assert len(spec.bank) == spec.paper_events
+
+    def test_event_ids_unique(self, spec):
+        ids = [t.event_id for t in spec.bank]
+        assert len(set(ids)) == len(ids)
+
+    def test_truth_templates_unique(self, spec):
+        truths = [t.truth_template for t in spec.bank]
+        assert len(set(truths)) == len(truths)
+
+    def test_positive_weights(self, spec):
+        assert all(t.weight > 0 for t in spec.bank)
+
+    def test_render_matches_own_truth(self, spec):
+        rng = make_rng(5)
+        for template in spec.bank:
+            rendered = template.render(rng)
+            assert template_matches(template.truth_template, rendered), (
+                template.event_id,
+                rendered,
+            )
+
+    def test_render_never_leaves_placeholders(self, spec):
+        rng = make_rng(6)
+        for template in spec.bank:
+            assert not PLACEHOLDER_PATTERN.search(template.render(rng))
+
+    def test_by_id_round_trip(self, spec):
+        first = spec.bank.templates[0]
+        assert spec.bank.by_id(first.event_id) is first
+
+    def test_by_id_unknown_raises(self, spec):
+        with pytest.raises(KeyError):
+            spec.bank.by_id("NO_SUCH_EVENT")
+
+    def test_token_lengths_positive(self, spec):
+        low, high = spec.bank.length_range
+        assert 1 <= low <= high
+
+
+class TestSpecificBanks:
+    def test_hdfs_has_29_canonical_events(self):
+        spec = get_dataset_spec("HDFS")
+        truth = spec.bank.truth_templates()
+        assert truth["E3"] == "PacketResponder * for block * terminating"
+        assert truth["E6"] == "Verification succeeded for *"
+
+    def test_bgl_contains_generating_core_family(self):
+        spec = get_dataset_spec("BGL")
+        truths = set(spec.bank.truth_templates().values())
+        assert "generating *" in truths
+
+    def test_proxifier_is_tiny(self):
+        assert len(get_dataset_spec("Proxifier").bank) == 8
+
+    def test_reference_sizes_match_paper(self):
+        sizes = {
+            spec.name: spec.reference_size for spec in iter_dataset_specs()
+        }
+        assert sizes == {
+            "BGL": 4_747_963,
+            "HPC": 433_490,
+            "Proxifier": 10_108,
+            "HDFS": 11_175_629,
+            "Zookeeper": 74_380,
+        }
+
+    def test_total_reference_size_matches_paper_total(self):
+        total = sum(spec.reference_size for spec in iter_dataset_specs())
+        assert total == 16_441_570  # §IV-A: "16,441,570 lines"
+
+
+class TestRegistry:
+    def test_lookup_case_insensitive(self):
+        assert get_dataset_spec("hdfs").name == "HDFS"
+
+    def test_unknown_raises(self):
+        with pytest.raises(DatasetError):
+            get_dataset_spec("nosuch")
+
+    def test_iteration_order_is_table1(self):
+        assert [s.name for s in SPECS] == [
+            "BGL",
+            "HPC",
+            "Proxifier",
+            "HDFS",
+            "Zookeeper",
+        ]

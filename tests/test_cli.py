@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_arg_parser, main
+
+
+class TestArgParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_arg_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_arg_parser().parse_args(
+            ["generate", "HDFS", "out.log", "--size", "10"]
+        )
+        assert args.command == "generate"
+        assert args.size == 10
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_arg_parser().parse_args(["generate", "NoSuch", "x.log"])
+
+    def test_rejects_unknown_parser(self):
+        with pytest.raises(SystemExit):
+            build_arg_parser().parse_args(["parse", "NoSuch", "x.log"])
+
+
+class TestCommands:
+    def test_generate_then_parse(self, tmp_path, capsys):
+        raw = str(tmp_path / "zk.log")
+        assert main(
+            ["generate", "Zookeeper", raw, "--size", "200", "--seed", "1"]
+        ) == 0
+        assert os.path.exists(raw)
+        assert main(["parse", "IPLoM", raw]) == 0
+        assert os.path.exists(raw + ".events")
+        assert os.path.exists(raw + ".structured")
+        out = capsys.readouterr().out
+        assert "IPLoM" in out
+
+    def test_parse_with_preprocessing(self, tmp_path, capsys):
+        raw = str(tmp_path / "hdfs.log")
+        main(["generate", "HDFS", raw, "--size", "150", "--seed", "2"])
+        assert main(
+            ["parse", "SLCT", raw, "--preprocess-dataset", "HDFS"]
+        ) == 0
+        assert "SLCT" in capsys.readouterr().out
+
+    def test_parse_custom_output_stem(self, tmp_path):
+        raw = str(tmp_path / "x.log")
+        main(["generate", "Proxifier", raw, "--size", "100", "--seed", "1"])
+        stem = str(tmp_path / "result")
+        main(["parse", "IPLoM", raw, "--output-stem", stem])
+        assert os.path.exists(stem + ".events")
+
+    def test_evaluate(self, capsys):
+        assert main(
+            [
+                "evaluate",
+                "IPLoM",
+                "Proxifier",
+                "--sample-size",
+                "200",
+                "--seed",
+                "1",
+            ]
+        ) == 0
+        assert "F-measure" in capsys.readouterr().out
+
+    def test_mine(self, capsys):
+        assert main(
+            ["mine", "GroundTruth", "--blocks", "300", "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "false alarms" in out
+
+    def test_mine_lke_reports_paper_exclusion(self, capsys):
+        # LKE is excluded from the Table III experiment, as in §IV-D.
+        assert main(["mine", "LKE", "--blocks", "100"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_parse_missing_file_fails_cleanly(self, capsys):
+        assert main(["parse", "IPLoM", "/nonexistent/file.log"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_metrics(self, capsys):
+        assert main(
+            [
+                "metrics",
+                "IPLoM",
+                "Proxifier",
+                "--sample-size",
+                "200",
+                "--seed",
+                "1",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rand_index" in out
+        assert "purity" in out
+
+    def test_tune(self, capsys):
+        assert main(
+            [
+                "tune",
+                "SLCT",
+                "Proxifier",
+                "--sample-size",
+                "200",
+                "--seed",
+                "1",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "best:" in out
+        assert "support" in out

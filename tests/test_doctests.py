@@ -1,0 +1,24 @@
+"""Run the package's doctest examples as part of the suite."""
+
+import doctest
+import importlib
+
+import pytest
+
+# Module paths resolved via importlib because some package __init__
+# files re-export same-named callables (repro.common.tokenize is both a
+# module and a function attribute of repro.common).
+MODULE_NAMES = [
+    "repro.common.tokenize",
+    "repro.evaluation.fmeasure",
+    "repro.evaluation.tuning",
+    "repro.parsers.logsig",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULE_NAMES)
+def test_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module)
+    assert results.failed == 0
+    assert results.attempted > 0

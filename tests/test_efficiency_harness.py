@@ -1,0 +1,49 @@
+"""Tests for the RQ2 efficiency harness (Fig. 2 machinery)."""
+
+import pytest
+
+from repro.common.errors import EvaluationError
+from repro.evaluation.efficiency import EfficiencyPoint, measure_runtime
+from repro.parsers import Iplom, Slct
+
+
+class TestMeasureRuntime:
+    def test_points_for_all_sizes(self):
+        points = measure_runtime(
+            Iplom, "Proxifier", sizes=[50, 100, 200], seed=1
+        )
+        assert [p.size for p in points] == [50, 100, 200]
+        assert all(p.seconds is not None for p in points)
+
+    def test_parser_and_dataset_recorded(self):
+        points = measure_runtime(Iplom, "Proxifier", sizes=[50], seed=1)
+        assert points[0].parser == "IPLoM"
+        assert points[0].dataset == "Proxifier"
+
+    def test_unsorted_sizes_rejected(self):
+        with pytest.raises(EvaluationError):
+            measure_runtime(Iplom, "Proxifier", sizes=[200, 100])
+
+    def test_time_budget_skips_larger_sizes(self):
+        points = measure_runtime(
+            lambda: Slct(support=2),
+            "Proxifier",
+            sizes=[100, 200, 400],
+            seed=1,
+            time_budget=0.0,  # first measurement always "exceeds" it
+        )
+        assert points[0].seconds is not None
+        assert points[1].skipped
+        assert points[2].skipped
+
+    def test_skipped_flag(self):
+        point = EfficiencyPoint("P", "D", 100, None)
+        assert point.skipped
+        assert not EfficiencyPoint("P", "D", 100, 0.5).skipped
+
+    def test_measured_on_prefix_of_same_generation(self):
+        # Sizes are prefixes of one generated dataset, so repeated calls
+        # are comparable run-to-run.
+        a = measure_runtime(Iplom, "Proxifier", sizes=[100], seed=7)
+        b = measure_runtime(Iplom, "Proxifier", sizes=[100], seed=7)
+        assert a[0].size == b[0].size

@@ -1,0 +1,47 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro.common.errors import (
+    DatasetError,
+    EvaluationError,
+    MiningError,
+    ParserConfigurationError,
+    ReproError,
+)
+
+ALL_ERRORS = [
+    DatasetError,
+    EvaluationError,
+    MiningError,
+    ParserConfigurationError,
+]
+
+
+@pytest.mark.parametrize("error_type", ALL_ERRORS)
+def test_all_errors_derive_from_repro_error(error_type):
+    assert issubclass(error_type, ReproError)
+    assert issubclass(error_type, Exception)
+
+
+def test_single_except_clause_catches_everything():
+    for error_type in ALL_ERRORS:
+        with pytest.raises(ReproError):
+            raise error_type("boom")
+
+
+def test_errors_are_distinguishable():
+    with pytest.raises(DatasetError):
+        try:
+            raise DatasetError("data")
+        except ParserConfigurationError:  # pragma: no cover
+            pytest.fail("wrong branch")
+
+
+def test_library_raises_only_repro_errors_for_bad_config():
+    from repro.parsers import make_parser
+
+    with pytest.raises(ReproError):
+        make_parser("SLCT", support=-1)
+    with pytest.raises(ReproError):
+        make_parser("definitely-not-a-parser")

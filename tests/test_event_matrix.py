@@ -1,0 +1,80 @@
+"""Tests for event count matrix construction."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import MiningError
+from repro.common.types import EventTemplate, LogRecord, ParseResult
+from repro.mining.event_matrix import EventCountMatrix, build_event_matrix
+from repro.parsers import OracleParser
+
+
+def _parse(session_records):
+    return OracleParser().parse(session_records)
+
+
+class TestBuildEventMatrix:
+    def test_shape(self, session_records):
+        counts = build_event_matrix(_parse(session_records))
+        assert counts.matrix.shape == (2, 4)
+        assert counts.n_sessions == 2
+        assert counts.n_events == 4
+
+    def test_counts(self, session_records):
+        counts = build_event_matrix(_parse(session_records))
+        row = counts.row("s1")
+        by_event = dict(zip(counts.event_ids, row))
+        assert by_event["write"] == 2
+        assert by_event["alloc"] == 1
+        assert by_event.get("error", 0) == 0
+
+    def test_row_sums_equal_session_lengths(self, session_records):
+        counts = build_event_matrix(_parse(session_records))
+        sums = counts.matrix.sum(axis=1)
+        expected = {"s1": 4, "s2": 3}
+        for session_id, total in zip(counts.session_ids, sums):
+            assert total == expected[session_id]
+
+    def test_sessionless_records_skipped(self):
+        records = [
+            LogRecord(content="a", session_id="s1", truth_event="E1"),
+            LogRecord(content="b", session_id="", truth_event="E2"),
+        ]
+        counts = build_event_matrix(_parse(records))
+        assert counts.session_ids == ("s1",)
+        assert "E2" not in counts.event_ids
+
+    def test_no_sessions_raises(self):
+        records = [LogRecord(content="a", truth_event="E1")]
+        with pytest.raises(MiningError):
+            build_event_matrix(_parse(records))
+
+    def test_outlier_column_included(self):
+        result = ParseResult(
+            events=[EventTemplate("E1", "a")],
+            assignments=["E1", ParseResult.OUTLIER_EVENT_ID],
+            records=[
+                LogRecord(content="a", session_id="s1"),
+                LogRecord(content="weird", session_id="s1"),
+            ],
+        )
+        counts = build_event_matrix(result)
+        assert ParseResult.OUTLIER_EVENT_ID in counts.event_ids
+
+
+class TestEventCountMatrixValidation:
+    def test_row_mismatch_rejected(self):
+        with pytest.raises(MiningError):
+            EventCountMatrix(
+                matrix=np.zeros((2, 1)),
+                session_ids=("s1",),
+                event_ids=("e1",),
+            )
+
+    def test_column_mismatch_rejected(self):
+        with pytest.raises(MiningError):
+            EventCountMatrix(
+                matrix=np.zeros((1, 2)),
+                session_ids=("s1",),
+                event_ids=("e1",),
+            )

@@ -1,0 +1,55 @@
+"""Smoke tests: the runnable examples must actually run.
+
+Only the fast examples are executed here (the interactive comparison
+script enumerates every parser × dataset and belongs to manual runs).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "fig1_overview.py",
+    "tagged_logging.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_cleanly(script, tmp_path):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=tmp_path,  # examples write their artifacts to the cwd
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip()
+
+
+def test_all_examples_exist_and_have_docstrings():
+    scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+    assert len(scripts) >= 8
+    for script in scripts:
+        text = script.read_text()
+        assert text.startswith('"""'), script.name
+        assert "Run:" in text, script.name
+
+
+def test_fig1_output_matches_paper():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "fig1_overview.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    out = completed.stdout
+    # The six events of the paper's Fig. 1, verbatim.
+    assert "Event2  Receiving block * src: * dest: *" in out
+    assert "Event3  PacketResponder * for block * terminating" in out
+    assert "Event6  Verification succeeded for *" in out

@@ -1,0 +1,102 @@
+"""Unit + property tests for the pairwise F-measure metric."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import EvaluationError
+from repro.evaluation.fmeasure import (
+    f_measure,
+    pairwise_agreement,
+    singletonize_outliers,
+)
+
+labelings = st.lists(
+    st.sampled_from(["a", "b", "c", "d"]), min_size=2, max_size=60
+)
+
+
+class TestPairwiseAgreement:
+    def test_perfect_clustering(self):
+        agreement = pairwise_agreement(["x", "x", "y"], ["p", "p", "q"])
+        assert agreement.precision == 1.0
+        assert agreement.recall == 1.0
+        assert agreement.f_measure == 1.0
+
+    def test_everything_merged_hurts_precision(self):
+        agreement = pairwise_agreement(["x"] * 4, ["p", "p", "q", "q"])
+        assert agreement.recall == 1.0
+        assert agreement.precision == pytest.approx(2 / 6)
+
+    def test_everything_split_hurts_recall(self):
+        agreement = pairwise_agreement(
+            ["a", "b", "c", "d"], ["p", "p", "q", "q"]
+        )
+        # No pairs claimed -> vacuous precision, zero recall.
+        assert agreement.precision == 1.0
+        assert agreement.recall == 0.0
+        assert agreement.f_measure == 0.0
+
+    def test_known_mixed_case(self):
+        predicted = ["x", "x", "x", "y"]
+        truth = ["p", "p", "q", "q"]
+        agreement = pairwise_agreement(predicted, truth)
+        assert agreement.true_positives == 1
+        assert agreement.predicted_pairs == 3
+        assert agreement.truth_pairs == 2
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(EvaluationError):
+            pairwise_agreement(["a"], ["a", "b"])
+
+    def test_empty_inputs_are_vacuously_perfect(self):
+        agreement = pairwise_agreement([], [])
+        assert agreement.f_measure == 1.0
+
+    def test_all_singletons_self_compare_perfect(self):
+        assert f_measure(["a", "b"], ["a", "b"]) == 1.0
+
+
+class TestFMeasureProperties:
+    @given(labelings)
+    def test_self_comparison_is_perfect(self, labels):
+        assert f_measure(labels, labels) == 1.0
+
+    @given(labelings)
+    def test_bounded(self, labels):
+        truth = ["t" if i % 2 else "u" for i in range(len(labels))]
+        assert 0.0 <= f_measure(labels, truth) <= 1.0
+
+    @given(labelings)
+    def test_label_renaming_invariant(self, labels):
+        truth = ["t" if i % 3 else "u" for i in range(len(labels))]
+        renamed = [f"renamed-{label}" for label in labels]
+        assert f_measure(labels, truth) == f_measure(renamed, truth)
+
+    @given(labelings)
+    def test_symmetric_in_roles(self, labels):
+        truth = ["t" if i % 2 else "u" for i in range(len(labels))]
+        assert f_measure(labels, truth) == pytest.approx(
+            f_measure(truth, labels)
+        )
+
+
+class TestSingletonizeOutliers:
+    def test_outliers_become_unique(self):
+        labels = ["E1", "OUTLIER", "OUTLIER", "E1"]
+        result = singletonize_outliers(labels)
+        assert result[0] == result[3] == "E1"
+        assert result[1] != result[2]
+
+    def test_no_outliers_identity(self):
+        labels = ["E1", "E2"]
+        assert singletonize_outliers(labels) == labels
+
+    def test_improves_f_when_outliers_span_events(self):
+        truth = ["a", "a", "b", "b"]
+        predicted = ["OUTLIER", "OUTLIER", "OUTLIER", "OUTLIER"]
+        merged = f_measure(predicted, truth)
+        split = f_measure(singletonize_outliers(predicted), truth)
+        assert merged < 1.0
+        assert split == 0.0  # no pairs either way: recall 0
+        # merged wrongly claims b-a pairs; split claims none.
+        assert pairwise_agreement(predicted, truth).precision < 1.0

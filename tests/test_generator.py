@@ -1,0 +1,67 @@
+"""Tests for the generic dataset generator."""
+
+import pytest
+
+from repro.common.errors import DatasetError
+from repro.common.tokenize import template_matches
+from repro.datasets import generate_dataset, get_dataset_spec
+
+
+HDFS = get_dataset_spec("HDFS")
+
+
+class TestGenerateDataset:
+    def test_size(self):
+        assert len(generate_dataset(HDFS, 100, seed=1)) == 100
+
+    def test_deterministic(self):
+        a = generate_dataset(HDFS, 200, seed=42)
+        b = generate_dataset(HDFS, 200, seed=42)
+        assert a.contents() == b.contents()
+        assert a.truth_assignments == b.truth_assignments
+
+    def test_seed_changes_output(self):
+        a = generate_dataset(HDFS, 200, seed=1)
+        b = generate_dataset(HDFS, 200, seed=2)
+        assert a.contents() != b.contents()
+
+    def test_every_record_labeled(self):
+        dataset = generate_dataset(HDFS, 150, seed=3)
+        assert all(r.truth_event for r in dataset.records)
+
+    def test_labels_are_consistent_with_templates(self):
+        dataset = generate_dataset(HDFS, 150, seed=4)
+        truth = HDFS.bank.truth_templates()
+        for record in dataset.records:
+            assert template_matches(truth[record.truth_event], record.content)
+
+    def test_full_event_coverage_at_large_sizes(self):
+        dataset = generate_dataset(HDFS, 2 * len(HDFS.bank) + 10, seed=5)
+        assert dataset.observed_event_ids() == set(
+            HDFS.bank.truth_templates()
+        )
+
+    def test_small_sizes_skip_coverage_dealing(self):
+        dataset = generate_dataset(HDFS, 5, seed=6)
+        assert len(dataset) == 5
+
+    def test_timestamps_monotonic(self):
+        dataset = generate_dataset(HDFS, 300, seed=7)
+        stamps = [r.timestamp for r in dataset.records]
+        assert stamps == sorted(stamps)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_dataset(HDFS, 0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_dataset(HDFS, -5)
+
+    def test_weights_shape_distribution(self):
+        # E1/E3/E5 (weight 90) should dominate E7 (weight 0.5).
+        dataset = generate_dataset(HDFS, 5000, seed=8)
+        counts = {}
+        for event in dataset.truth_assignments:
+            counts[event] = counts.get(event, 0) + 1
+        assert counts["E1"] > 10 * counts.get("E7", 1)

@@ -1,0 +1,111 @@
+"""Per-scenario tests of the HDFS session simulator's event signatures.
+
+Each anomaly scenario must produce the event footprint its detection
+story depends on; these tests pin those contracts so future generator
+edits cannot silently invalidate Table III.
+"""
+
+import pytest
+
+from repro.datasets import generate_hdfs_sessions
+from repro.datasets.hdfs import DATANODE_PORT, REBALANCE_TARGETS
+
+
+@pytest.fixture(scope="module")
+def big():
+    return generate_hdfs_sessions(3000, seed=21)
+
+
+def _events_by_block(dataset):
+    by_block = {}
+    for record in dataset.records:
+        by_block.setdefault(record.session_id, []).append(
+            record.truth_event
+        )
+    return by_block
+
+
+def _blocks_of(dataset, scenario):
+    return [
+        block
+        for block, name in dataset.scenarios.items()
+        if name == scenario
+    ]
+
+
+class TestWriteFailure:
+    def test_has_receive_exceptions(self, big):
+        events = _events_by_block(big)
+        for block in _blocks_of(big, "write_failure"):
+            assert events[block].count("E11") >= 2
+
+    def test_has_interrupted_responder(self, big):
+        events = _events_by_block(big)
+        for block in _blocks_of(big, "write_failure"):
+            assert "E26" in events[block]
+
+    def test_under_replicated(self, big):
+        events = _events_by_block(big)
+        for block in _blocks_of(big, "write_failure"):
+            assert events[block].count("E5") < 3
+
+
+class TestReplication:
+    def test_transfer_failures_and_timeout(self, big):
+        events = _events_by_block(big)
+        for block in _blocks_of(big, "replication"):
+            assert "E14" in events[block]
+            assert "E24" in events[block]
+            assert "E21" in events[block]
+
+    def test_transfers_target_rebalance_nodes(self, big):
+        targets = {
+            f"{node}:{DATANODE_PORT}" for node in REBALANCE_TARGETS
+        }
+        for record in big.records:
+            if record.truth_event != "E14":
+                continue
+            assert any(target in record.content for target in targets)
+
+
+class TestMetadata:
+    def test_redundant_addstoredblock(self, big):
+        events = _events_by_block(big)
+        for block in _blocks_of(big, "metadata"):
+            assert events[block].count("E22") >= 2
+
+
+class TestServing:
+    def test_repeated_serving_exceptions(self, big):
+        events = _events_by_block(big)
+        for block in _blocks_of(big, "serving"):
+            exceptions = sum(
+                events[block].count(event) for event in ("E9", "E28")
+            )
+            assert exceptions >= 2
+
+
+class TestSubtle:
+    def test_no_rare_events_at_all(self, big):
+        rare = {
+            "E7", "E9", "E10", "E11", "E14", "E16", "E17", "E20",
+            "E21", "E22", "E23", "E24", "E25", "E26", "E27", "E28",
+        }
+        events = _events_by_block(big)
+        for block in _blocks_of(big, "subtle"):
+            assert not rare & set(events[block])
+
+
+class TestNormal:
+    def test_balancer_rate_small(self, big):
+        events = _events_by_block(big)
+        normal = _blocks_of(big, "normal")
+        with_balancer = sum(
+            1 for block in normal if "E15" in events[block]
+        )
+        assert 0 < with_balancer / len(normal) < 0.06
+
+    def test_fully_replicated(self, big):
+        events = _events_by_block(big)
+        for block in _blocks_of(big, "normal"):
+            assert events[block].count("E5") == 3

@@ -1,0 +1,127 @@
+"""Tests for the HDFS block-session simulator (RQ3 substrate)."""
+
+import pytest
+
+from repro.common.errors import DatasetError
+from repro.common.tokenize import template_matches
+from repro.datasets import generate_hdfs_sessions
+from repro.datasets.hdfs import (
+    ANOMALY_RATE,
+    CLUSTER_NODES,
+    HDFS_BANK,
+    PAPER_TOTAL_ANOMALIES,
+    PAPER_TOTAL_BLOCKS,
+)
+
+
+@pytest.fixture(scope="module")
+def sessions():
+    return generate_hdfs_sessions(400, seed=9)
+
+
+class TestGeneration:
+    def test_block_count(self, sessions):
+        assert len(sessions.labels) == 400
+
+    def test_deterministic(self):
+        a = generate_hdfs_sessions(100, seed=1)
+        b = generate_hdfs_sessions(100, seed=1)
+        assert a.contents() == b.contents()
+        assert a.labels == b.labels
+
+    def test_anomaly_rate_close_to_paper(self):
+        dataset = generate_hdfs_sessions(8000, seed=2)
+        rate = len(dataset.anomaly_blocks) / len(dataset.labels)
+        assert abs(rate - ANOMALY_RATE) < 0.01
+
+    def test_paper_scale_constants(self):
+        assert ANOMALY_RATE == PAPER_TOTAL_ANOMALIES / PAPER_TOTAL_BLOCKS
+        assert 0.025 < ANOMALY_RATE < 0.035
+
+    def test_zero_blocks_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_hdfs_sessions(0)
+
+    def test_bad_anomaly_rate_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_hdfs_sessions(10, anomaly_rate=1.5)
+
+    def test_anomaly_rate_zero_gives_all_normal(self):
+        dataset = generate_hdfs_sessions(50, seed=3, anomaly_rate=0.0)
+        assert not dataset.anomaly_blocks
+
+
+class TestRecordStructure:
+    def test_every_record_has_session(self, sessions):
+        assert all(r.session_id for r in sessions.records)
+
+    def test_session_ids_are_block_ids(self, sessions):
+        assert all(
+            r.session_id.startswith("blk_") for r in sessions.records
+        )
+
+    def test_block_id_pinned_in_content(self, sessions):
+        for record in sessions.records[:200]:
+            assert record.session_id in record.content
+
+    def test_truth_events_match_bank(self, sessions):
+        truth = HDFS_BANK.truth_templates()
+        for record in sessions.records[:300]:
+            assert template_matches(
+                truth[record.truth_event], record.content
+            )
+
+    def test_ips_come_from_cluster_pool(self, sessions):
+        import re
+
+        pattern = re.compile(r"\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}")
+        pool = set(CLUSTER_NODES)
+        for record in sessions.records[:300]:
+            for ip in pattern.findall(record.content):
+                assert ip in pool
+
+    def test_scenarios_cover_all_blocks(self, sessions):
+        assert set(sessions.scenarios) == set(sessions.labels)
+
+    def test_scenario_labels_consistent(self, sessions):
+        for block, scenario in sessions.scenarios.items():
+            assert sessions.labels[block] == (scenario != "normal")
+
+
+class TestSessionShapes:
+    def test_every_session_allocates(self, sessions):
+        first_events: dict[str, str] = {}
+        for record in sessions.records:
+            first_events.setdefault(record.session_id, record.truth_event)
+        # E2 is allocateBlock; every lifecycle starts with it, though
+        # interleaving means it may not be the first record *globally*.
+        by_block: dict[str, list[str]] = {}
+        for record in sessions.records:
+            by_block.setdefault(record.session_id, []).append(
+                record.truth_event
+            )
+        assert all("E2" in events for events in by_block.values())
+
+    def test_normal_sessions_have_three_replicas(self, sessions):
+        by_block: dict[str, list[str]] = {}
+        for record in sessions.records:
+            by_block.setdefault(record.session_id, []).append(
+                record.truth_event
+            )
+        for block, scenario in sessions.scenarios.items():
+            if scenario == "normal":
+                assert by_block[block].count("E1") == 3
+
+    def test_subtle_sessions_underreplicate(self, sessions):
+        by_block: dict[str, list[str]] = {}
+        for record in sessions.records:
+            by_block.setdefault(record.session_id, []).append(
+                record.truth_event
+            )
+        subtle = [
+            block
+            for block, scenario in sessions.scenarios.items()
+            if scenario == "subtle"
+        ]
+        for block in subtle:
+            assert by_block[block].count("E1") < 3

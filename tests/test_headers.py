@@ -1,0 +1,64 @@
+"""Tests for per-system log-line header rendering and stripping."""
+
+import pytest
+
+from repro.common.errors import DatasetError
+from repro.datasets import generate_dataset, get_dataset_spec
+from repro.datasets.headers import HEADER_TOKENS, HeaderFormat
+
+
+@pytest.mark.parametrize("system", sorted(HEADER_TOKENS))
+class TestRoundTrip:
+    def test_add_then_strip_recovers_content(self, system):
+        spec = get_dataset_spec(system)
+        dataset = generate_dataset(spec, 100, seed=1)
+        header = HeaderFormat(system=system)
+        lines = header.add_headers(dataset.records, seed=1)
+        for line, record in zip(lines, dataset.records):
+            assert header.strip_header(line) == record.content
+
+    def test_header_token_count_consistent(self, system):
+        spec = get_dataset_spec(system)
+        dataset = generate_dataset(spec, 50, seed=2)
+        header = HeaderFormat(system=system)
+        lines = header.add_headers(dataset.records, seed=2)
+        for line, record in zip(lines, dataset.records):
+            overhead = len(line.split()) - len(record.tokens)
+            # Tokens in the header must match the declared count (no
+            # header field may contain stray whitespace).
+            assert overhead == header.n_tokens
+
+    def test_deterministic(self, system):
+        spec = get_dataset_spec(system)
+        dataset = generate_dataset(spec, 30, seed=3)
+        header = HeaderFormat(system=system)
+        assert header.add_headers(dataset.records, seed=9) == (
+            header.add_headers(dataset.records, seed=9)
+        )
+
+
+class TestValidation:
+    def test_unknown_system_rejected(self):
+        with pytest.raises(DatasetError):
+            HeaderFormat(system="NoSuch")
+
+    def test_headerless_line_rejected(self):
+        header = HeaderFormat(system="HDFS")
+        with pytest.raises(DatasetError):
+            header.strip_header("too short")
+
+    def test_bgl_header_mentions_ras(self):
+        spec = get_dataset_spec("BGL")
+        dataset = generate_dataset(spec, 5, seed=1)
+        lines = HeaderFormat(system="BGL").add_headers(
+            dataset.records, seed=1
+        )
+        assert all(" RAS " in line for line in lines)
+
+    def test_hdfs_header_has_level(self):
+        spec = get_dataset_spec("HDFS")
+        dataset = generate_dataset(spec, 20, seed=1)
+        lines = HeaderFormat(system="HDFS").add_headers(
+            dataset.records, seed=1
+        )
+        assert all((" INFO " in line) or (" WARN " in line) for line in lines)

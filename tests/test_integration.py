@@ -1,0 +1,81 @@
+"""End-to-end integration tests tying parsers, datasets, and mining."""
+
+from repro import (
+    Iplom,
+    OracleParser,
+    detect_anomalies,
+    f_measure,
+    generate_dataset,
+    generate_hdfs_sessions,
+    get_dataset_spec,
+)
+from repro.datasets import read_raw_log, write_raw_log
+from repro.evaluation.fmeasure import singletonize_outliers
+from repro.evaluation.mining_impact import (
+    evaluate_mining_impact,
+    table3_parser_factory,
+)
+from repro.parsers import Lke, LogSig, Slct, default_preprocessor
+
+
+class TestParseEvaluateFlow:
+    def test_generate_write_read_parse_evaluate(self, tmp_path):
+        dataset = generate_dataset(get_dataset_spec("Zookeeper"), 600, seed=1)
+        path = str(tmp_path / "zk.log")
+        write_raw_log(dataset.records, path)
+        loaded = read_raw_log(path)
+        result = Iplom().parse(loaded)
+        score = f_measure(result.assignments, dataset.truth_assignments)
+        assert score > 0.8
+
+    def test_all_four_parsers_beat_chance_on_hdfs(self):
+        dataset = generate_dataset(get_dataset_spec("HDFS"), 400, seed=2)
+        truth = dataset.truth_assignments
+        preprocessor = default_preprocessor("HDFS")
+        parsers = [
+            Slct(support=0.01, preprocessor=preprocessor),
+            Iplom(preprocessor=preprocessor),
+            Lke(seed=1, preprocessor=preprocessor),
+            LogSig(groups=29, seed=1, preprocessor=preprocessor),
+        ]
+        for parser in parsers:
+            result = parser.parse(dataset.records)
+            score = f_measure(
+                singletonize_outliers(result.assignments), truth
+            )
+            assert score > 0.5, parser.name
+
+
+class TestMiningFlow:
+    def test_oracle_pipeline_beats_bad_parser(self):
+        dataset = generate_hdfs_sessions(1500, seed=3)
+        oracle_row = evaluate_mining_impact(OracleParser(), dataset)
+        slct_row = evaluate_mining_impact(
+            table3_parser_factory("SLCT"), dataset
+        )
+        # Finding 5: the low-accuracy parse must be clearly worse for
+        # mining — fewer detections or far more false alarms.
+        assert slct_row.parsing_accuracy < oracle_row.parsing_accuracy
+        assert (
+            slct_row.detected < oracle_row.detected
+            or slct_row.false_alarms > 5 * max(oracle_row.false_alarms, 1)
+        )
+
+    def test_iplom_tracks_ground_truth(self):
+        dataset = generate_hdfs_sessions(1500, seed=4)
+        oracle_row = evaluate_mining_impact(OracleParser(), dataset)
+        iplom_row = evaluate_mining_impact(
+            table3_parser_factory("IPLoM"), dataset
+        )
+        assert iplom_row.parsing_accuracy > 0.95
+        assert abs(iplom_row.detected - oracle_row.detected) <= max(
+            10, oracle_row.detected // 3
+        )
+
+    def test_detection_stable_across_parse_column_permutation(self):
+        # The PCA pipeline must not depend on event-id naming.
+        dataset = generate_hdfs_sessions(500, seed=5)
+        parsed = OracleParser().parse(dataset.records)
+        flags_a = detect_anomalies(parsed).flagged_sessions
+        flags_b = detect_anomalies(parsed).flagged_sessions
+        assert flags_a == flags_b

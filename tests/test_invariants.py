@@ -1,0 +1,132 @@
+"""Tests for invariant mining over event count matrices."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import MiningError
+from repro.mining.event_matrix import EventCountMatrix
+from repro.mining.invariants import (
+    Invariant,
+    mine_invariants,
+    violating_sessions,
+)
+
+
+def _matrix(rows, events, sessions=None):
+    rows = np.array(rows, dtype=float)
+    sessions = sessions or tuple(f"s{i}" for i in range(rows.shape[0]))
+    return EventCountMatrix(
+        matrix=rows, session_ids=tuple(sessions), event_ids=tuple(events)
+    )
+
+
+class TestMineInvariants:
+    def test_finds_equality(self):
+        counts = _matrix(
+            [[2, 2], [3, 3], [1, 1], [4, 4], [2, 2]] * 3, ["open", "close"]
+        )
+        invariants = mine_invariants(counts, min_support=5)
+        assert any(
+            inv.kind == "eq" and {inv.left, inv.right} == {"open", "close"}
+            for inv in invariants
+        )
+
+    def test_finds_ordering(self):
+        counts = _matrix(
+            [[3, 1], [2, 2], [5, 0], [4, 3], [2, 1]] * 3, ["sent", "acked"]
+        )
+        invariants = mine_invariants(counts, min_support=5)
+        orderings = [inv for inv in invariants if inv.kind == "ge"]
+        assert any(
+            inv.left == "sent" and inv.right == "acked" for inv in orderings
+        )
+
+    def test_equality_shadows_ordering(self):
+        counts = _matrix([[2, 2]] * 12, ["a", "b"])
+        invariants = mine_invariants(counts, min_support=5)
+        assert len(invariants) == 1
+        assert invariants[0].kind == "eq"
+
+    def test_min_support_filters(self):
+        counts = _matrix([[1, 1]] * 3, ["a", "b"])
+        assert mine_invariants(counts, min_support=10) == []
+
+    def test_tolerance_allows_noise(self):
+        rows = [[2, 2]] * 49 + [[2, 3]]
+        counts = _matrix(rows, ["a", "b"])
+        with_noise = mine_invariants(counts, min_support=5, tolerance=0.05)
+        assert any(inv.kind == "eq" for inv in with_noise)
+        strict = mine_invariants(counts, min_support=5, tolerance=0.0)
+        # The single noisy row kills equality; only b >= a survives.
+        assert all(inv.kind != "eq" for inv in strict)
+
+    def test_unrelated_columns_produce_nothing(self):
+        rng = np.random.default_rng(1)
+        rows = rng.integers(0, 6, size=(60, 2))
+        counts = _matrix(rows, ["a", "b"])
+        invariants = mine_invariants(counts, min_support=5, tolerance=0.0)
+        assert all(inv.kind != "eq" for inv in invariants)
+
+    def test_invalid_parameters(self):
+        counts = _matrix([[1, 1]] * 5, ["a", "b"])
+        with pytest.raises(MiningError):
+            mine_invariants(counts, min_support=0)
+        with pytest.raises(MiningError):
+            mine_invariants(counts, tolerance=1.0)
+
+
+class TestInvariantHoldsFor:
+    def test_eq(self):
+        inv = Invariant("eq", "a", "b", 10, 0)
+        assert inv.holds_for(2, 2)
+        assert not inv.holds_for(2, 3)
+
+    def test_ge(self):
+        inv = Invariant("ge", "a", "b", 10, 0)
+        assert inv.holds_for(3, 1)
+        assert inv.holds_for(2, 2)
+        assert not inv.holds_for(1, 2)
+
+    def test_str(self):
+        assert str(Invariant("eq", "a", "b", 1, 0)) == "count(a) == count(b)"
+
+
+class TestViolatingSessions:
+    def test_identifies_violators(self):
+        counts = _matrix(
+            [[2, 2], [2, 2], [3, 1]], ["recv", "term"],
+            sessions=("good1", "good2", "bad"),
+        )
+        inv = Invariant("eq", "recv", "term", 3, 0)
+        violations = violating_sessions(counts, [inv])
+        assert set(violations) == {"bad"}
+
+    def test_silent_sessions_skipped(self):
+        counts = _matrix(
+            [[0, 0], [1, 2]], ["a", "b"], sessions=("silent", "active")
+        )
+        inv = Invariant("eq", "a", "b", 2, 0)
+        assert set(violating_sessions(counts, [inv])) == {"active"}
+
+    def test_invariant_violation_detects_hdfs_anomalies(self):
+        # Integration: receiving (E1) == terminating (E3) holds for
+        # normal blocks and breaks for write failures.
+        from repro.datasets import generate_hdfs_sessions
+        from repro.mining.event_matrix import build_event_matrix
+        from repro.parsers import OracleParser
+
+        dataset = generate_hdfs_sessions(1000, seed=5)
+        counts = build_event_matrix(OracleParser().parse(dataset.records))
+        invariants = mine_invariants(counts, min_support=20, tolerance=0.03)
+        pipeline = [
+            inv
+            for inv in invariants
+            if inv.kind == "eq" and {inv.left, inv.right} == {"E1", "E3"}
+        ]
+        assert pipeline, "the E1 == E3 pipeline invariant must be mined"
+        violations = violating_sessions(counts, pipeline)
+        assert violations
+        anomaly_hits = sum(
+            1 for session in violations if dataset.labels[session]
+        )
+        assert anomaly_hits / len(violations) > 0.9

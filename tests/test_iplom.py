@@ -1,0 +1,108 @@
+"""Unit tests for the IPLoM parser."""
+
+import pytest
+
+from repro.common.errors import ParserConfigurationError
+from repro.common.tokenize import template_matches
+from repro.parsers import Iplom
+from repro.parsers.iplom import Iplom as IplomClass
+
+
+class TestConfiguration:
+    def test_rejects_ct_out_of_range(self):
+        with pytest.raises(ParserConfigurationError):
+            Iplom(ct=1.5)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ParserConfigurationError):
+            Iplom(lower_bound=0.9, upper_bound=0.2)
+
+    def test_rejects_zero_lower_bound(self):
+        with pytest.raises(ParserConfigurationError):
+            Iplom(lower_bound=0.0)
+
+    def test_rejects_pst_one(self):
+        with pytest.raises(ParserConfigurationError):
+            Iplom(pst=1.0)
+
+    def test_defaults_accepted(self):
+        Iplom()
+
+
+class TestPartitionBySize:
+    def test_groups_by_token_count(self):
+        token_lists = [["a"], ["b", "c"], ["d"], ["e", "f"]]
+        partitions = IplomClass._partition_by_size(token_lists)
+        assert sorted(sorted(p) for p in partitions) == [[0, 2], [1, 3]]
+
+
+class TestClustering:
+    def test_separates_events_of_same_length(self):
+        contents = (
+            ["open file a.txt by root", "open file b.txt by root"] * 3
+            + ["shut gate c.xml by root", "shut gate d.xml by root"] * 3
+        )
+        result = Iplom().parse_contents(contents)
+        open_ids = {result.assignments[0], result.assignments[1]}
+        shut_ids = {result.assignments[6], result.assignments[7]}
+        assert open_ids.isdisjoint(shut_ids)
+
+    def test_masks_variable_positions(self):
+        contents = [f"open file f{i}.txt by root" for i in range(10)]
+        result = Iplom().parse_contents(contents)
+        assert len(result.events) == 1
+        assert result.events[0].template == "open file * by root"
+
+    def test_no_outliers_without_pst(self):
+        contents = ["a b c", "unique line here", "x y"]
+        result = Iplom().parse_contents(contents)
+        assert "OUTLIER" not in result.assignments
+
+    def test_pst_sends_small_partitions_to_outliers(self):
+        contents = ["common event type one"] * 20 + ["rare alone"]
+        result = Iplom(pst=0.1).parse_contents(contents)
+        assert result.assignments[-1] == "OUTLIER"
+        assert result.assignments[0] != "OUTLIER"
+
+    def test_empty_input(self):
+        result = Iplom().parse([])
+        assert len(result) == 0
+
+    def test_single_line(self):
+        result = Iplom().parse_contents(["only one line"])
+        assert result.assignments == ["E1"]
+        assert result.events[0].template == "only one line"
+
+    def test_empty_content_line(self):
+        result = Iplom().parse_contents(["", "", "a b"])
+        assert result.assignments[0] == result.assignments[1]
+        assert result.assignments[0] != result.assignments[2]
+
+    def test_templates_cover_members(self):
+        contents = [
+            f"session {i} started by user{i % 3} at level {i % 2}"
+            for i in range(30)
+        ]
+        result = Iplom().parse_contents(contents)
+        for structured in result.structured():
+            template = result.template_of(structured.event_id)
+            assert template_matches(template, structured.record.content)
+
+    def test_deterministic(self, toy_contents):
+        a = Iplom().parse_contents(toy_contents)
+        b = Iplom().parse_contents(toy_contents)
+        assert a.assignments == b.assignments
+
+    def test_bijection_split_on_paired_constants(self):
+        # Two token positions with a 1-1 relation (state names) should
+        # separate the two events even though lengths match.
+        contents = ["unit up link active"] * 8 + ["unit down link idle"] * 8
+        result = Iplom().parse_contents(contents)
+        assert result.assignments[0] != result.assignments[8]
+
+    def test_free_parameter_column_not_split(self):
+        # A column with a distinct value per line is a parameter; IPLoM
+        # must not shatter the event into singletons.
+        contents = [f"generating core dump {i}" for i in range(40)]
+        result = Iplom().parse_contents(contents)
+        assert len(result.events) == 1

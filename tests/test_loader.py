@@ -1,0 +1,108 @@
+"""Tests for raw-log / parse-result file I/O and sampling."""
+
+import pytest
+
+from repro.common.errors import DatasetError
+from repro.common.types import LogRecord
+from repro.datasets import (
+    generate_dataset,
+    get_dataset_spec,
+    read_raw_log,
+    sample_records,
+    write_parse_result,
+    write_raw_log,
+)
+from repro.parsers import Iplom
+
+
+class TestRawLogRoundTrip:
+    def test_round_trip(self, tmp_path):
+        records = [
+            LogRecord(content="open a", timestamp="t1", session_id="s1"),
+            LogRecord(content="close a", timestamp="t2", session_id=""),
+        ]
+        path = tmp_path / "raw.log"
+        write_raw_log(records, str(path))
+        loaded = read_raw_log(str(path))
+        assert [r.content for r in loaded] == ["open a", "close a"]
+        assert [r.timestamp for r in loaded] == ["t1", "t2"]
+        assert [r.session_id for r in loaded] == ["s1", ""]
+
+    def test_truth_not_persisted(self, tmp_path):
+        records = [LogRecord(content="x", truth_event="E1")]
+        path = tmp_path / "raw.log"
+        write_raw_log(records, str(path))
+        assert read_raw_log(str(path))[0].truth_event is None
+
+    def test_bare_content_lines(self, tmp_path):
+        path = tmp_path / "bare.log"
+        path.write_text("just a message\nanother one\n")
+        loaded = read_raw_log(str(path))
+        assert [r.content for r in loaded] == [
+            "just a message",
+            "another one",
+        ]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.log"
+        path.write_text("a\n\n\nb\n")
+        assert len(read_raw_log(str(path))) == 2
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            read_raw_log(str(tmp_path / "nope.log"))
+
+    def test_tab_in_content_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            write_raw_log(
+                [LogRecord(content="a\tb")], str(tmp_path / "bad.log")
+            )
+
+    def test_generated_dataset_round_trip(self, tmp_path):
+        dataset = generate_dataset(get_dataset_spec("Zookeeper"), 80, seed=1)
+        path = tmp_path / "zk.log"
+        write_raw_log(dataset.records, str(path))
+        loaded = read_raw_log(str(path))
+        assert [r.content for r in loaded] == dataset.contents()
+
+
+class TestWriteParseResult:
+    def test_writes_both_files(self, tmp_path):
+        dataset = generate_dataset(get_dataset_spec("HDFS"), 60, seed=2)
+        result = Iplom().parse(dataset.records)
+        events_path, structured_path = write_parse_result(
+            result, str(tmp_path / "out")
+        )
+        events = open(events_path).read().splitlines()
+        structured = open(structured_path).read().splitlines()
+        assert len(events) == len(result.events)
+        assert len(structured) == 60
+        assert all("\t" in line for line in events)
+
+
+class TestSampleRecords:
+    def _records(self, n):
+        return [LogRecord(content=f"line {i}") for i in range(n)]
+
+    def test_sample_size(self):
+        assert len(sample_records(self._records(100), 10, seed=1)) == 10
+
+    def test_sample_is_subset_in_order(self):
+        records = self._records(50)
+        sampled = sample_records(records, 20, seed=2)
+        positions = [records.index(r) for r in sampled]
+        assert positions == sorted(positions)
+
+    def test_oversample_returns_all(self):
+        records = self._records(5)
+        assert sample_records(records, 10, seed=3) == records
+
+    def test_deterministic(self):
+        records = self._records(50)
+        assert sample_records(records, 10, seed=4) == sample_records(
+            records, 10, seed=4
+        )
+
+    def test_zero_rejected(self):
+        with pytest.raises(DatasetError):
+            sample_records(self._records(5), 0)

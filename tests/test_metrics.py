@@ -1,0 +1,138 @@
+"""Tests for the alternative clustering metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import EvaluationError
+from repro.evaluation.metrics import (
+    cluster_count_ratio,
+    per_event_recall,
+    purity,
+    rand_index,
+    summary,
+)
+
+labelings = st.lists(
+    st.sampled_from(["a", "b", "c"]), min_size=2, max_size=40
+)
+
+
+class TestRandIndex:
+    def test_perfect(self):
+        assert rand_index(["x", "x", "y"], ["p", "p", "q"]) == 1.0
+
+    def test_single_line(self):
+        assert rand_index(["x"], ["p"]) == 1.0
+
+    def test_total_disagreement(self):
+        # Predicted merges everything, truth all singletons.
+        assert rand_index(["x", "x", "x"], ["a", "b", "c"]) == 0.0
+
+    def test_known_value(self):
+        predicted = ["x", "x", "y", "y"]
+        truth = ["p", "p", "p", "q"]
+        # pairs: (0,1) both together; (0,2),(1,2) truth yes / pred no;
+        # (2,3) pred no / truth no... let's count: agreements are
+        # (0,1) and (0,3),(1,3).
+        assert rand_index(predicted, truth) == pytest.approx(3 / 6)
+
+    def test_length_mismatch(self):
+        with pytest.raises(EvaluationError):
+            rand_index(["a"], ["a", "b"])
+
+    @given(labelings)
+    def test_self_comparison(self, labels):
+        assert rand_index(labels, labels) == 1.0
+
+    @given(labelings)
+    def test_bounded(self, labels):
+        truth = ["t" if i % 2 else "u" for i in range(len(labels))]
+        assert 0.0 <= rand_index(labels, truth) <= 1.0
+
+    def test_penalizes_merging_more_than_f_can(self):
+        from repro.evaluation.fmeasure import f_measure
+
+        truth = ["a"] * 5 + ["b"] * 5
+        merged = ["x"] * 10
+        assert rand_index(merged, truth) < 0.5
+        assert f_measure(merged, truth) > 0.6  # F is more forgiving
+
+
+class TestPurity:
+    def test_pure_clusters(self):
+        assert purity(["x", "x", "y"], ["p", "p", "q"]) == 1.0
+
+    def test_mixed_cluster(self):
+        assert purity(["x", "x", "x", "x"], ["p", "p", "p", "q"]) == 0.75
+
+    def test_fragmentation_keeps_purity_high(self):
+        predicted = ["c1", "c2", "c3", "c4"]
+        truth = ["p", "p", "p", "p"]
+        assert purity(predicted, truth) == 1.0
+
+    def test_empty(self):
+        assert purity([], []) == 1.0
+
+
+class TestClusterCountRatio:
+    def test_exact(self):
+        assert cluster_count_ratio(["x", "y"], ["p", "q"]) == 1.0
+
+    def test_fragmentation_above_one(self):
+        assert cluster_count_ratio(["a", "b", "c"], ["p", "p", "p"]) == 3.0
+
+    def test_merging_below_one(self):
+        assert cluster_count_ratio(["a", "a"], ["p", "q"]) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            cluster_count_ratio([], [])
+
+
+class TestPerEventRecall:
+    def test_intact_event(self):
+        predicted = ["x", "x", "y"]
+        truth = ["p", "p", "q"]
+        assert per_event_recall(predicted, truth, "p") == 1.0
+
+    def test_split_event(self):
+        predicted = ["x", "y", "x", "y"]
+        truth = ["p", "p", "p", "p"]
+        # kept pairs: (0,2) and (1,3) of 6.
+        assert per_event_recall(predicted, truth, "p") == pytest.approx(
+            2 / 6
+        )
+
+    def test_singleton_event_is_vacuous(self):
+        assert per_event_recall(["x", "y"], ["p", "q"], "q") == 1.0
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(EvaluationError):
+            per_event_recall(["x"], ["p"], "zzz")
+
+    def test_critical_event_analysis_matches_finding6(self):
+        # A parse can have high overall F yet zero recall on one event.
+        truth = ["big"] * 20 + ["critical"] * 4
+        predicted = ["c0"] * 20 + [f"s{i}" for i in range(4)]
+        from repro.evaluation.fmeasure import f_measure
+
+        assert f_measure(predicted, truth) > 0.9
+        assert per_event_recall(predicted, truth, "critical") == 0.0
+
+
+class TestSummary:
+    def test_keys_and_ranges(self):
+        predicted = ["x", "x", "y", "z"]
+        truth = ["p", "p", "q", "q"]
+        result = summary(predicted, truth)
+        assert set(result) == {
+            "f_measure",
+            "precision",
+            "recall",
+            "rand_index",
+            "purity",
+            "cluster_count_ratio",
+        }
+        for key, value in result.items():
+            if key != "cluster_count_ratio":
+                assert 0.0 <= value <= 1.0

@@ -1,0 +1,168 @@
+"""Tests for the RQ3 harness (Table III machinery)."""
+
+import pytest
+
+from repro.common.errors import EvaluationError
+from repro.datasets import generate_hdfs_sessions
+from repro.evaluation.mining_impact import (
+    MiningImpactRow,
+    TABLE3_CONFIGS,
+    corrupt_assignments,
+    evaluate_mining_impact,
+    impact_from_parse,
+    score_detection,
+    table3_parser_factory,
+)
+from repro.parsers import OracleParser
+
+
+class TestScoreDetection:
+    LABELS = {"b1": True, "b2": False, "b3": True}
+
+    def test_counts(self):
+        reported, detected, false_alarms = score_detection(
+            frozenset({"b1", "b2"}), self.LABELS
+        )
+        assert (reported, detected, false_alarms) == (2, 1, 1)
+
+    def test_empty_flags(self):
+        assert score_detection(frozenset(), self.LABELS) == (0, 0, 0)
+
+    def test_unknown_session_rejected(self):
+        with pytest.raises(EvaluationError):
+            score_detection(frozenset({"ghost"}), self.LABELS)
+
+
+class TestMiningImpactRow:
+    def test_rates(self):
+        row = MiningImpactRow(
+            parser="X",
+            parsing_accuracy=0.9,
+            reported=100,
+            detected=60,
+            false_alarms=40,
+            true_anomalies=120,
+        )
+        assert row.detection_rate == pytest.approx(0.5)
+        assert row.false_alarm_rate == pytest.approx(0.4)
+
+    def test_zero_division_guards(self):
+        row = MiningImpactRow("X", 1.0, 0, 0, 0, 0)
+        assert row.detection_rate == 0.0
+        assert row.false_alarm_rate == 0.0
+
+
+class TestEvaluateMiningImpact:
+    def test_oracle_has_perfect_accuracy_and_no_false_alarms(self):
+        dataset = generate_hdfs_sessions(800, seed=1)
+        row = evaluate_mining_impact(OracleParser(), dataset)
+        assert row.parsing_accuracy == 1.0
+        assert row.false_alarms <= row.reported * 0.1
+        assert row.true_anomalies == len(dataset.anomaly_blocks)
+
+
+class TestTable3Factory:
+    def test_all_configs_buildable(self):
+        for name in TABLE3_CONFIGS:
+            parser = table3_parser_factory(name, seed=1)
+            assert parser is not None
+
+    def test_unknown_parser_rejected(self):
+        with pytest.raises(EvaluationError):
+            table3_parser_factory("LKE")
+
+    def test_iplom_config_preprocesses(self):
+        parser = table3_parser_factory("IPLoM")
+        assert parser.preprocessor is not None
+
+    def test_slct_config_raw(self):
+        parser = table3_parser_factory("SLCT")
+        assert parser.preprocessor is None
+
+
+class TestCorruptAssignments:
+    def _parsed(self):
+        dataset = generate_hdfs_sessions(200, seed=2)
+        return OracleParser().parse(dataset.records), dataset
+
+    def test_zero_rate_is_identity(self):
+        parsed, _ = self._parsed()
+        corrupted = corrupt_assignments(parsed, 0.0, ["E1"], seed=1)
+        assert corrupted.assignments == parsed.assignments
+
+    def test_full_rate_replaces_all_targets(self):
+        parsed, _ = self._parsed()
+        corrupted = corrupt_assignments(
+            parsed, 1.0, ["E1"], seed=1, mode="merge"
+        )
+        assert "E1" not in corrupted.assignments
+        assert "E_PARSE_ERROR" in corrupted.assignments
+
+    def test_partial_rate_count(self):
+        parsed, _ = self._parsed()
+        n_target = parsed.assignments.count("E1")
+        corrupted = corrupt_assignments(
+            parsed, 0.5, ["E1"], seed=1, mode="merge"
+        )
+        n_corrupt = corrupted.assignments.count("E_PARSE_ERROR")
+        assert n_corrupt == round(0.5 * n_target)
+
+    def test_fragment_mode_creates_singletons(self):
+        parsed, _ = self._parsed()
+        corrupted = corrupt_assignments(
+            parsed, 1.0, ["E1"], seed=1, mode="fragment"
+        )
+        bogus = [a for a in corrupted.assignments if a.startswith("E_PARSE")]
+        assert len(bogus) == len(set(bogus)) > 0
+
+    def test_invalid_mode_rejected(self):
+        parsed, _ = self._parsed()
+        with pytest.raises(EvaluationError):
+            corrupt_assignments(parsed, 0.1, ["E1"], mode="scramble")
+
+    def test_non_target_lines_untouched(self):
+        parsed, _ = self._parsed()
+        corrupted = corrupt_assignments(parsed, 1.0, ["E1"], seed=1)
+        for before, after in zip(parsed.assignments, corrupted.assignments):
+            if before != "E1":
+                assert after == before
+
+    def test_invalid_rate_rejected(self):
+        parsed, _ = self._parsed()
+        with pytest.raises(EvaluationError):
+            corrupt_assignments(parsed, 1.5, ["E1"])
+
+    def test_unknown_target_rejected(self):
+        parsed, _ = self._parsed()
+        with pytest.raises(EvaluationError):
+            corrupt_assignments(parsed, 0.1, ["E999"])
+
+    def test_tiny_errors_on_critical_events_wreck_mining(self):
+        # Finding 6: fragmenting the rare transfer events — a per-mille
+        # F-measure cost — produces an order-of-magnitude degradation.
+        dataset = generate_hdfs_sessions(1500, seed=3)
+        parsed = OracleParser().parse(dataset.records)
+        clean = impact_from_parse("clean", parsed, dataset)
+        corrupted = corrupt_assignments(
+            parsed, 0.5, ["E13", "E15"], seed=4, mode="fragment"
+        )
+        degraded = impact_from_parse("corrupted", corrupted, dataset)
+        assert degraded.parsing_accuracy > 0.99
+        assert (
+            degraded.false_alarms > 10 * max(clean.false_alarms, 1)
+            or degraded.detected < clean.detected / 2
+        )
+
+    def test_large_errors_on_common_events_are_benign(self):
+        # The flip side of Finding 6: a systematic 7% F-measure hit on a
+        # ubiquitous event barely moves the mining result.
+        dataset = generate_hdfs_sessions(1500, seed=3)
+        parsed = OracleParser().parse(dataset.records)
+        clean = impact_from_parse("clean", parsed, dataset)
+        corrupted = corrupt_assignments(
+            parsed, 0.5, ["E3"], seed=4, mode="merge"
+        )
+        degraded = impact_from_parse("corrupted", corrupted, dataset)
+        assert degraded.parsing_accuracy < 0.95
+        assert degraded.detected >= clean.detected - 3
+        assert degraded.false_alarms <= clean.false_alarms + 3

@@ -1,0 +1,92 @@
+"""Tests for Synoptic-style system model construction."""
+
+import pytest
+
+from repro.common.errors import MiningError
+from repro.common.types import LogRecord
+from repro.mining.model import INITIAL, TERMINAL, build_system_model
+from repro.parsers import OracleParser
+
+
+def _records(rows):
+    return [
+        LogRecord(content=content, session_id=session, truth_event=event)
+        for session, event, content in rows
+    ]
+
+
+def _model(rows):
+    return build_system_model(OracleParser().parse(_records(rows)))
+
+
+SIMPLE = [
+    ("s1", "a", "a happened"),
+    ("s1", "b", "b happened"),
+    ("s2", "a", "a happened"),
+    ("s2", "b", "b happened"),
+]
+
+
+class TestBuildSystemModel:
+    def test_states_include_initial_and_terminal(self):
+        model = _model(SIMPLE)
+        assert INITIAL in model.states
+        assert TERMINAL in model.states
+        assert {"a", "b"} <= model.states
+
+    def test_transition_counts(self):
+        model = _model(SIMPLE)
+        assert model.transitions[(INITIAL, "a")] == 2
+        assert model.transitions[("a", "b")] == 2
+        assert model.transitions[("b", TERMINAL)] == 2
+
+    def test_probabilities_normalized(self):
+        rows = SIMPLE + [
+            ("s3", "a", "a happened"),
+            ("s3", "c", "c happened"),
+        ]
+        model = _model(rows)
+        assert model.probability("a", "b") == pytest.approx(2 / 3)
+        assert model.probability("a", "c") == pytest.approx(1 / 3)
+
+    def test_probability_of_unknown_edge(self):
+        model = _model(SIMPLE)
+        assert model.probability("b", "a") == 0.0
+
+    def test_successors(self):
+        model = _model(SIMPLE)
+        assert model.successors(INITIAL) == {"a": 2}
+
+    def test_no_sessions_raises(self):
+        parsed = OracleParser().parse(
+            [LogRecord(content="x", truth_event="a")]
+        )
+        with pytest.raises(MiningError):
+            build_system_model(parsed)
+
+    def test_edge_difference_between_parsers(self):
+        model_a = _model(SIMPLE)
+        rows_extra = SIMPLE + [("s9", "z", "z happened")]
+        model_b = _model(rows_extra)
+        assert model_a.edge_difference(model_b) == 2  # INITIAL->z, z->TERM
+
+    def test_edge_difference_is_symmetric(self):
+        model_a = _model(SIMPLE)
+        model_b = _model(SIMPLE + [("s9", "z", "z happened")])
+        assert model_a.edge_difference(model_b) == model_b.edge_difference(
+            model_a
+        )
+
+    def test_bad_parse_changes_model_layout(self):
+        # §III-A: an unsuitable parser yields extra branches / layout.
+        from repro.datasets import generate_hdfs_sessions
+        from repro.evaluation.mining_impact import table3_parser_factory
+
+        dataset = generate_hdfs_sessions(200, seed=4)
+        oracle_model = build_system_model(
+            OracleParser().parse(dataset.records)
+        )
+        slct_model = build_system_model(
+            table3_parser_factory("SLCT").parse(dataset.records)
+        )
+        assert oracle_model.edge_difference(slct_model) > 0

@@ -1,0 +1,68 @@
+"""Unit tests for the ground-truth (oracle) parser."""
+
+import pytest
+
+from repro.common.errors import ParserConfigurationError
+from repro.common.types import LogRecord, ParseResult
+from repro.datasets import generate_dataset, get_dataset_spec
+from repro.evaluation import f_measure
+from repro.parsers import OracleParser
+
+
+class TestLabeledRecords:
+    def test_uses_truth_labels(self):
+        records = [
+            LogRecord(content="anything", truth_event="EV_A"),
+            LogRecord(content="else", truth_event="EV_B"),
+            LogRecord(content="anything again", truth_event="EV_A"),
+        ]
+        result = OracleParser().parse(records)
+        assert result.assignments == ["EV_A", "EV_B", "EV_A"]
+
+    def test_perfect_f_measure_on_generated_data(self):
+        dataset = generate_dataset(get_dataset_spec("HDFS"), 200, seed=1)
+        result = OracleParser().parse(dataset.records)
+        assert f_measure(result.assignments, dataset.truth_assignments) == 1.0
+
+    def test_events_listed_once_per_type(self):
+        records = [
+            LogRecord(content="x", truth_event="E1"),
+            LogRecord(content="y", truth_event="E1"),
+        ]
+        result = OracleParser().parse(records)
+        assert [e.event_id for e in result.events] == ["E1"]
+
+
+class TestTemplateMatching:
+    TEMPLATES = {
+        "OPEN": "open file *",
+        "CLOSE": "close file * status *",
+    }
+
+    def test_matches_unlabeled_records(self):
+        parser = OracleParser(truth_templates=self.TEMPLATES)
+        records = [
+            LogRecord(content="open file a.txt"),
+            LogRecord(content="close file a.txt status 0"),
+        ]
+        result = parser.parse(records)
+        assert result.assignments == ["OPEN", "CLOSE"]
+
+    def test_unmatched_becomes_outlier(self):
+        parser = OracleParser(truth_templates=self.TEMPLATES)
+        result = parser.parse([LogRecord(content="garbled nonsense")])
+        assert result.assignments == [ParseResult.OUTLIER_EVENT_ID]
+
+    def test_unlabeled_without_templates_raises(self):
+        with pytest.raises(ParserConfigurationError):
+            OracleParser().parse([LogRecord(content="no label")])
+
+    def test_labels_take_priority_over_matching(self):
+        parser = OracleParser(truth_templates=self.TEMPLATES)
+        record = LogRecord(content="open file a.txt", truth_event="CUSTOM")
+        assert parser.parse([record]).assignments == ["CUSTOM"]
+
+    def test_templates_reported_for_matched_events(self):
+        parser = OracleParser(truth_templates=self.TEMPLATES)
+        result = parser.parse([LogRecord(content="open file a.txt")])
+        assert result.template_of("OPEN") == "open file *"

@@ -1,0 +1,82 @@
+"""Tests for the chunked parallel parser (§V future-work direction)."""
+
+import pytest
+
+from repro.common.errors import ParserConfigurationError
+from repro.datasets import generate_dataset, get_dataset_spec
+from repro.evaluation import f_measure
+from repro.parsers import ChunkedParallelParser, Iplom, Slct
+
+
+def _iplom():
+    return Iplom()
+
+
+def _slct():
+    return Slct(support=3)
+
+
+class TestConfiguration:
+    def test_rejects_zero_chunk(self):
+        with pytest.raises(ParserConfigurationError):
+            ChunkedParallelParser(_iplom, chunk_size=0)
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ParserConfigurationError):
+            ChunkedParallelParser(_iplom, workers=0)
+
+
+class TestSequentialChunking:
+    def test_empty_input(self):
+        result = ChunkedParallelParser(_iplom, chunk_size=10).parse([])
+        assert len(result) == 0
+
+    def test_assignments_cover_all_lines(self):
+        dataset = generate_dataset(get_dataset_spec("HDFS"), 500, seed=1)
+        parser = ChunkedParallelParser(_iplom, chunk_size=120)
+        result = parser.parse(dataset.records)
+        assert len(result.assignments) == 500
+
+    def test_identical_templates_merged_across_chunks(self):
+        dataset = generate_dataset(get_dataset_spec("HDFS"), 600, seed=2)
+        chunked = ChunkedParallelParser(_iplom, chunk_size=200).parse(
+            dataset.records
+        )
+        # Every event id must be unique and every template appear once.
+        templates = [e.template for e in chunked.events]
+        assert len(templates) == len(set(templates))
+
+    def test_accuracy_close_to_unchunked(self):
+        dataset = generate_dataset(get_dataset_spec("HDFS"), 900, seed=3)
+        truth = dataset.truth_assignments
+        whole = f_measure(
+            Iplom().parse(dataset.records).assignments, truth
+        )
+        chunked = f_measure(
+            ChunkedParallelParser(_iplom, chunk_size=300)
+            .parse(dataset.records)
+            .assignments,
+            truth,
+        )
+        assert chunked >= whole - 0.1
+
+    def test_outliers_preserved(self):
+        contents = ["common line type"] * 30 + ["rare solitary message"]
+        from repro.common.types import records_from_contents
+
+        parser = ChunkedParallelParser(_slct, chunk_size=31)
+        result = parser.parse(records_from_contents(contents))
+        assert result.assignments[-1] == "OUTLIER"
+
+
+class TestMultiprocess:
+    def test_two_workers_equivalent_to_one(self):
+        dataset = generate_dataset(get_dataset_spec("Zookeeper"), 400, seed=4)
+        sequential = ChunkedParallelParser(_iplom, chunk_size=100, workers=1)
+        parallel = ChunkedParallelParser(_iplom, chunk_size=100, workers=2)
+        a = sequential.parse(dataset.records)
+        b = parallel.parse(dataset.records)
+        assert a.assignments == b.assignments
+        assert [e.template for e in a.events] == [
+            e.template for e in b.events
+        ]

@@ -1,0 +1,82 @@
+"""Tests for the LogParser base contract shared by all parsers."""
+
+import pytest
+
+from repro.common.errors import ParserConfigurationError
+from repro.common.types import ParseResult
+from repro.parsers import make_parser, PARSER_NAMES
+from repro.parsers.base import Clustering, LogParser, OUTLIER
+
+
+class TestClustering:
+    def test_valid_labels(self):
+        Clustering(labels=[0, 1, OUTLIER], templates=[["a"], ["b"]])
+
+    def test_out_of_range_label_rejected(self):
+        with pytest.raises(ValueError):
+            Clustering(labels=[2], templates=[["a"]])
+
+    def test_negative_non_outlier_rejected(self):
+        with pytest.raises(ValueError):
+            Clustering(labels=[-2], templates=[["a"]])
+
+
+class _FixedParser(LogParser):
+    name = "fixed"
+
+    def _cluster(self, token_lists):
+        labels = [0 if tokens and tokens[0] == "keep" else OUTLIER
+                  for tokens in token_lists]
+        return Clustering(labels=labels, templates=[["keep", "*"]])
+
+
+class _BrokenParser(LogParser):
+    name = "broken"
+
+    def _cluster(self, token_lists):
+        return Clustering(labels=[], templates=[])
+
+
+class TestBaseParse:
+    def test_event_ids_sequential(self):
+        result = _FixedParser().parse_contents(["keep a", "keep b"])
+        assert result.event_ids == ["E1"]
+
+    def test_outlier_assignment(self):
+        result = _FixedParser().parse_contents(["keep a", "drop b"])
+        assert result.assignments == ["E1", ParseResult.OUTLIER_EVENT_ID]
+
+    def test_label_count_mismatch_detected(self):
+        with pytest.raises(ParserConfigurationError):
+            _BrokenParser().parse_contents(["a"])
+
+    def test_preprocessor_applied_before_clustering(self):
+        from repro.parsers.preprocess import Preprocessor, Rule
+
+        rule = Rule("rewrite", r"drop", "keep")
+        parser = _FixedParser(preprocessor=Preprocessor(rules=(rule,)))
+        result = parser.parse_contents(["drop x"])
+        assert result.assignments == ["E1"]
+
+    def test_original_records_preserved(self):
+        result = _FixedParser().parse_contents(["keep original text"])
+        assert result.records[0].content == "keep original text"
+
+
+class TestRegistry:
+    def test_paper_order(self):
+        assert PARSER_NAMES == ["SLCT", "IPLoM", "LKE", "LogSig"]
+
+    def test_make_parser_case_insensitive(self):
+        assert make_parser("iplom").name == "IPLoM"
+
+    def test_make_parser_forwards_params(self):
+        parser = make_parser("slct", support=0.5)
+        assert parser.support == 0.5
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ParserConfigurationError):
+            make_parser("nope")
+
+    def test_ground_truth_in_registry(self):
+        assert make_parser("GroundTruth").name == "GroundTruth"

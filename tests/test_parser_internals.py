@@ -1,0 +1,133 @@
+"""White-box tests for parser internals (IPLoM / LogSig mechanics)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.parsers.iplom import Iplom
+from repro.parsers.logsig import LogSig
+
+
+class TestIplomColumnAnalysis:
+    def test_column_cardinalities(self):
+        token_lists = [["a", "x"], ["a", "y"], ["a", "x"]]
+        columns = Iplom._column_cardinalities([0, 1, 2], token_lists)
+        assert [len(c) for c in columns] == [1, 2]
+
+    def test_determine_p1_p2_two_columns(self):
+        iplom = Iplom()
+        assert iplom._determine_p1_p2([{"a"}, {"b", "c"}]) == (0, 1)
+
+    def test_determine_p1_p2_modal_cardinality(self):
+        iplom = Iplom()
+        columns = [{"k"}, {"a", "b"}, {"c", "d"}, set("0123456789")]
+        # Cardinality 2 occurs twice -> those two columns are chosen.
+        assert iplom._determine_p1_p2(columns) == (1, 2)
+
+    def test_determine_p1_p2_all_constant(self):
+        iplom = Iplom()
+        assert iplom._determine_p1_p2([{"a"}, {"b"}, {"c"}]) is None
+
+    def test_determine_p1_p2_single_variable_column_pairs_with_none(self):
+        iplom = Iplom()
+        assert iplom._determine_p1_p2([{"a"}, {"b", "c"}, {"d"}]) is None
+
+    def test_many_side_variable_decision(self):
+        iplom = Iplom(lower_bound=0.25, upper_bound=0.9)
+        # 2 distinct values over 100 lines: repeated constants.
+        assert not iplom._many_side_is_variable(2, 100)
+        # 95 distinct values over 100 lines: free parameter.
+        assert iplom._many_side_is_variable(95, 100)
+        # In between: defaults to variable.
+        assert iplom._many_side_is_variable(50, 100)
+
+
+class TestIplomPartitioning:
+    def test_partition_by_position_skips_parameter_columns(self):
+        # Column 1 is unique-per-line (a parameter); column 2 has two
+        # constants; the split must use column 2.
+        token_lists = [
+            ["op", f"id{i}", "ok" if i % 2 else "bad"] for i in range(20)
+        ]
+        iplom = Iplom()
+        partitions = iplom._partition_by_position(
+            list(range(20)), token_lists
+        )
+        assert len(partitions) == 2
+        sizes = sorted(len(p) for p in partitions)
+        assert sizes == [10, 10]
+
+    def test_partition_by_position_all_parameters_no_split(self):
+        token_lists = [["op", f"id{i}"] for i in range(20)]
+        iplom = Iplom()
+        partitions = iplom._partition_by_position(
+            list(range(20)), token_lists
+        )
+        assert len(partitions) == 1
+
+    def test_partition_by_mapping_respects_goodness(self):
+        # 3 of 4 columns constant -> goodness 0.75 > ct -> untouched.
+        token_lists = [["a", "b", "c", f"p{i}"] for i in range(10)]
+        iplom = Iplom(ct=0.35)
+        partitions = iplom._partition_by_mapping(
+            list(range(10)), token_lists
+        )
+        assert len(partitions) == 1
+
+
+class TestLogSigScoring:
+    def test_best_group_prefers_concentrated_pairs(self):
+        pair_counts = {
+            ("a", "b"): {0: 10.0, 1: 1.0},
+            ("b", "c"): {0: 10.0},
+        }
+        group_sizes = [10.0, 10.0]
+        best = LogSig._best_group(
+            frozenset({("a", "b"), ("b", "c")}),
+            pair_counts,
+            group_sizes,
+            k=2,
+        )
+        assert best == 0
+
+    def test_best_group_unknown_pairs_default_to_group_zero(self):
+        best = LogSig._best_group(
+            frozenset({("x", "y")}), {}, [5.0, 5.0], k=2
+        )
+        assert best == 0
+
+    def test_move_updates_counts_and_sizes(self):
+        pairs = [frozenset({("a", "b")})]
+        pair_counts = {("a", "b"): {0: 3.0}}
+        group_sizes = [3.0, 0.0]
+        LogSig._move(0, 0, 1, 3.0, pairs, pair_counts, group_sizes)
+        assert group_sizes == [0.0, 3.0]
+        assert pair_counts[("a", "b")] == {1: 3.0}
+
+    def test_move_partial_weight(self):
+        pairs = [frozenset({("a", "b")})]
+        pair_counts = {("a", "b"): {0: 5.0}}
+        group_sizes = [5.0, 0.0]
+        LogSig._move(0, 0, 1, 2.0, pairs, pair_counts, group_sizes)
+        assert pair_counts[("a", "b")] == {0: 3.0, 1: 2.0}
+
+
+class TestLogSigTemplates:
+    def test_template_over_modal_length(self):
+        logsig = LogSig(groups=1, seed=1)
+        members = [("a", "b"), ("a", "b"), ("a", "b", "x")]
+        weights = [2, 2, 1]
+        template = logsig._make_template(members, weights)
+        assert template == ["a", "b"]
+
+    def test_template_masks_even_vote_split(self):
+        logsig = LogSig(groups=1, seed=1)
+        members = [("a", "b"), ("a", "c"), ("a", "d")]
+        template = logsig._make_template(members, [1, 1, 1])
+        assert template == ["a", "*"]
+
+    def test_template_threshold_masks_minority(self):
+        logsig = LogSig(groups=1, seed=1, template_threshold=0.9)
+        members = [("a", "b"), ("a", "b"), ("a", "c")]
+        template = logsig._make_template(members, [1, 1, 1])
+        assert template == ["a", "*"]

@@ -1,0 +1,120 @@
+"""Cross-parser edge cases and failure injection.
+
+Every parser must satisfy the same contract under adversarial input:
+empty files, single lines, all-identical corpora, all-unique corpora,
+single-token messages, very long messages, and mixed garbage.
+"""
+
+import pytest
+
+from repro.common.types import ParseResult, records_from_contents
+from repro.parsers import Iplom, Lke, LogSig, Slct
+
+ALL_PARSERS = [
+    pytest.param(lambda: Slct(support=2), id="SLCT"),
+    pytest.param(lambda: Iplom(), id="IPLoM"),
+    pytest.param(lambda: Lke(seed=1), id="LKE"),
+    pytest.param(lambda: LogSig(groups=3, seed=1), id="LogSig"),
+]
+
+
+@pytest.mark.parametrize("factory", ALL_PARSERS)
+class TestContractUnderEdgeCases:
+    def test_empty_input(self, factory):
+        result = factory().parse([])
+        assert len(result) == 0
+        assert result.events == []
+
+    def test_single_line(self, factory):
+        result = factory().parse_contents(["just one log line here"])
+        assert len(result.assignments) == 1
+
+    def test_all_identical(self, factory):
+        result = factory().parse_contents(["same line again"] * 25)
+        assert len(set(result.assignments)) == 1
+
+    def test_single_token_messages(self, factory):
+        result = factory().parse_contents(["up"] * 5 + ["down"] * 5)
+        assert len(result.assignments) == 10
+
+    def test_long_messages(self, factory):
+        long_line = " ".join(f"tok{i}" for i in range(120))
+        result = factory().parse_contents([long_line] * 4)
+        assert len(set(result.assignments)) == 1
+
+    def test_assignments_align_with_records(self, factory):
+        contents = [f"evt alpha {i}" for i in range(10)] + [
+            f"evt beta {i}" for i in range(10)
+        ]
+        result = factory().parse_contents(contents)
+        assert len(result.assignments) == len(result.records) == 20
+
+    def test_every_non_outlier_has_template(self, factory):
+        contents = [f"msg kind{i % 2} value {i}" for i in range(16)]
+        result = factory().parse_contents(contents)
+        for event_id in set(result.assignments):
+            if event_id != ParseResult.OUTLIER_EVENT_ID:
+                assert result.template_of(event_id)
+
+    def test_whitespace_heavy_lines(self, factory):
+        result = factory().parse_contents(
+            ["  spaced   out   line  "] * 4 + ["another kind entirely ok"] * 4
+        )
+        assert len(result.assignments) == 8
+
+    def test_unicode_content(self, factory):
+        result = factory().parse_contents(
+            ["naïve café message №1", "naïve café message №2"] * 3
+        )
+        assert len(result.assignments) == 6
+
+
+class TestMixedGarbage:
+    GARBAGE = [
+        "",
+        "x",
+        "a b c d e f g h i j k l m",
+        "{json: looking, thing: 1}",
+        "tab\tseparated\tvalues",  # tabs collapse to whitespace tokens
+        "1234567890",
+        "=== section header ===",
+    ]
+
+    def test_slct_handles_garbage(self):
+        result = Slct(support=2).parse_contents(self.GARBAGE * 3)
+        assert len(result.assignments) == len(self.GARBAGE) * 3
+
+    def test_iplom_handles_garbage(self):
+        result = Iplom().parse_contents(self.GARBAGE * 3)
+        assert len(result.assignments) == len(self.GARBAGE) * 3
+
+    def test_lke_handles_garbage(self):
+        result = Lke(seed=1).parse_contents(self.GARBAGE * 3)
+        assert len(result.assignments) == len(self.GARBAGE) * 3
+
+    def test_logsig_handles_garbage(self):
+        result = LogSig(groups=4, seed=1).parse_contents(self.GARBAGE * 3)
+        assert len(result.assignments) == len(self.GARBAGE) * 3
+
+    def test_identical_garbage_lines_agree(self):
+        for factory in (lambda: Slct(support=2), Iplom,
+                        lambda: Lke(seed=1)):
+            result = factory().parse_contents(self.GARBAGE * 3)
+            by_content = {}
+            for structured in result.structured():
+                by_content.setdefault(
+                    structured.record.content, set()
+                ).add(structured.event_id)
+            assert all(len(ids) == 1 for ids in by_content.values())
+
+
+class TestRecordMetadataPreserved:
+    def test_session_and_timestamp_survive_parsing(self):
+        records = records_from_contents(
+            ["open a", "open b"], session_ids=["s1", "s2"]
+        )
+        result = Iplom().parse(records)
+        assert [s.record.session_id for s in result.structured()] == [
+            "s1",
+            "s2",
+        ]

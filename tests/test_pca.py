@@ -1,0 +1,91 @@
+"""Tests for the PCA anomaly model and the Q-statistic threshold."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import MiningError
+from repro.common.rng import make_numpy_rng
+from repro.mining.pca import PcaAnomalyModel, q_statistic_threshold
+
+
+def _normal_data(n=300, seed=1):
+    rng = make_numpy_rng(seed)
+    # Two latent factors in 6 dimensions + small isotropic noise.
+    factors = rng.normal(size=(n, 2))
+    loadings = rng.normal(size=(2, 6))
+    return factors @ loadings + 0.05 * rng.normal(size=(n, 6))
+
+
+class TestQStatistic:
+    def test_positive_for_generic_spectrum(self):
+        eigenvalues = np.array([5.0, 2.0, 1.0, 0.5, 0.2])
+        threshold = q_statistic_threshold(eigenvalues, k=2)
+        assert threshold > 0
+
+    def test_empty_residual_is_infinite(self):
+        eigenvalues = np.array([5.0, 2.0])
+        assert q_statistic_threshold(eigenvalues, k=2) == float("inf")
+
+    def test_smaller_alpha_raises_threshold(self):
+        eigenvalues = np.array([5.0, 2.0, 1.0, 0.5, 0.2])
+        strict = q_statistic_threshold(eigenvalues, k=2, alpha=0.0001)
+        loose = q_statistic_threshold(eigenvalues, k=2, alpha=0.05)
+        assert strict > loose
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(MiningError):
+            q_statistic_threshold(np.array([1.0, 0.5]), k=1, alpha=0.0)
+
+    def test_threshold_covers_most_normal_noise(self):
+        data = _normal_data()
+        model = PcaAnomalyModel(alpha=0.001).fit(data)
+        false_rate = float(np.mean(model.predict(data)))
+        assert false_rate < 0.02
+
+
+class TestPcaAnomalyModel:
+    def test_fit_chooses_components_for_variance(self):
+        model = PcaAnomalyModel(variance_fraction=0.95).fit(_normal_data())
+        # Two latent factors dominate -> k should be small.
+        assert 1 <= model.fitted_components <= 3
+
+    def test_fixed_components_respected(self):
+        model = PcaAnomalyModel(n_components=4).fit(_normal_data())
+        assert model.fitted_components == 4
+
+    def test_bad_n_components_rejected(self):
+        with pytest.raises(MiningError):
+            PcaAnomalyModel(n_components=99).fit(_normal_data())
+
+    def test_spe_near_zero_inside_normal_space(self):
+        data = _normal_data()
+        model = PcaAnomalyModel(n_components=2).fit(data)
+        assert np.median(model.spe(data)) < 0.1
+
+    def test_detects_planted_outlier(self):
+        data = _normal_data()
+        model = PcaAnomalyModel(alpha=0.001).fit(data)
+        outlier = data[:1] + 100.0 * np.ones((1, 6))
+        assert model.predict(outlier)[0]
+
+    def test_spe_requires_fit(self):
+        with pytest.raises(MiningError):
+            PcaAnomalyModel().spe(np.zeros((2, 2)))
+
+    def test_rejects_single_row(self):
+        with pytest.raises(MiningError):
+            PcaAnomalyModel().fit(np.zeros((1, 3)))
+
+    def test_rejects_bad_variance_fraction(self):
+        with pytest.raises(MiningError):
+            PcaAnomalyModel(variance_fraction=0.0).fit(_normal_data())
+
+    def test_components_are_orthonormal(self):
+        model = PcaAnomalyModel(n_components=3).fit(_normal_data())
+        gram = model.components.T @ model.components
+        assert np.allclose(gram, np.eye(3), atol=1e-8)
+
+    def test_constant_matrix_handled(self):
+        data = np.ones((10, 4))
+        model = PcaAnomalyModel().fit(data)
+        assert not model.predict(data).any()

@@ -1,0 +1,60 @@
+"""Tests for the ASCII plot renderer."""
+
+import pytest
+
+from repro.common.errors import EvaluationError
+from repro.evaluation.plots import ascii_plot
+
+
+SERIES = {
+    "SLCT": [(400, 0.01), (4000, 0.1), (40000, 1.0)],
+    "LKE": [(400, 1.0), (4000, 100.0)],
+}
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        text = ascii_plot(SERIES, title="Fig2")
+        assert "Fig2" in text
+        assert "o=SLCT" in text
+        assert "x=LKE" in text
+        plot_rows = [line for line in text.splitlines() if "|" in line]
+        assert any("o" in row for row in plot_rows)
+        assert any("x" in row for row in plot_rows)
+
+    def test_axis_labels_present(self):
+        text = ascii_plot(SERIES)
+        assert "400" in text
+        assert "4e+04" in text or "40000" in text
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(EvaluationError):
+            ascii_plot({"a": [(0, 1.0)]}, log_x=True)
+        with pytest.raises(EvaluationError):
+            ascii_plot({"a": [(1, 0.0)]}, log_y=True)
+
+    def test_linear_scales_allow_zero(self):
+        text = ascii_plot(
+            {"a": [(0, 0.0), (10, 1.0)]}, log_x=False, log_y=False
+        )
+        assert "o" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            ascii_plot({})
+
+    def test_grid_dimensions(self):
+        text = ascii_plot(SERIES, width=30, height=8, title="")
+        plot_rows = [line for line in text.splitlines() if "|" in line]
+        assert len(plot_rows) == 8
+
+    def test_extreme_points_land_on_edges(self):
+        text = ascii_plot({"a": [(1, 1.0), (1000, 1000.0)]}, height=5)
+        rows = [line for line in text.splitlines() if "|" in line]
+        # Max y in top row, min y in bottom row.
+        assert "o" in rows[0]
+        assert "o" in rows[-1]
+
+    def test_single_point(self):
+        text = ascii_plot({"solo": [(10, 5.0)]})
+        assert "o=solo" in text

@@ -1,0 +1,77 @@
+"""Tests for domain-knowledge preprocessing (Finding 2 machinery)."""
+
+import pytest
+
+from repro.common.errors import ParserConfigurationError
+from repro.parsers.preprocess import (
+    BLOCK_ID,
+    CORE_ID,
+    IP_ADDRESS,
+    Preprocessor,
+    Rule,
+    default_preprocessor,
+)
+
+
+class TestRules:
+    def test_ip_rule(self):
+        assert IP_ADDRESS.apply("src /10.251.31.5 dest") == "src /* dest"
+
+    def test_ip_with_port(self):
+        assert IP_ADDRESS.apply("dest: /10.251.31.5:50010") == "dest: /*"
+
+    def test_block_id_rule(self):
+        assert BLOCK_ID.apply("block blk_-1608999687919862906 done") == (
+            "block * done"
+        )
+
+    def test_block_id_positive(self):
+        assert BLOCK_ID.apply("blk_123") == "*"
+
+    def test_core_id_rule(self):
+        assert CORE_ID.apply("generating core.2275") == "generating *"
+
+    def test_core_rule_requires_word_boundary(self):
+        assert CORE_ID.apply("multicore.5 stays") == "multicore.5 stays"
+
+    def test_invalid_regex_rejected(self):
+        with pytest.raises(ParserConfigurationError):
+            Rule("bad", "([unclosed")
+
+
+class TestPreprocessor:
+    def test_applies_rules_in_order(self):
+        preprocessor = Preprocessor(rules=(BLOCK_ID, IP_ADDRESS))
+        content = "Receiving block blk_1 src: /10.0.0.1:9 dest: /10.0.0.2:9"
+        assert preprocessor(content) == "Receiving block * src: /* dest: /*"
+
+    def test_rule_names(self):
+        preprocessor = Preprocessor(rules=(BLOCK_ID, IP_ADDRESS))
+        assert preprocessor.rule_names == ["block_id", "ip"]
+
+    def test_no_match_is_identity(self):
+        preprocessor = Preprocessor(rules=(CORE_ID,))
+        assert preprocessor("nothing to see") == "nothing to see"
+
+
+class TestDefaultPreprocessor:
+    def test_hdfs_has_block_and_ip(self):
+        preprocessor = default_preprocessor("HDFS")
+        assert preprocessor.rule_names == ["block_id", "ip"]
+
+    def test_bgl_has_core(self):
+        assert default_preprocessor("BGL").rule_names == ["core_id"]
+
+    def test_hpc_and_zookeeper_have_ip(self):
+        assert default_preprocessor("HPC").rule_names == ["ip"]
+        assert default_preprocessor("Zookeeper").rule_names == ["ip"]
+
+    def test_proxifier_has_none(self):
+        assert default_preprocessor("Proxifier") is None
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(ParserConfigurationError):
+            default_preprocessor("unknown")
+
+    def test_case_insensitive(self):
+        assert default_preprocessor("bgl").rule_names == ["core_id"]

@@ -1,0 +1,75 @@
+"""Property-based tests driven by the real template banks.
+
+Hypothesis draws slices of actual generated datasets and checks the
+parser/oracle/tagged contracts against ground truth — covering the
+parsers with realistic token distributions rather than toy corpora.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import generate_dataset, get_dataset_spec
+from repro.evaluation import f_measure
+from repro.evaluation.fmeasure import singletonize_outliers
+from repro.parsers import Iplom, OracleParser, TaggedLogParser, tag_records
+
+#: One pre-generated pool per dataset; tests draw random windows.
+_POOLS = {
+    name: generate_dataset(get_dataset_spec(name), 1200, seed=99).records
+    for name in ("HDFS", "Zookeeper", "Proxifier")
+}
+
+windows = st.tuples(
+    st.sampled_from(sorted(_POOLS)),
+    st.integers(min_value=0, max_value=900),
+    st.integers(min_value=20, max_value=300),
+)
+
+
+@given(windows)
+@settings(max_examples=25, deadline=None)
+def test_oracle_is_always_perfect(window):
+    name, start, length = window
+    records = _POOLS[name][start : start + length]
+    truth = [record.truth_event for record in records]
+    result = OracleParser().parse(records)
+    assert f_measure(result.assignments, truth) == 1.0
+
+
+@given(windows)
+@settings(max_examples=25, deadline=None)
+def test_tagged_round_trip_is_exact(window):
+    name, start, length = window
+    records = _POOLS[name][start : start + length]
+    truth = [record.truth_event for record in records]
+    result = TaggedLogParser().parse(tag_records(records))
+    assert f_measure(result.assignments, truth) == 1.0
+
+
+@given(windows)
+@settings(max_examples=15, deadline=None)
+def test_iplom_never_below_chance_on_real_banks(window):
+    name, start, length = window
+    records = _POOLS[name][start : start + length]
+    truth = [record.truth_event for record in records]
+    result = Iplom().parse(records)
+    score = f_measure(singletonize_outliers(result.assignments), truth)
+    assert score > 0.3
+
+
+@given(windows)
+@settings(max_examples=15, deadline=None)
+def test_parse_is_deterministic_on_real_banks(window):
+    name, start, length = window
+    records = _POOLS[name][start : start + length]
+    first = Iplom().parse(records)
+    second = Iplom().parse(records)
+    assert first.assignments == second.assignments
+
+
+@given(windows)
+@settings(max_examples=15, deadline=None)
+def test_template_count_bounded_by_line_count(window):
+    name, start, length = window
+    records = _POOLS[name][start : start + length]
+    result = Iplom().parse(records)
+    assert len(result.events) <= len(records)

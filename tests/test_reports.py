@@ -1,0 +1,78 @@
+"""Tests for the ASCII table/figure renderers."""
+
+from repro.datasets import get_dataset_spec
+from repro.evaluation.accuracy import AccuracyResult
+from repro.evaluation.efficiency import EfficiencyPoint
+from repro.evaluation.mining_impact import MiningImpactRow
+from repro.evaluation.reports import (
+    render_series,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+
+
+def _acc(value, preprocessed=False):
+    return AccuracyResult(
+        parser="P",
+        dataset="D",
+        preprocessed=preprocessed,
+        sample_size=2000,
+        runs=[value],
+    )
+
+
+class TestRenderTable1:
+    def test_contains_dataset_rows(self):
+        spec = get_dataset_spec("HDFS")
+        text = render_table1([(spec, 1000, (8, 29), 29)])
+        assert "HDFS" in text
+        assert "1,000" in text
+        assert "8~29" in text
+
+
+class TestRenderTable2:
+    def test_raw_and_preprocessed_cells(self):
+        results = {
+            ("SLCT", "HDFS"): (_acc(0.857), _acc(0.931, True)),
+        }
+        text = render_table2(results, ["SLCT"], ["HDFS"])
+        assert "0.86/0.93" in text
+
+    def test_missing_preprocessed_renders_dash(self):
+        results = {("SLCT", "Proxifier"): (_acc(0.89), None)}
+        text = render_table2(results, ["SLCT"], ["Proxifier"])
+        assert "0.89/-" in text
+
+
+class TestRenderTable3:
+    def test_row_formatting(self):
+        row = MiningImpactRow(
+            parser="SLCT",
+            parsing_accuracy=0.83,
+            reported=18450,
+            detected=10935,
+            false_alarms=7515,
+            true_anomalies=16838,
+        )
+        text = render_table3([row])
+        assert "SLCT" in text
+        assert "18,450" in text
+        assert "65%" in text or "(40" in text  # false alarm percentage
+
+
+class TestRenderSeries:
+    def test_efficiency_points(self):
+        points = [
+            EfficiencyPoint("SLCT", "BGL", 400, 0.1234),
+            EfficiencyPoint("SLCT", "BGL", 4000, None),
+        ]
+        text = render_series("SLCT on BGL", points)
+        assert "SLCT on BGL" in text
+        assert "0.123s" in text
+        assert "skipped" in text
+
+    def test_plain_value_series(self):
+        text = render_series("accuracy", [(400, 0.91), (4000, 0.88)])
+        assert "0.910" in text
+        assert "4,000" in text

@@ -1,0 +1,35 @@
+"""Unit tests for repro.common.rng (determinism guarantees)."""
+
+from repro.common.rng import DEFAULT_SEED, make_numpy_rng, make_rng, spawn
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        assert make_rng(7).random() == make_rng(7).random()
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+    def test_none_uses_default(self):
+        assert make_rng(None).random() == make_rng(DEFAULT_SEED).random()
+
+
+class TestMakeNumpyRng:
+    def test_deterministic(self):
+        a = make_numpy_rng(3).integers(0, 1000, 5)
+        b = make_numpy_rng(3).integers(0, 1000, 5)
+        assert (a == b).all()
+
+
+class TestSpawn:
+    def test_label_keys_stream(self):
+        assert spawn(1, "a").random() != spawn(1, "b").random()
+
+    def test_reproducible(self):
+        assert spawn(1, "a").random() == spawn(1, "a").random()
+
+    def test_seed_keys_stream(self):
+        assert spawn(1, "a").random() != spawn(2, "a").random()
+
+    def test_none_seed_stable(self):
+        assert spawn(None, "x").random() == spawn(None, "x").random()

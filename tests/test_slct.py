@@ -1,0 +1,100 @@
+"""Unit tests for the SLCT parser."""
+
+import pytest
+
+from repro.common.errors import ParserConfigurationError
+from repro.common.types import ParseResult, records_from_contents
+from repro.parsers import Slct, default_preprocessor
+
+
+class TestConfiguration:
+    def test_rejects_zero_support(self):
+        with pytest.raises(ParserConfigurationError):
+            Slct(support=0)
+
+    def test_rejects_negative_support(self):
+        with pytest.raises(ParserConfigurationError):
+            Slct(support=-1)
+
+    def test_fractional_support_scales_with_input(self):
+        assert Slct(support=0.1)._absolute_support(200) == 20
+
+    def test_absolute_support_passes_through(self):
+        assert Slct(support=5)._absolute_support(200) == 5
+
+    def test_fractional_support_floor_is_one(self):
+        assert Slct(support=0.001)._absolute_support(10) == 1
+
+
+class TestClustering:
+    def test_basic_template_extraction(self, toy_contents, toy_truth):
+        result = Slct(support=2).parse_contents(toy_contents)
+        templates = {e.template for e in result.events}
+        assert "open file * by root" in templates
+        assert "close file * status 0" in templates
+
+    def test_same_event_lines_share_cluster(self, toy_contents):
+        result = Slct(support=2).parse_contents(toy_contents)
+        assert result.assignments[0] == result.assignments[1]
+        assert result.assignments[3] == result.assignments[4]
+
+    def test_sub_support_lines_are_outliers(self):
+        contents = ["alpha beta gamma"] * 5 + ["unique message here"]
+        result = Slct(support=3).parse_contents(contents)
+        assert result.assignments[-1] == ParseResult.OUTLIER_EVENT_ID
+
+    def test_outliers_have_no_template(self):
+        contents = ["a b"] * 4 + ["x y"]
+        result = Slct(support=3).parse_contents(contents)
+        with pytest.raises(KeyError):
+            result.template_of(ParseResult.OUTLIER_EVENT_ID)
+
+    def test_empty_input(self):
+        result = Slct(support=2).parse([])
+        assert result.events == []
+        assert result.assignments == []
+
+    def test_identical_lines_single_cluster(self):
+        result = Slct(support=2).parse_contents(["same line"] * 10)
+        assert len(result.events) == 1
+        assert result.events[0].template == "same line"
+
+    def test_different_lengths_not_merged(self):
+        contents = ["put key value"] * 5 + ["put key value extra"] * 5
+        result = Slct(support=3).parse_contents(contents)
+        assert result.assignments[0] != result.assignments[5]
+
+    def test_frequent_parameter_value_splits_cluster(self):
+        # The classic SLCT artifact: a recurring parameter value becomes
+        # a frequent word and splits its event (Table III's mechanism).
+        contents = ["job done code 0"] * 10 + ["job done code 1"] * 10
+        result = Slct(support=5).parse_contents(contents)
+        assert result.assignments[0] != result.assignments[10]
+
+    def test_rare_parameter_values_masked(self):
+        contents = [f"job done code {i}" for i in range(10)]
+        result = Slct(support=5).parse_contents(contents)
+        assert result.events[0].template == "job done code *"
+
+    def test_every_line_assigned(self, toy_contents):
+        result = Slct(support=2).parse_contents(toy_contents)
+        assert len(result.assignments) == len(toy_contents)
+
+    def test_preprocessing_merges_variable_values(self):
+        contents = [f"generating core.{256 * (i % 2)}" for i in range(10)]
+        raw = Slct(support=4).parse_contents(contents)
+        preprocessed = Slct(
+            support=4, preprocessor=default_preprocessor("BGL")
+        ).parse_contents(contents)
+        assert len(raw.events) == 2
+        assert len(preprocessed.events) == 1
+
+    def test_template_matches_members(self, toy_contents):
+        result = Slct(support=2).parse_contents(toy_contents)
+        for structured in result.structured():
+            if structured.event_id == ParseResult.OUTLIER_EVENT_ID:
+                continue
+            template = result.template_of(structured.event_id)
+            from repro.common.tokenize import template_matches
+
+            assert template_matches(template, structured.record.content)

@@ -1,0 +1,89 @@
+"""Tests for dataset statistics."""
+
+import math
+
+import pytest
+
+from repro.common.errors import DatasetError
+from repro.common.types import LogRecord
+from repro.datasets import generate_dataset, get_dataset_spec
+from repro.datasets.stats import compute_stats, describe
+
+
+def _records(rows):
+    return [
+        LogRecord(content=content, truth_event=event)
+        for event, content in rows
+    ]
+
+
+class TestComputeStats:
+    def test_basic_counts(self):
+        stats = compute_stats(
+            _records(
+                [("a", "one two"), ("a", "one three"), ("b", "x y z")]
+            )
+        )
+        assert stats.n_lines == 3
+        assert stats.n_events == 2
+        assert stats.length_min == 2
+        assert stats.length_max == 3
+        assert stats.length_mean == pytest.approx(7 / 3)
+
+    def test_entropy_uniform_two_events(self):
+        stats = compute_stats(
+            _records([("a", "x"), ("b", "y")])
+        )
+        assert stats.event_entropy == pytest.approx(1.0)
+
+    def test_entropy_single_event_is_zero(self):
+        stats = compute_stats(_records([("a", "x"), ("a", "y")]))
+        assert stats.event_entropy == 0.0
+
+    def test_top5_coverage(self):
+        rows = [("a", "x")] * 9 + [("b", "y")]
+        stats = compute_stats(_records(rows))
+        assert stats.top5_coverage == 1.0
+
+    def test_vocabulary_counts_positions(self):
+        stats = compute_stats(
+            _records([("a", "x y"), ("a", "y x")])
+        )
+        # (0,x),(1,y),(0,y),(1,x)
+        assert stats.vocabulary_size == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            compute_stats([])
+
+    def test_unlabeled_rejected(self):
+        with pytest.raises(DatasetError):
+            compute_stats([LogRecord(content="x")])
+
+
+class TestOnGeneratedData:
+    def test_bgl_is_event_rich(self):
+        bgl = compute_stats(
+            generate_dataset(get_dataset_spec("BGL"), 3000, seed=1).records
+        )
+        hdfs = compute_stats(
+            generate_dataset(get_dataset_spec("HDFS"), 3000, seed=1).records
+        )
+        assert bgl.n_events > hdfs.n_events
+        assert bgl.event_entropy > hdfs.event_entropy
+
+    def test_entropy_bounded_by_log_events(self):
+        stats = compute_stats(
+            generate_dataset(get_dataset_spec("Zookeeper"), 2000, seed=1)
+            .records
+        )
+        assert stats.event_entropy <= math.log2(stats.n_events) + 1e-9
+
+    def test_describe_mentions_key_numbers(self):
+        stats = compute_stats(
+            generate_dataset(get_dataset_spec("Proxifier"), 500, seed=1)
+            .records
+        )
+        text = describe(stats)
+        assert "500" in text
+        assert "8 event types" in text

@@ -1,0 +1,157 @@
+"""Tests for Synoptic-style temporal invariants and refinement."""
+
+import pytest
+
+from repro.common.errors import MiningError
+from repro.common.types import LogRecord
+from repro.mining.synoptic import (
+    TemporalInvariant,
+    check_invariant,
+    mine_temporal_invariants,
+    model_violates_nfby,
+    refine_model,
+)
+from repro.mining.model import build_system_model
+from repro.parsers import OracleParser
+
+
+def _mine(sequences):
+    return {
+        str(invariant)
+        for invariant in mine_temporal_invariants(sequences)
+    }
+
+
+class TestMineTemporalInvariants:
+    def test_always_followed_by(self):
+        invariants = _mine([("open", "close"), ("open", "use", "close")])
+        assert "open AlwaysFollowedBy close" in invariants
+
+    def test_afby_broken_by_one_session(self):
+        invariants = _mine([("open", "close"), ("open",)])
+        assert "open AlwaysFollowedBy close" not in invariants
+
+    def test_always_preceded_by(self):
+        invariants = _mine([("open", "close"), ("open", "x", "close")])
+        assert "close AlwaysPrecededBy open" in invariants
+
+    def test_never_followed_by(self):
+        invariants = _mine([("a", "b"), ("a", "c")])
+        assert "b NeverFollowedBy a" in invariants
+        assert "a NeverFollowedBy b" not in invariants
+
+    def test_afby_uses_last_occurrence(self):
+        # a b a: the last 'a' is not followed by 'b'.
+        invariants = _mine([("a", "b", "a")])
+        assert "a AlwaysFollowedBy b" not in invariants
+
+    def test_apby_uses_first_occurrence(self):
+        # b a b: the first 'b' has no earlier 'a'.
+        invariants = _mine([("b", "a", "b")])
+        assert "b AlwaysPrecededBy a" not in invariants
+
+    def test_empty_rejected(self):
+        with pytest.raises(MiningError):
+            mine_temporal_invariants([])
+
+
+class TestCheckInvariant:
+    def test_afby_holds(self):
+        inv = TemporalInvariant("AFby", "a", "b")
+        assert check_invariant([("a", "b"), ("x",)], inv)
+
+    def test_afby_fails(self):
+        inv = TemporalInvariant("AFby", "a", "b")
+        assert not check_invariant([("b", "a")], inv)
+
+    def test_nfby_fails_on_late_occurrence(self):
+        inv = TemporalInvariant("NFby", "a", "b")
+        assert not check_invariant([("a", "x", "b")], inv)
+
+    def test_mined_invariants_all_check_out(self):
+        sequences = [
+            ("alloc", "write", "write", "close"),
+            ("alloc", "close"),
+            ("alloc", "write", "close"),
+        ]
+        for invariant in mine_temporal_invariants(sequences):
+            assert check_invariant(sequences, invariant), str(invariant)
+
+
+class TestModelViolation:
+    def test_merged_model_overgeneralizes(self):
+        # Sessions: a->b->d and c->b->e. Merged model has path a..b..e,
+        # so "a NeverFollowedBy e" (true in the log) is violated.
+        rows = [
+            ("s1", "a"), ("s1", "b"), ("s1", "d"),
+            ("s2", "c"), ("s2", "b"), ("s2", "e"),
+        ]
+        records = [
+            LogRecord(content=e, session_id=s, truth_event=e)
+            for s, e in rows
+        ]
+        parsed = OracleParser().parse(records)
+        model = build_system_model(parsed)
+        inv = TemporalInvariant("NFby", "a", "e")
+        assert model_violates_nfby(model, inv)
+
+    def test_non_nfby_rejected(self):
+        rows = [("s1", "a"), ("s1", "b")]
+        records = [
+            LogRecord(content=e, session_id=s, truth_event=e)
+            for s, e in rows
+        ]
+        model = build_system_model(OracleParser().parse(records))
+        with pytest.raises(MiningError):
+            model_violates_nfby(model, TemporalInvariant("AFby", "a", "b"))
+
+
+class TestRefinement:
+    def _records(self):
+        rows = [
+            ("s1", "a"), ("s1", "b"), ("s1", "d"),
+            ("s2", "c"), ("s2", "b"), ("s2", "e"),
+            ("s3", "a"), ("s3", "b"), ("s3", "d"),
+            ("s4", "c"), ("s4", "b"), ("s4", "e"),
+        ]
+        return [
+            LogRecord(content=e, session_id=s, truth_event=e)
+            for s, e in rows
+        ]
+
+    def test_refinement_splits_confluence_state(self):
+        parsed = OracleParser().parse(self._records())
+        refined = refine_model(parsed)
+        assert refined.splits >= 1
+        # After splitting b by context, b←a and b←c are separate states.
+        assert any("b←" in state for state in refined.model.states)
+
+    def test_refined_model_satisfies_nfby(self):
+        parsed = OracleParser().parse(self._records())
+        refined = refine_model(parsed)
+        assert not refined.unsatisfied
+
+    def test_no_sessions_rejected(self):
+        parsed = OracleParser().parse(
+            [LogRecord(content="x", truth_event="x")]
+        )
+        with pytest.raises(MiningError):
+            refine_model(parsed)
+
+    def test_straight_line_model_needs_no_refinement(self):
+        rows = [("s1", "a"), ("s1", "b"), ("s2", "a"), ("s2", "b")]
+        records = [
+            LogRecord(content=e, session_id=s, truth_event=e)
+            for s, e in rows
+        ]
+        refined = refine_model(OracleParser().parse(records))
+        assert refined.splits == 0
+
+    def test_hdfs_models_refine(self):
+        from repro.datasets import generate_hdfs_sessions
+
+        dataset = generate_hdfs_sessions(150, seed=6)
+        parsed = OracleParser().parse(dataset.records)
+        refined = refine_model(parsed, max_splits=10)
+        assert refined.model.n_states > 2
+        assert refined.splits <= 10

@@ -1,0 +1,48 @@
+"""Tests for TF-IDF weighting of the event count matrix."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import MiningError
+from repro.mining.tfidf import tf_idf_transform
+
+
+class TestTfIdf:
+    def test_ubiquitous_column_zeroed(self):
+        matrix = np.array([[1.0, 1.0], [2.0, 0.0]])
+        weighted = tf_idf_transform(matrix)
+        # Column 0 occurs in every session -> idf = log(1) = 0.
+        assert weighted[:, 0] == pytest.approx([0.0, 0.0])
+
+    def test_rare_column_upweighted(self):
+        matrix = np.zeros((10, 2))
+        matrix[:, 0] = 1.0  # everywhere
+        matrix[0, 1] = 1.0  # one session only
+        weighted = tf_idf_transform(matrix)
+        assert weighted[0, 1] == pytest.approx(np.log(10))
+
+    def test_zero_column_stays_zero(self):
+        matrix = np.array([[1.0, 0.0], [1.0, 0.0]])
+        weighted = tf_idf_transform(matrix)
+        assert weighted[:, 1] == pytest.approx([0.0, 0.0])
+
+    def test_counts_scale_linearly(self):
+        matrix = np.zeros((4, 1))
+        matrix[0, 0] = 3.0
+        matrix[1, 0] = 1.0
+        weighted = tf_idf_transform(matrix)
+        assert weighted[0, 0] == pytest.approx(3 * weighted[1, 0])
+
+    def test_original_not_mutated(self):
+        matrix = np.ones((3, 3))
+        copy = matrix.copy()
+        tf_idf_transform(matrix)
+        assert (matrix == copy).all()
+
+    def test_empty_matrix(self):
+        weighted = tf_idf_transform(np.zeros((0, 3)))
+        assert weighted.shape == (0, 3)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(MiningError):
+            tf_idf_transform(np.zeros(5))

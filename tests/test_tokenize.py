@@ -1,0 +1,104 @@
+"""Unit tests for repro.common.tokenize."""
+
+import pytest
+
+from repro.common.tokenize import (
+    WILDCARD,
+    generalize,
+    is_wildcard,
+    render_template,
+    template_from_cluster,
+    template_matches,
+    tokenize,
+)
+
+
+class TestTokenize:
+    def test_simple_split(self):
+        assert tokenize("a b c") == ["a", "b", "c"]
+
+    def test_collapses_whitespace(self):
+        assert tokenize("a   b\t c") == ["a", "b", "c"]
+
+    def test_strips_edges(self):
+        assert tokenize("  a b  ") == ["a", "b"]
+
+    def test_empty_message(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize("   \t ") == []
+
+    def test_preserves_punctuation_inside_tokens(self):
+        assert tokenize("src: /10.0.0.1:5000") == ["src:", "/10.0.0.1:5000"]
+
+
+class TestWildcard:
+    def test_wildcard_token(self):
+        assert is_wildcard(WILDCARD)
+
+    def test_non_wildcard(self):
+        assert not is_wildcard("BLOCK*")
+
+    def test_star_prefix_is_not_wildcard(self):
+        assert not is_wildcard("*x")
+
+
+class TestRenderTemplate:
+    def test_joins_with_single_spaces(self):
+        assert render_template(["a", "*", "c"]) == "a * c"
+
+    def test_empty(self):
+        assert render_template([]) == ""
+
+
+class TestTemplateMatches:
+    def test_exact_match(self):
+        assert template_matches("open file", "open file")
+
+    def test_wildcard_position(self):
+        assert template_matches("open *", "open a.txt")
+
+    def test_length_mismatch(self):
+        assert not template_matches("open *", "open a.txt now")
+
+    def test_constant_mismatch(self):
+        assert not template_matches("open *", "close a.txt")
+
+    def test_all_wildcards(self):
+        assert template_matches("* * *", "any three tokens")
+
+    def test_empty_template_matches_empty_message(self):
+        assert template_matches("", "")
+
+
+class TestGeneralize:
+    def test_agreeing_positions_kept(self):
+        assert generalize(["open", "a"], ["open", "b"]) == ["open", "*"]
+
+    def test_full_agreement(self):
+        assert generalize(["x", "y"], ["x", "y"]) == ["x", "y"]
+
+    def test_wildcard_absorbs(self):
+        assert generalize(["*", "y"], ["*", "y"]) == ["*", "y"]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            generalize(["a"], ["a", "b"])
+
+
+class TestTemplateFromCluster:
+    def test_single_member(self):
+        assert template_from_cluster([["open", "a"]]) == ["open", "a"]
+
+    def test_majority_does_not_matter_any_disagreement_masks(self):
+        cluster = [["open", "a"], ["open", "a"], ["open", "b"]]
+        assert template_from_cluster(cluster) == ["open", "*"]
+
+    def test_empty_cluster_raises(self):
+        with pytest.raises(ValueError):
+            template_from_cluster([])
+
+    def test_ragged_cluster_raises(self):
+        with pytest.raises(ValueError):
+            template_from_cluster([["a"], ["a", "b"]])

@@ -1,0 +1,128 @@
+"""Tests for the parameter-tuning harness (Finding 4 protocol)."""
+
+import pytest
+
+from repro.common.errors import EvaluationError
+from repro.common.types import LogRecord
+from repro.evaluation.tuning import (
+    DEFAULT_GRIDS,
+    TuningReport,
+    expand_grid,
+    tune_on_dataset,
+    tune_on_sample,
+)
+
+
+class TestExpandGrid:
+    def test_cartesian_product(self):
+        combos = expand_grid({"a": [1, 2], "b": ["x", "y"]})
+        assert len(combos) == 4
+        assert {"a": 2, "b": "y"} in combos
+
+    def test_empty_grid(self):
+        assert expand_grid({}) == [{}]
+
+    def test_single_axis(self):
+        assert expand_grid({"k": [3]}) == [{"k": 3}]
+
+
+class TestTuneOnSample:
+    def _sample(self, n=150):
+        records, truth = [], []
+        for i in range(n):
+            records.append(
+                LogRecord(content=f"open file f{i}a.txt by root")
+            )
+            truth.append("open")
+        for i in range(n):
+            records.append(
+                LogRecord(content=f"close file g{i}b.txt rc {1000 + i}")
+            )
+            truth.append("close")
+        return records, truth
+
+    def test_finds_reasonable_slct_support(self):
+        records, truth = self._sample()
+        report = tune_on_sample(
+            "SLCT",
+            records,
+            truth,
+            grid={"support": [0.01, 0.05, 0.2]},
+            seed=1,
+        )
+        assert report.best.f_measure > 0.9
+        # The middle support wins: 0.01 of 300 lines (=3) admits no
+        # junk, 0.2 (=60) still passes, but both extremes must not
+        # *beat* a sane value.
+        assert report.best.params["support"] in (0.01, 0.05)
+
+    def test_candidates_cover_grid(self):
+        records, truth = self._sample()
+        grid = {"support": [0.01, 0.3]}
+        report = tune_on_sample("SLCT", records, truth, grid=grid)
+        assert len(report.candidates) == 2
+
+    def test_timings_recorded(self):
+        records, truth = self._sample()
+        report = tune_on_sample(
+            "SLCT", records, truth, grid={"support": [0.01]}
+        )
+        assert report.total_seconds >= 0
+        assert all(c.seconds >= 0 for c in report.candidates)
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(EvaluationError):
+            tune_on_sample("SLCT", [LogRecord(content="x")], [])
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(EvaluationError):
+            tune_on_sample("SLCT", [], [])
+
+    def test_unknown_parser_without_grid_rejected(self):
+        records, truth = self._sample()
+        with pytest.raises(EvaluationError):
+            tune_on_sample("NoDefaultGrid", records, truth)
+
+    def test_best_requires_candidates(self):
+        report = TuningReport(parser="X", dataset="Y", sample_size=0)
+        with pytest.raises(EvaluationError):
+            report.best
+
+
+class TestTuneOnDataset:
+    def test_tunes_on_zookeeper_sample(self):
+        report = tune_on_dataset(
+            "SLCT",
+            "Zookeeper",
+            sample_size=300,
+            grid={"support": [0.005, 0.2]},
+            seed=1,
+        )
+        assert report.dataset == "Zookeeper"
+        assert report.sample_size == 300
+        # The tight support must beat the absurd one on this data.
+        scores = {
+            candidate.params["support"]: candidate.f_measure
+            for candidate in report.candidates
+        }
+        assert scores[0.005] > scores[0.2]
+
+    def test_default_grids_exist_for_all_parsers(self):
+        assert set(DEFAULT_GRIDS) == {"SLCT", "IPLoM", "LKE", "LogSig"}
+
+    def test_randomized_parser_reproducible(self):
+        a = tune_on_dataset(
+            "LogSig",
+            "Proxifier",
+            sample_size=150,
+            grid={"groups": [8]},
+            seed=3,
+        )
+        b = tune_on_dataset(
+            "LogSig",
+            "Proxifier",
+            sample_size=150,
+            grid={"groups": [8]},
+            seed=3,
+        )
+        assert a.best.f_measure == b.best.f_measure

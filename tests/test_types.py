@@ -1,0 +1,103 @@
+"""Unit tests for repro.common.types."""
+
+import pytest
+
+from repro.common.types import (
+    EventTemplate,
+    LogRecord,
+    ParseResult,
+    records_from_contents,
+)
+
+
+class TestLogRecord:
+    def test_tokens(self):
+        record = LogRecord(content="open file a")
+        assert record.tokens == ["open", "file", "a"]
+
+    def test_defaults(self):
+        record = LogRecord(content="x")
+        assert record.timestamp == ""
+        assert record.session_id == ""
+        assert record.truth_event is None
+
+    def test_frozen(self):
+        record = LogRecord(content="x")
+        with pytest.raises(AttributeError):
+            record.content = "y"
+
+
+class TestEventTemplate:
+    def test_matches_instance(self):
+        event = EventTemplate(event_id="E1", template="open *")
+        assert event.matches("open a.txt")
+        assert not event.matches("close a.txt")
+
+    def test_tokens(self):
+        assert EventTemplate("E1", "a * c").tokens == ["a", "*", "c"]
+
+
+def _result():
+    records = records_from_contents(["open a", "open b", "weird line"])
+    return ParseResult(
+        events=[EventTemplate("E1", "open *")],
+        assignments=["E1", "E1", ParseResult.OUTLIER_EVENT_ID],
+        records=records,
+    )
+
+
+class TestParseResult:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ParseResult(
+                events=[],
+                assignments=["E1"],
+                records=[],
+            )
+
+    def test_len(self):
+        assert len(_result()) == 3
+
+    def test_event_ids(self):
+        assert _result().event_ids == ["E1"]
+
+    def test_template_of(self):
+        assert _result().template_of("E1") == "open *"
+
+    def test_template_of_unknown_raises(self):
+        with pytest.raises(KeyError):
+            _result().template_of("E9")
+
+    def test_template_of_outlier_raises(self):
+        with pytest.raises(KeyError):
+            _result().template_of(ParseResult.OUTLIER_EVENT_ID)
+
+    def test_structured_order_and_ids(self):
+        structured = list(_result().structured())
+        assert [s.line_no for s in structured] == [0, 1, 2]
+        assert [s.event_id for s in structured] == ["E1", "E1", "OUTLIER"]
+
+    def test_groups(self):
+        groups = _result().groups()
+        assert groups["E1"] == [0, 1]
+        assert groups[ParseResult.OUTLIER_EVENT_ID] == [2]
+
+    def test_events_file_lines(self):
+        assert _result().events_file_lines() == ["E1\topen *"]
+
+    def test_structured_file_lines_count(self):
+        assert len(_result().structured_file_lines()) == 3
+
+
+class TestRecordsFromContents:
+    def test_round_trip_contents(self):
+        records = records_from_contents(["a", "b"])
+        assert [r.content for r in records] == ["a", "b"]
+
+    def test_with_session_ids(self):
+        records = records_from_contents(["a", "b"], session_ids=["s1", "s2"])
+        assert [r.session_id for r in records] == ["s1", "s2"]
+
+    def test_session_id_length_mismatch(self):
+        with pytest.raises(ValueError):
+            records_from_contents(["a"], session_ids=["s1", "s2"])
