@@ -1,0 +1,60 @@
+"""Streaming parse: bounded-memory ingestion with a live template cache.
+
+The paper's Finding 3 is that clustering-based parsers do not scale
+with log volume.  This example shows the repo's answer: feed a log
+stream through :class:`repro.StreamingParser` — repeat lines hit the
+LRU template cache in O(tokens), only novel lines are batched through
+the underlying parser — and watch the cache hit rate climb as the
+engine warms up.  It then certifies the result against a plain batch
+parse with the equivalence harness.
+
+Run:  python examples/streaming_parse.py
+"""
+
+from functools import partial
+
+from repro import ParseSession, StreamingParser, make_parser
+from repro.datasets import get_dataset_spec, iter_dataset
+from repro.streaming import compare_stream_to_batch
+
+
+def main() -> None:
+    # 1. Stream 20k synthetic BGL lines through the engine in delta
+    #    mode (bounded memory: retain=False keeps no per-line state),
+    #    printing the live hit rate every 4k lines.
+    spec = get_dataset_spec("BGL")
+    engine = StreamingParser(
+        partial(make_parser, "IPLoM"),
+        flush_policy="delta",
+        flush_size=512,
+        retain=False,
+    )
+    session = ParseSession(engine, track_matrix=False)
+    print("streaming 20,000 BGL lines (delta policy, unretained):")
+    session.consume(
+        iter_dataset(spec, 20_000, seed=7),
+        report_every=4_000,
+    )
+    session.finalize()
+    counters = session.counters()
+    print(f"final: {counters.describe()}")
+    print(
+        f"cache answered {counters.stream.hit_rate:.1%} of lines; "
+        f"only {counters.stream.misses} went through the batch parser"
+    )
+
+    # 2. Certify streaming == batch on a smaller HDFS run using the
+    #    prefix flush policy (identical template set and per-line
+    #    assignments by construction).
+    hdfs = list(iter_dataset(get_dataset_spec("HDFS"), 3_000, seed=7))
+    report = compare_stream_to_batch(
+        partial(make_parser, "IPLoM"),
+        hdfs,
+        flush_policy="prefix",
+        flush_size=500,
+    )
+    print(report.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -32,7 +32,9 @@ from repro.datasets import (
     generate_dataset,
     generate_hdfs_sessions,
     get_dataset_spec,
+    iter_dataset,
     iter_dataset_specs,
+    iter_raw_log,
 )
 from repro.evaluation import (
     evaluate_accuracy,
@@ -58,6 +60,12 @@ from repro.parsers import (
     Slct,
     default_preprocessor,
     make_parser,
+)
+from repro.streaming import (
+    ParseSession,
+    StreamingParser,
+    TemplateCache,
+    compare_stream_to_batch,
 )
 
 __version__ = "1.0.0"
@@ -91,5 +99,11 @@ __all__ = [
     "Slct",
     "default_preprocessor",
     "make_parser",
+    "ParseSession",
+    "StreamingParser",
+    "TemplateCache",
+    "compare_stream_to_batch",
+    "iter_dataset",
+    "iter_raw_log",
     "__version__",
 ]

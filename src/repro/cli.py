@@ -9,12 +9,16 @@ Subcommands:
   style, one cell).
 * ``mine`` — run PCA anomaly detection on simulated HDFS sessions with
   a chosen parser (Table III style, one row).
+* ``stream`` — parse a raw log file or synthetic dataset incrementally
+  through the template-cache streaming engine, reporting cache hit
+  rate and throughput (§V / Finding 3 remedy).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from functools import partial
 
 from repro.common.errors import ReproError
 from repro.datasets import (
@@ -22,6 +26,8 @@ from repro.datasets import (
     generate_dataset,
     generate_hdfs_sessions,
     get_dataset_spec,
+    iter_dataset,
+    iter_raw_log,
     read_raw_log,
     write_parse_result,
     write_raw_log,
@@ -29,6 +35,7 @@ from repro.datasets import (
 from repro.evaluation import evaluate_accuracy, evaluate_mining_impact
 from repro.evaluation.mining_impact import table3_parser_factory
 from repro.parsers import PARSER_NAMES, default_preprocessor, make_parser
+from repro.streaming import ParseSession, StreamingParser, diff_results
 
 
 def _add_generate(subparsers) -> None:
@@ -115,6 +122,79 @@ def _add_mine(subparsers) -> None:
     cmd.add_argument("--alpha", type=float, default=0.001)
 
 
+def _add_stream(subparsers) -> None:
+    cmd = subparsers.add_parser(
+        "stream",
+        help="parse incrementally through the streaming engine",
+    )
+    cmd.add_argument("parser", choices=PARSER_NAMES)
+    cmd.add_argument(
+        "input",
+        nargs="?",
+        default=None,
+        help="raw log file to stream (omit when using --dataset)",
+    )
+    cmd.add_argument(
+        "--dataset",
+        choices=DATASET_NAMES,
+        default=None,
+        help="stream a synthetic dataset instead of a file",
+    )
+    cmd.add_argument(
+        "--size", type=int, default=100_000,
+        help="lines to generate with --dataset",
+    )
+    cmd.add_argument(
+        "--flush-policy",
+        choices=["delta", "prefix"],
+        default="delta",
+        help="delta: parse only misses (fast, approximate); "
+        "prefix: re-parse the retained prefix (identical to batch)",
+    )
+    cmd.add_argument("--flush-size", type=int, default=512)
+    cmd.add_argument("--cache-capacity", type=int, default=4096)
+    cmd.add_argument("--max-retries", type=int, default=3)
+    cmd.add_argument(
+        "--workers", type=int, default=1,
+        help="flush through a ChunkedParallelParser with this many processes",
+    )
+    cmd.add_argument("--chunk-size", type=int, default=10_000)
+    cmd.add_argument(
+        "--report-every", type=int, default=0,
+        help="print a progress line every N streamed lines",
+    )
+    cmd.add_argument(
+        "--no-retain",
+        action="store_true",
+        help="drop per-line state for bounded memory (no outputs/verify)",
+    )
+    cmd.add_argument(
+        "--verify",
+        action="store_true",
+        help="batch-parse the same lines afterwards and diff the results",
+    )
+    cmd.add_argument(
+        "--mine",
+        action="store_true",
+        help="run PCA anomaly detection on the live session-event matrix",
+    )
+    cmd.add_argument(
+        "--output-stem",
+        default=None,
+        help="write .events/.structured outputs of the finalized parse",
+    )
+    cmd.add_argument(
+        "--preprocess-dataset",
+        default=None,
+        help="apply this dataset's domain-knowledge preprocessing rules",
+    )
+    cmd.add_argument(
+        "--groups", type=int, default=50, help="LogSig only"
+    )
+    cmd.add_argument("--support", type=float, default=0.005, help="SLCT only")
+    cmd.add_argument("--seed", type=int, default=None)
+
+
 def build_arg_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-logparse",
@@ -128,6 +208,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     _add_metrics(subparsers)
     _add_tune(subparsers)
     _add_mine(subparsers)
+    _add_stream(subparsers)
     return parser
 
 
@@ -254,6 +335,89 @@ def _cmd_mine(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    if (args.dataset is None) == (args.input is None):
+        print(
+            "error: give exactly one of INPUT or --dataset",
+            file=sys.stderr,
+        )
+        return 2
+    if args.no_retain and (
+        args.verify or args.output_stem or args.flush_policy == "prefix"
+    ):
+        print(
+            "error: --no-retain cannot be combined with --verify, "
+            "--output-stem, or --flush-policy prefix",
+            file=sys.stderr,
+        )
+        return 2
+    params: dict = {}
+    if args.parser == "LogSig":
+        params.update(groups=args.groups, seed=args.seed)
+    elif args.parser == "SLCT":
+        params.update(support=args.support)
+    elif args.parser == "LKE":
+        params.update(seed=args.seed)
+    factory = partial(make_parser, args.parser, **params)
+    preprocessor = (
+        default_preprocessor(args.preprocess_dataset)
+        if args.preprocess_dataset
+        else None
+    )
+    engine = StreamingParser(
+        factory,
+        flush_policy=args.flush_policy,
+        flush_size=args.flush_size,
+        cache_capacity=args.cache_capacity,
+        max_flush_retries=args.max_retries,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        retain=not args.no_retain,
+        preprocessor=preprocessor,
+    )
+    session = ParseSession(engine, track_matrix=args.mine)
+    if args.dataset is not None:
+        records = iter_dataset(
+            get_dataset_spec(args.dataset), args.size, seed=args.seed
+        )
+    else:
+        records = iter_raw_log(args.input)
+    session.consume(records, report_every=args.report_every or None)
+    result = session.finalize()
+    print(session.counters().describe())
+    if args.output_stem and result is not None:
+        events_path, structured_path = write_parse_result(
+            result, args.output_stem
+        )
+        print(f"wrote {events_path}, {structured_path}")
+    if args.mine:
+        from repro.mining import tf_idf_transform
+        from repro.mining.pca import PcaAnomalyModel
+
+        counts = session.matrix()
+        weighted = tf_idf_transform(counts.matrix)
+        model = PcaAnomalyModel()
+        model.fit(weighted)
+        flagged = (model.spe(weighted) > model.threshold).sum()
+        print(
+            f"live PCA mining: {counts.matrix.shape[0]} sessions x "
+            f"{counts.matrix.shape[1]} events, {flagged} flagged anomalous"
+        )
+    if args.verify and result is not None:
+        batch_parser = make_parser(
+            args.parser, preprocessor=preprocessor, **params
+        )
+        report = diff_results(
+            batch_parser.name,
+            batch_parser.parse(result.records),
+            result,
+        )
+        print(report.describe())
+        if args.flush_policy == "prefix" and not report.equivalent:
+            return 1
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "parse": _cmd_parse,
@@ -261,6 +425,7 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "tune": _cmd_tune,
     "mine": _cmd_mine,
+    "stream": _cmd_stream,
 }
 
 

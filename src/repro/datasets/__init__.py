@@ -15,7 +15,7 @@ from repro.datasets.base import (
     Template,
     TemplateBank,
 )
-from repro.datasets.generator import generate_dataset
+from repro.datasets.generator import generate_dataset, iter_dataset
 from repro.datasets.registry import (
     DATASET_NAMES,
     get_dataset_spec,
@@ -23,6 +23,7 @@ from repro.datasets.registry import (
 )
 from repro.datasets.hdfs import generate_hdfs_sessions, HdfsSessionDataset
 from repro.datasets.loader import (
+    iter_raw_log,
     read_raw_log,
     write_raw_log,
     write_parse_result,
@@ -35,11 +36,13 @@ __all__ = [
     "Template",
     "TemplateBank",
     "generate_dataset",
+    "iter_dataset",
     "DATASET_NAMES",
     "get_dataset_spec",
     "iter_dataset_specs",
     "generate_hdfs_sessions",
     "HdfsSessionDataset",
+    "iter_raw_log",
     "read_raw_log",
     "write_raw_log",
     "write_parse_result",

@@ -9,6 +9,7 @@ files look like real logs and loaders can exercise header stripping.
 from __future__ import annotations
 
 import datetime
+from collections.abc import Iterator
 
 from repro.common.errors import DatasetError
 from repro.common.rng import spawn
@@ -38,6 +39,23 @@ def generate_dataset(
     fills the remainder by weighted sampling.  This mirrors the real
     datasets, where every reported event type is present.
     """
+    return SyntheticDataset(
+        spec=spec, records=list(iter_dataset(spec, size, seed=seed))
+    )
+
+
+def iter_dataset(
+    spec: DatasetSpec,
+    size: int,
+    seed: int | None = None,
+) -> Iterator[LogRecord]:
+    """Lazily yield the exact record sequence of :func:`generate_dataset`.
+
+    Only the drawn template *references* are materialized up front
+    (cheap — one pointer per line); each record's content is rendered
+    as it is consumed, so arbitrarily large streams can be fed to the
+    streaming parser without holding the rendered log in memory.
+    """
     if size <= 0:
         raise DatasetError(f"size must be positive, got {size}")
     rng = spawn(seed, f"dataset:{spec.name}:{size}")
@@ -54,15 +72,11 @@ def generate_dataset(
     )
     rng.shuffle(chosen)
 
-    records = []
     clock = 0
     for template in chosen:
         clock += rng.choice([0, 0, 1, 1, 2, 5])
-        records.append(
-            LogRecord(
-                content=template.render(rng),
-                timestamp=_timestamp(clock),
-                truth_event=template.event_id,
-            )
+        yield LogRecord(
+            content=template.render(rng),
+            timestamp=_timestamp(clock),
+            truth_event=template.event_id,
         )
-    return SyntheticDataset(spec=spec, records=records)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import os
 from random import Random
+from collections.abc import Iterator
 
 from repro.common.errors import DatasetError
 from repro.common.rng import spawn
@@ -35,39 +36,48 @@ def write_raw_log(records: list[LogRecord], path: str) -> None:
             )
 
 
+def _parse_raw_line(line: str) -> LogRecord:
+    """Decode one tab-separated raw log line into a LogRecord."""
+    parts = line.split("\t")
+    if len(parts) >= 3:
+        timestamp, session_id, content = (
+            parts[0],
+            parts[1],
+            "\t".join(parts[2:]),
+        )
+    elif len(parts) == 2:
+        timestamp, session_id, content = parts[0], "", parts[1]
+    else:
+        timestamp, session_id, content = "", "", parts[0]
+    return LogRecord(
+        content=content, timestamp=timestamp, session_id=session_id
+    )
+
+
 def read_raw_log(path: str) -> list[LogRecord]:
     """Read a raw log file written by :func:`write_raw_log`.
 
     Lines without tabs are treated as bare content (header-less logs),
     so plain message-per-line files also load.
     """
+    return list(iter_raw_log(path))
+
+
+def iter_raw_log(path: str) -> Iterator[LogRecord]:
+    """Lazily iterate a raw log file, one record at a time.
+
+    The streaming counterpart of :func:`read_raw_log`: only one line is
+    in memory at a time, so arbitrarily large files can be fed straight
+    into :class:`~repro.streaming.engine.StreamingParser`.
+    """
     if not os.path.exists(path):
         raise DatasetError(f"raw log file not found: {path}")
-    records = []
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.rstrip("\n")
             if not line:
                 continue
-            parts = line.split("\t")
-            if len(parts) >= 3:
-                timestamp, session_id, content = (
-                    parts[0],
-                    parts[1],
-                    "\t".join(parts[2:]),
-                )
-            elif len(parts) == 2:
-                timestamp, session_id, content = parts[0], "", parts[1]
-            else:
-                timestamp, session_id, content = "", "", parts[0]
-            records.append(
-                LogRecord(
-                    content=content,
-                    timestamp=timestamp,
-                    session_id=session_id,
-                )
-            )
-    return records
+            yield _parse_raw_line(line)
 
 
 def write_parse_result(result: ParseResult, stem: str) -> tuple[str, str]:

@@ -9,7 +9,11 @@ invariant mining (Lou et al.), all consuming the standard structured
 log output of the parsers.
 """
 
-from repro.mining.event_matrix import EventCountMatrix, build_event_matrix
+from repro.mining.event_matrix import (
+    EventCountMatrix,
+    EventMatrixAccumulator,
+    build_event_matrix,
+)
 from repro.mining.tfidf import tf_idf_transform
 from repro.mining.pca import PcaAnomalyModel, q_statistic_threshold
 from repro.mining.anomaly import AnomalyDetectionResult, detect_anomalies
@@ -33,6 +37,7 @@ from repro.mining.invariants import (
 
 __all__ = [
     "EventCountMatrix",
+    "EventMatrixAccumulator",
     "build_event_matrix",
     "tf_idf_transform",
     "PcaAnomalyModel",

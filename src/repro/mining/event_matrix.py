@@ -10,6 +10,7 @@ the paper describes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from collections.abc import Callable, Hashable
 
 import numpy as np
 
@@ -82,3 +83,83 @@ def build_event_matrix(result: ParseResult) -> EventCountMatrix:
         session_ids=tuple(session_index),
         event_ids=tuple(event_index),
     )
+
+
+class EventMatrixAccumulator:
+    """Incrementally built session-by-event counts for streaming parses.
+
+    The streaming engine assigns lines one at a time and may later
+    *merge* two events when a flush discovers that one template
+    generalizes another.  The accumulator therefore counts by opaque
+    event *keys* (the engine's slots) and supports
+    :meth:`remap` — folding one key's column into another — so the
+    live matrix always reflects the engine's current event table.
+    Keys are translated to event-id column labels only at
+    :meth:`build` time.
+    """
+
+    def __init__(self) -> None:
+        #: event key -> (session id -> count); column-major so a remap
+        #: touches exactly two columns.
+        self._columns: dict[Hashable, dict[str, float]] = {}
+        #: session ids in first-appearance order (the row order).
+        self._sessions: dict[str, None] = {}
+
+    @property
+    def n_sessions(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def n_keys(self) -> int:
+        return len(self._columns)
+
+    def add(self, session_id: str, event_key: Hashable, count: float = 1.0) -> None:
+        """Count one occurrence of *event_key* in *session_id*.
+
+        Records without a session id are skipped, matching
+        :func:`build_event_matrix`.
+        """
+        if not session_id:
+            return
+        self._sessions.setdefault(session_id, None)
+        column = self._columns.setdefault(event_key, {})
+        column[session_id] = column.get(session_id, 0.0) + count
+
+    def remap(self, old_key: Hashable, new_key: Hashable) -> None:
+        """Fold *old_key*'s column into *new_key* (event merge)."""
+        old_column = self._columns.pop(old_key, None)
+        if old_column is None:
+            return
+        column = self._columns.setdefault(new_key, {})
+        for session_id, count in old_column.items():
+            column[session_id] = column.get(session_id, 0.0) + count
+
+    def build(
+        self, label_of: Callable[[Hashable], str] | None = None
+    ) -> EventCountMatrix:
+        """Materialize the current counts as an :class:`EventCountMatrix`.
+
+        ``label_of`` translates event keys into column labels (e.g. the
+        streaming engine's final ``E<n>`` ids); by default keys are
+        stringified.  Raises :class:`MiningError` when no record carried
+        a session id, matching :func:`build_event_matrix`.
+        """
+        if not self._sessions:
+            raise MiningError(
+                "no records carry a session id; cannot build an event matrix"
+            )
+        if label_of is None:
+            label_of = str
+        session_row = {
+            session_id: row for row, session_id in enumerate(self._sessions)
+        }
+        event_ids = tuple(label_of(key) for key in self._columns)
+        matrix = np.zeros((len(session_row), len(event_ids)), dtype=float)
+        for column_no, column in enumerate(self._columns.values()):
+            for session_id, count in column.items():
+                matrix[session_row[session_id], column_no] += count
+        return EventCountMatrix(
+            matrix=matrix,
+            session_ids=tuple(session_row),
+            event_ids=event_ids,
+        )

@@ -1,0 +1,49 @@
+"""Streaming log parsing: bounded-memory ingestion over batch parsers.
+
+The paper's Finding 3 is that clustering-based parsers do not scale
+with log volume, and §V names parallelization as the remedy.  This
+package supplies the complementary production answer — *incremental*
+parsing: a :class:`TemplateCache` answers repeat lines in O(tokens), a
+:class:`StreamingParser` batches the rare cache misses through any
+registered batch parser (optionally the chunked parallel backend), and
+a :class:`ParseSession` exposes live snapshots, throughput counters,
+and an incrementally maintained event count matrix for log mining.
+
+Two flush policies are offered: ``delta`` (parse only the buffered
+misses — O(misses) per flush, bounded memory, approximate) and
+``prefix`` (re-parse the retained prefix — the finalized result is
+identical to one batch parse by construction).  The
+:mod:`~repro.streaming.equivalence` harness certifies that identity —
+same templates and per-line assignments as one batch parse — and, in
+delta mode, measures how closely the fast path tracks it.
+"""
+
+from repro.streaming.cache import TemplateCache, subsumes
+from repro.streaming.engine import (
+    OUTLIER_SLOT,
+    PENDING_EVENT_ID,
+    StreamingCounters,
+    StreamingParser,
+)
+from repro.streaming.equivalence import (
+    EquivalenceReport,
+    compare_stream_to_batch,
+    diff_results,
+    template_assignments,
+)
+from repro.streaming.session import ParseSession, SessionCounters
+
+__all__ = [
+    "TemplateCache",
+    "subsumes",
+    "OUTLIER_SLOT",
+    "PENDING_EVENT_ID",
+    "StreamingCounters",
+    "StreamingParser",
+    "EquivalenceReport",
+    "compare_stream_to_batch",
+    "diff_results",
+    "template_assignments",
+    "ParseSession",
+    "SessionCounters",
+]

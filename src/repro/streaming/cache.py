@@ -1,0 +1,253 @@
+"""The template cache behind the streaming parse engine.
+
+A :class:`TemplateCache` holds the *matchable working set* of discovered
+templates, bounded by an LRU capacity, and answers "which known template
+covers this line?" in roughly O(tokens):
+
+* an **exact-match fast path** keyed on the line's tokenized signature
+  (the single-space join of its tokens), so repeats of a literal message
+  skip template matching entirely; and
+* a **wildcard index** keyed on ``(token count, first token)`` — a
+  template can only cover a line when the lengths agree and its first
+  token is either the line's first token or the wildcard, so a lookup
+  probes exactly two buckets.
+
+The cache stores opaque integer *slots* (the engine's permanent event
+table indices), never event ids: eviction forgets how to *match* a
+template but the engine still remembers the event, so a re-learned
+template maps back to the identical :class:`~repro.common.types.EventTemplate`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Sequence
+
+from repro.common.errors import ParserConfigurationError
+from repro.common.tokenize import is_wildcard
+
+#: Bucket anchor used for templates whose first token is the wildcard.
+_ANY = ""
+
+
+def subsumes(general: Sequence[str], specific: Sequence[str]) -> bool:
+    """True if every line matching *specific* also matches *general*.
+
+    Both are template token sequences; *general* subsumes *specific*
+    when the lengths agree and at every position *general* holds either
+    the wildcard or exactly the token *specific* holds (a wildcard in
+    *specific* therefore requires a wildcard in *general*).
+
+    >>> subsumes(["open", "*", "*"], ["open", "file", "*"])
+    True
+    >>> subsumes(["open", "file", "*"], ["open", "*", "*"])
+    False
+    """
+    if len(general) != len(specific):
+        return False
+    return all(
+        is_wildcard(g) or g == s for g, s in zip(general, specific)
+    )
+
+
+class TemplateCache:
+    """LRU-bounded template store with an exact-match fast path.
+
+    Args:
+        capacity: maximum number of templates held for matching; the
+            least recently *used* (matched or re-inserted) template is
+            evicted first.
+        exact_capacity: maximum number of memoized exact line
+            signatures (its own LRU, independent of the template LRU).
+
+    Counters ``exact_hits``, ``template_hits``, ``misses`` and
+    ``evictions`` are plain attributes; :attr:`hit_rate` derives from
+    them.
+    """
+
+    def __init__(
+        self, capacity: int = 4096, exact_capacity: int = 8192
+    ) -> None:
+        if capacity < 1:
+            raise ParserConfigurationError(
+                f"cache capacity must be >= 1, got {capacity}"
+            )
+        if exact_capacity < 0:
+            raise ParserConfigurationError(
+                f"exact_capacity must be >= 0, got {exact_capacity}"
+            )
+        self.capacity = capacity
+        self.exact_capacity = exact_capacity
+        #: slot -> template tokens, in LRU order (least recent first).
+        self._templates: OrderedDict[int, tuple[str, ...]] = OrderedDict()
+        #: (length, anchor token) -> slots; anchor is ``_ANY`` for
+        #: wildcard-first templates.
+        self._buckets: dict[tuple[int, str], list[int]] = {}
+        #: length -> slots (for subsumption scans).
+        self._by_length: dict[int, list[int]] = {}
+        #: tokenized signature -> slot (exact fast path, own LRU).
+        self._exact: OrderedDict[str, int] = OrderedDict()
+        self.exact_hits = 0
+        self.template_hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._templates)
+
+    def __contains__(self, slot: int) -> bool:
+        return slot in self._templates
+
+    @property
+    def hits(self) -> int:
+        return self.exact_hits + self.template_hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0 when idle)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def template_tokens(self, slot: int) -> tuple[str, ...]:
+        return self._templates[slot]
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _anchor(tokens: Sequence[str]) -> str:
+        return _ANY if not tokens or is_wildcard(tokens[0]) else tokens[0]
+
+    def _candidate_slots(self, tokens: Sequence[str]) -> list[int]:
+        """Slots whose templates could possibly cover *tokens*."""
+        length = len(tokens)
+        candidates = list(self._buckets.get((length, _ANY), ()))
+        if tokens and not is_wildcard(tokens[0]):
+            candidates.extend(self._buckets.get((length, tokens[0]), ()))
+        return candidates
+
+    def match(self, tokens: Sequence[str]) -> int | None:
+        """Return the slot of the template covering *tokens*, or None.
+
+        When several cached templates cover the line the most specific
+        one (fewest wildcards) wins; ties go to the oldest slot, i.e.
+        the template discovered first.  Hits refresh the winner's LRU
+        position and memoize the line's exact signature.
+        """
+        signature = " ".join(tokens)
+        slot = self._exact.get(signature)
+        if slot is not None:
+            self._exact.move_to_end(signature)
+            # The slot's template may have been evicted or merged away;
+            # the memoized assignment itself stays correct (the engine
+            # resolves merged slots), so only refresh the LRU when the
+            # template is still resident.
+            if slot in self._templates:
+                self._templates.move_to_end(slot)
+            self.exact_hits += 1
+            return slot
+        best: int | None = None
+        best_constants = -1
+        for candidate in self._candidate_slots(tokens):
+            template = self._templates[candidate]
+            if not all(
+                is_wildcard(t) or t == token
+                for t, token in zip(template, tokens)
+            ):
+                continue
+            constants = sum(1 for t in template if not is_wildcard(t))
+            if constants > best_constants or (
+                constants == best_constants
+                and (best is None or candidate < best)
+            ):
+                best = candidate
+                best_constants = constants
+        if best is None:
+            self.misses += 1
+            return None
+        self.template_hits += 1
+        self._templates.move_to_end(best)
+        self.remember_exact(signature, best)
+        return best
+
+    def remember_exact(self, signature: str, slot: int) -> None:
+        """Memoize an exact line signature -> slot association."""
+        if self.exact_capacity == 0:
+            return
+        self._exact[signature] = slot
+        self._exact.move_to_end(signature)
+        while len(self._exact) > self.exact_capacity:
+            self._exact.popitem(last=False)
+
+    # ------------------------------------------------------------------
+
+    def insert(self, slot: int, tokens: Sequence[str]) -> None:
+        """Admit (or refresh) a template; may evict the LRU entry."""
+        if slot in self._templates:
+            self._templates.move_to_end(slot)
+            return
+        tokens = tuple(tokens)
+        self._templates[slot] = tokens
+        self._buckets.setdefault(
+            (len(tokens), self._anchor(tokens)), []
+        ).append(slot)
+        self._by_length.setdefault(len(tokens), []).append(slot)
+        while len(self._templates) > self.capacity:
+            victim, _ = self._templates.popitem(last=False)
+            self._unindex(victim)
+            self.evictions += 1
+
+    def remove(self, slot: int) -> None:
+        """Drop a template without counting an eviction (merges)."""
+        if self._templates.pop(slot, None) is not None:
+            self._unindex(slot)
+
+    def clear_templates(self) -> None:
+        """Forget every template and exact memo; counters survive.
+
+        Used by the prefix flush policy, which replaces the whole
+        working set with the authoritative template set of the latest
+        full re-parse.
+        """
+        self._templates.clear()
+        self._buckets.clear()
+        self._by_length.clear()
+        self._exact.clear()
+
+    def _unindex(self, slot: int) -> None:
+        for index in (self._buckets, self._by_length):
+            for key, slots in list(index.items()):
+                if slot in slots:
+                    slots.remove(slot)
+                    if not slots:
+                        del index[key]
+        # Exact memos pointing at the slot are left in place: the slot
+        # remains a valid event in the engine's permanent table, so a
+        # stale memo still yields a correct assignment.
+
+    # ------------------------------------------------------------------
+
+    def find_generalizer(self, tokens: Sequence[str]) -> int | None:
+        """A cached template that subsumes *tokens* (most general wins)."""
+        best: int | None = None
+        best_constants: int | None = None
+        for candidate in self._candidate_slots(tokens):
+            template = self._templates[candidate]
+            if template == tuple(tokens) or not subsumes(template, tokens):
+                continue
+            constants = sum(1 for t in template if not is_wildcard(t))
+            if best_constants is None or constants < best_constants:
+                best = candidate
+                best_constants = constants
+        return best
+
+    def find_specializations(self, tokens: Sequence[str]) -> list[int]:
+        """Cached slots whose templates are strictly subsumed by *tokens*."""
+        tokens = tuple(tokens)
+        found = []
+        for candidate in self._by_length.get(len(tokens), ()):
+            template = self._templates[candidate]
+            if template != tokens and subsumes(tokens, template):
+                found.append(candidate)
+        return found

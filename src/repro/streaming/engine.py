@@ -1,0 +1,568 @@
+"""The incremental parse engine: cache hits stream, misses batch-flush.
+
+:class:`StreamingParser` consumes :class:`~repro.common.types.LogRecord`
+streams one record at a time.  Each line is first matched against the
+:class:`~repro.streaming.cache.TemplateCache`; a hit assigns the line
+immediately in O(tokens).  Misses accumulate in a bounded buffer and,
+once ``flush_size`` of them are waiting, are parsed together by the
+wrapped *batch* parser (any parser from
+:mod:`repro.parsers.registry`, or a
+:class:`~repro.parsers.parallel.ChunkedParallelParser` over it when
+``workers > 1``).  Templates the flush discovers are merged back into
+the cache, so the next occurrence of each event is a cache hit.
+
+Two flush policies trade fidelity against cost, mirroring the
+exact/approximate split already documented for
+:class:`~repro.parsers.parallel.ChunkedParallelParser`:
+
+* ``flush_policy="delta"`` (production) parses **only the buffered
+  misses**.  Flush cost is O(misses), and with ``retain=False`` the
+  cache and miss buffer are the only per-line state, so memory stays
+  bounded no matter how long the stream runs.  The result *converges
+  toward* the batch result — helped by outlier retry (lines a flush
+  refuses to cluster are re-buffered and re-flushed with later misses,
+  up to ``max_flush_retries``) and subsumption merge (a flush-learned
+  template that strictly generalizes an earlier one absorbs it, and
+  previous assignments are remapped) — but the paper's parsers are
+  global algorithms whose decisions depend on corpus-wide frequencies
+  (SLCT's support, IPLoM's partition goodness, LKE's estimated
+  threshold), so delta streaming is approximate by nature, exactly
+  like every online parser in the literature.
+* ``flush_policy="prefix"`` (certified) re-parses the **entire
+  retained prefix** on every flush and replaces the model and all
+  per-line assignments with that authoritative result, so after
+  :meth:`finalize` the engine's output is *identical* to one batch
+  ``parse()`` over the whole stream — template set, event numbering
+  and per-line assignments — which is the property
+  :mod:`repro.streaming.equivalence` certifies.  The cache still earns
+  its keep: it absorbs repetitive lines so flushes fire only on
+  novelty, bounding how often the O(prefix) re-parse runs.  Requires
+  ``retain=True``.
+
+The engine's per-event state (the *slot table*) is permanent and small
+— one entry per distinct template string ever learned — so an evicted
+template re-learned later maps back to its original slot and event.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.common.errors import ParserConfigurationError
+from repro.common.tokenize import render_template, tokenize
+from repro.common.types import EventTemplate, LogRecord, ParseResult
+from repro.parsers.base import LogParser
+from repro.parsers.parallel import ChunkedParallelParser, ParserFactory
+from repro.parsers.preprocess import Preprocessor
+from repro.streaming.cache import TemplateCache
+
+#: Internal slot markers for lines not (yet) assigned to an event.
+OUTLIER_SLOT = -1
+PENDING_SLOT = -2
+
+#: Event id reported in snapshots for lines still awaiting a flush.
+PENDING_EVENT_ID = "PENDING"
+
+
+@dataclass
+class _Pending:
+    """One buffered cache miss awaiting a flush."""
+
+    line_no: int
+    record: LogRecord
+    flush_record: LogRecord
+    tokens: tuple[str, ...]
+    tries: int = 0
+
+
+@dataclass(frozen=True)
+class StreamingCounters:
+    """Per-stage counters of one streaming parse."""
+
+    lines: int
+    exact_hits: int
+    template_hits: int
+    misses: int
+    flushes: int
+    evictions: int
+    outliers: int
+    pending: int
+    events: int
+
+    @property
+    def hits(self) -> int:
+        return self.exact_hits + self.template_hits
+
+    @property
+    def hit_rate(self) -> float:
+        seen = self.hits + self.misses
+        return self.hits / seen if seen else 0.0
+
+
+class StreamingParser(LogParser):
+    """Incremental parser: template-cache fast path + batched flushes.
+
+    Args:
+        factory: zero-argument callable building the batch parser used
+            to cluster flushed cache misses (must be picklable when
+            ``workers > 1``).
+        flush_policy: ``"delta"`` flushes only the buffered misses
+            (fast, approximate); ``"prefix"`` re-parses the whole
+            retained prefix on each flush, making the finalized result
+            identical to a single batch parse (requires ``retain``).
+        flush_size: cache misses buffered before a flush is forced.
+        cache_capacity: LRU capacity of the template cache.
+        exact_capacity: LRU capacity of the exact-signature memo.
+        max_flush_retries: how many flushes a line may go through
+            before it is declared a permanent outlier.
+        workers: when > 1, flushes run through a
+            :class:`ChunkedParallelParser` over *factory* with this
+            many worker processes.
+        chunk_size: chunk size of the parallel flush backend.
+        retain: keep records and per-line assignments so
+            :meth:`result` can build a full
+            :class:`~repro.common.types.ParseResult`.  ``False`` keeps
+            only per-event counts — bounded memory for arbitrarily
+            long streams.
+        preprocessor: optional domain-knowledge preprocessing, applied
+            once per line before cache matching *and* flushing (do not
+            also give one to the factory's parser).
+        on_assign: callback ``(line_no, record, slot)`` fired when a
+            line first receives an event slot (``OUTLIER_SLOT`` for
+            permanent outliers).
+        on_remap: callback ``(old_slot, new_slot)`` fired when a
+            subsumption merge folds one event into another.
+    """
+
+    name = "Streaming"
+
+    def __init__(
+        self,
+        factory: ParserFactory,
+        *,
+        flush_policy: str = "delta",
+        flush_size: int = 512,
+        cache_capacity: int = 4096,
+        exact_capacity: int = 8192,
+        max_flush_retries: int = 3,
+        workers: int = 1,
+        chunk_size: int = 10_000,
+        retain: bool = True,
+        preprocessor: Preprocessor | None = None,
+        on_assign: Callable[[int, LogRecord, int], None] | None = None,
+        on_remap: Callable[[int, int], None] | None = None,
+    ) -> None:
+        super().__init__(preprocessor=preprocessor)
+        if flush_size < 1:
+            raise ParserConfigurationError(
+                f"flush_size must be >= 1, got {flush_size}"
+            )
+        if max_flush_retries < 1:
+            raise ParserConfigurationError(
+                f"max_flush_retries must be >= 1, got {max_flush_retries}"
+            )
+        if flush_policy not in ("delta", "prefix"):
+            raise ParserConfigurationError(
+                f"flush_policy must be 'delta' or 'prefix', got {flush_policy!r}"
+            )
+        if flush_policy == "prefix" and not retain:
+            raise ParserConfigurationError(
+                "flush_policy='prefix' re-parses the retained prefix and "
+                "therefore requires retain=True"
+            )
+        self.factory = factory
+        self.flush_policy = flush_policy
+        self.flush_size = flush_size
+        self.cache_capacity = cache_capacity
+        self.exact_capacity = exact_capacity
+        self.max_flush_retries = max_flush_retries
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.retain = retain
+        self.on_assign = on_assign
+        self.on_remap = on_remap
+        if workers > 1:
+            self._flush_parser: LogParser = ChunkedParallelParser(
+                factory, chunk_size=chunk_size, workers=workers
+            )
+        else:
+            self._flush_parser = factory()
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Forget all stream state (slot table, cache, buffers)."""
+        self.cache = TemplateCache(
+            capacity=self.cache_capacity,
+            exact_capacity=self.exact_capacity,
+        )
+        self._slot_templates: list[str] = []
+        self._template_to_slot: dict[str, int] = {}
+        self._redirect: dict[int, int] = {}
+        self._pending: list[_Pending] = []
+        self._n_lines = 0
+        self._flushes = 0
+        self._outliers = 0
+        self._records: list[LogRecord] = []
+        self._assignments: list[int] = []
+        self._slot_counts: Counter[int] = Counter()
+        #: prefix policy: preprocessed records for the full re-parse.
+        self._flush_records: list[LogRecord] = []
+        #: prefix policy: slots of the latest authoritative result, in
+        #: its event order (None before the first flush).
+        self._active_slots: list[int] | None = None
+        self._lines_since_flush = 0
+
+    @property
+    def counters(self) -> StreamingCounters:
+        return StreamingCounters(
+            lines=self._n_lines,
+            exact_hits=self.cache.exact_hits,
+            template_hits=self.cache.template_hits,
+            misses=self.cache.misses,
+            flushes=self._flushes,
+            evictions=self.cache.evictions,
+            outliers=self._outliers,
+            pending=len(self._pending),
+            events=self.n_events,
+        )
+
+    @property
+    def n_events(self) -> int:
+        """Distinct live events discovered so far (merges collapsed)."""
+        if self.flush_policy == "prefix":
+            return len(self._active_slots or ())
+        return len(self._slot_templates) - len(self._redirect)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Streaming interface
+    # ------------------------------------------------------------------
+
+    def feed(self, record: LogRecord) -> int:
+        """Consume one record; returns its line number in the stream.
+
+        The line is assigned immediately on a cache hit; otherwise it
+        joins the miss buffer (flushed automatically at
+        ``flush_size``) and is assigned during a later flush.
+        """
+        line_no = self._n_lines
+        self._n_lines += 1
+        if self.retain:
+            self._records.append(record)
+            self._assignments.append(PENDING_SLOT)
+        if self.preprocessor is not None:
+            content = self.preprocessor(record.content)
+            flush_record = LogRecord(
+                content=content,
+                timestamp=record.timestamp,
+                session_id=record.session_id,
+                truth_event=record.truth_event,
+            )
+        else:
+            content = record.content
+            flush_record = record
+        if self.flush_policy == "prefix":
+            self._flush_records.append(flush_record)
+        self._lines_since_flush += 1
+        tokens = tuple(tokenize(content))
+        slot = self.cache.match(tokens)
+        if slot is not None:
+            self._assign(line_no, record, self._resolve(slot))
+        else:
+            self._pending.append(
+                _Pending(
+                    line_no=line_no,
+                    record=record,
+                    flush_record=flush_record,
+                    tokens=tokens,
+                )
+            )
+            if len(self._pending) >= self.flush_size:
+                self.flush()
+        return line_no
+
+    def feed_many(self, records: Iterable[LogRecord]) -> None:
+        for record in records:
+            self.feed(record)
+
+    def flush(self) -> None:
+        """Run the batch parser now, on the policy's scope.
+
+        Delta policy parses the buffered misses; prefix policy
+        re-parses everything streamed so far and adopts that result
+        wholesale.
+        """
+        if self.flush_policy == "prefix":
+            if self._n_lines:
+                self._flush_prefix()
+            return
+        if not self._pending:
+            return
+        batch = self._pending
+        self._pending = []
+        result = self._flush_parser.parse(
+            [entry.flush_record for entry in batch]
+        )
+        self._flushes += 1
+        slot_of = {
+            event.event_id: self._integrate_template(event.template)
+            for event in result.events
+        }
+        for entry, event_id in zip(batch, result.assignments):
+            if event_id != ParseResult.OUTLIER_EVENT_ID:
+                slot = self._resolve(slot_of[event_id])
+                self.cache.remember_exact(" ".join(entry.tokens), slot)
+                self._assign(entry.line_no, entry.record, slot)
+                continue
+            # Flush declined the line: maybe a template learned in this
+            # very flush covers it now; otherwise retry or give up.
+            entry.tries += 1
+            slot = self.cache.match(entry.tokens)
+            if slot is not None:
+                self._assign(entry.line_no, entry.record, self._resolve(slot))
+            elif entry.tries >= self.max_flush_retries:
+                self._outliers += 1
+                self._assign(entry.line_no, entry.record, OUTLIER_SLOT)
+            else:
+                self._pending.append(entry)
+
+    def _flush_prefix(self) -> None:
+        """Re-parse the full prefix; adopt its result as ground truth.
+
+        Every flush-discovered template keeps (or gets) a permanent
+        slot, and :attr:`_active_slots` records the authoritative
+        result's event order so :meth:`result` reproduces the batch
+        numbering exactly.  The cache is rebuilt to hold precisely the
+        authoritative template set.
+        """
+        result = self._flush_parser.parse(list(self._flush_records))
+        self._flushes += 1
+        self._pending = []
+        self._lines_since_flush = 0
+        slot_of: dict[str, int] = {}
+        active: list[int] = []
+        for event in result.events:
+            slot = self._template_to_slot.get(event.template)
+            if slot is None:
+                slot = len(self._slot_templates)
+                self._slot_templates.append(event.template)
+                self._template_to_slot[event.template] = slot
+            slot_of[event.event_id] = slot
+            if slot not in active:
+                active.append(slot)
+        self._active_slots = active
+        self._slot_counts = Counter()
+        self._outliers = 0
+        assignments: list[int] = []
+        for event_id in result.assignments:
+            if event_id == ParseResult.OUTLIER_EVENT_ID:
+                slot = OUTLIER_SLOT
+                self._outliers += 1
+            else:
+                slot = slot_of[event_id]
+            assignments.append(slot)
+            self._slot_counts[slot] += 1
+        self._assignments = assignments
+        self.cache.clear_templates()
+        for slot in active:
+            self.cache.insert(
+                slot, tuple(tokenize(self._slot_templates[slot]))
+            )
+
+    def finalize(self) -> None:
+        """Flush until every streamed line has its final assignment.
+
+        Prefix policy: one last full re-parse if anything arrived since
+        the previous flush, which is what makes the finalized result
+        identical to batch parsing.  Delta policy: flush (with retries)
+        until the miss buffer drains.
+        """
+        if self.flush_policy == "prefix":
+            if self._pending or self._lines_since_flush:
+                self.flush()
+            return
+        while self._pending:
+            self.flush()
+
+    # ------------------------------------------------------------------
+    # Batch-contract interface
+    # ------------------------------------------------------------------
+
+    def parse(self, records: Sequence[LogRecord]) -> ParseResult:
+        """One-shot contract of §II-C: stream *records* and finalize.
+
+        Resets any previous stream state first, so a StreamingParser
+        can be reused like any batch parser.
+        """
+        if not self.retain:
+            raise ParserConfigurationError(
+                "parse() needs retain=True (unretained engines do not "
+                "keep per-line assignments)"
+            )
+        self.reset()
+        self.feed_many(records)
+        self.finalize()
+        return self.result()
+
+    def _cluster(self, token_lists):  # pragma: no cover - parse() overridden
+        raise NotImplementedError("StreamingParser overrides parse() directly")
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def _live_slots(self) -> list[int]:
+        """Slots backing current events, in event-numbering order.
+
+        Prefix policy uses the latest authoritative result's own event
+        order (so numbering matches batch output); delta policy uses
+        discovery order with merged slots collapsed.
+        """
+        if self.flush_policy == "prefix":
+            return list(self._active_slots or ())
+        return [
+            slot
+            for slot in range(len(self._slot_templates))
+            if slot not in self._redirect
+        ]
+
+    def event_ids(self) -> dict[int, str]:
+        """Map live slots to their final ``E<n>`` event ids."""
+        return {
+            slot: f"E{index + 1}"
+            for index, slot in enumerate(self._live_slots())
+        }
+
+    def events(self) -> list[EventTemplate]:
+        """The current event table, in event-numbering order."""
+        ids = self.event_ids()
+        return [
+            EventTemplate(event_id=ids[slot], template=self._slot_templates[slot])
+            for slot in self._live_slots()
+        ]
+
+    def iter_assigned(self) -> Iterable[tuple[LogRecord, int]]:
+        """Yield ``(record, slot)`` for every already-assigned line.
+
+        Lines still pending a flush are skipped.  Requires
+        ``retain=True``; used to rebuild live mining state after a
+        prefix flush rewrites history.
+        """
+        if not self.retain:
+            raise ParserConfigurationError(
+                "iter_assigned() needs retain=True"
+            )
+        for record, slot in zip(self._records, self._assignments):
+            if slot != PENDING_SLOT:
+                yield record, slot
+
+    def event_label(self, slot: int) -> str:
+        """Final event id for *slot* (outlier/pending markers included)."""
+        if slot == OUTLIER_SLOT:
+            return ParseResult.OUTLIER_EVENT_ID
+        if slot == PENDING_SLOT:
+            return PENDING_EVENT_ID
+        return self.event_ids()[self._resolve(slot)]
+
+    def result(self) -> ParseResult:
+        """Build the ParseResult over everything streamed so far.
+
+        Lines still in the miss buffer are reported as
+        :data:`PENDING_EVENT_ID`; call :meth:`finalize` first for a
+        final result.  Requires ``retain=True``.
+        """
+        if not self.retain:
+            raise ParserConfigurationError(
+                "result() needs retain=True; use counters/event streams "
+                "in unretained mode"
+            )
+        ids = self.event_ids()
+        events = [
+            EventTemplate(event_id=ids[slot], template=self._slot_templates[slot])
+            for slot in self._live_slots()
+        ]
+        assignments = []
+        for slot in self._assignments:
+            if slot == OUTLIER_SLOT:
+                assignments.append(ParseResult.OUTLIER_EVENT_ID)
+            elif slot == PENDING_SLOT:
+                assignments.append(PENDING_EVENT_ID)
+            else:
+                assignments.append(ids[self._resolve(slot)])
+        return ParseResult(
+            events=events,
+            assignments=assignments,
+            records=list(self._records),
+        )
+
+    def event_counts(self) -> dict[str, int]:
+        """Lines per final event id (works in unretained mode too)."""
+        counts: Counter[str] = Counter()
+        for slot, count in self._slot_counts.items():
+            counts[self.event_label(slot)] += count
+        return dict(counts)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _resolve(self, slot: int) -> int:
+        """Follow (and compress) redirect chains from merged events."""
+        root = slot
+        while root in self._redirect:
+            root = self._redirect[root]
+        while slot in self._redirect and self._redirect[slot] != root:
+            self._redirect[slot], slot = root, self._redirect[slot]
+        return root
+
+    def _assign(self, line_no: int, record: LogRecord, slot: int) -> None:
+        if self.retain:
+            self._assignments[line_no] = slot
+        self._slot_counts[slot] += 1
+        if self.on_assign is not None:
+            self.on_assign(line_no, record, slot)
+
+    def _integrate_template(self, template: str) -> int:
+        """Fold one flush-discovered template into the slot table/cache.
+
+        Exact re-discoveries reuse their permanent slot (that is what
+        makes eviction harmless).  A template subsumed by a cached one
+        maps onto the more general event; a template that strictly
+        generalizes cached ones absorbs them via redirect.
+        """
+        existing = self._template_to_slot.get(template)
+        if existing is not None:
+            slot = self._resolve(existing)
+            self.cache.insert(slot, tuple(tokenize(self._slot_templates[slot])))
+            return slot
+        tokens = tuple(tokenize(template))
+        general = self.cache.find_generalizer(tokens)
+        if general is not None:
+            slot = self._resolve(general)
+            self._template_to_slot[template] = slot
+            return slot
+        slot = len(self._slot_templates)
+        self._slot_templates.append(render_template(tokens))
+        self._template_to_slot[template] = slot
+        for specific in self.cache.find_specializations(tokens):
+            specific = self._resolve(specific)
+            if specific != slot:
+                self._merge_slots(specific, slot)
+        self.cache.insert(slot, tokens)
+        return slot
+
+    def _merge_slots(self, old: int, new: int) -> None:
+        self._redirect[old] = new
+        self.cache.remove(old)
+        self._slot_counts[new] += self._slot_counts.pop(old, 0)
+        if self.on_remap is not None:
+            self.on_remap(old, new)

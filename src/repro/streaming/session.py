@@ -1,0 +1,147 @@
+"""Parse sessions: timed streaming runs with live mining integration.
+
+A :class:`ParseSession` drives a :class:`~repro.streaming.engine.StreamingParser`
+over a record stream and adds what the engine itself deliberately does
+not track: wall-clock throughput, periodic progress reporting, and a
+live session-by-event count matrix
+(:class:`~repro.mining.event_matrix.EventMatrixAccumulator`) updated
+the moment each line is assigned — so PCA anomaly detection can run on
+a snapshot at any point without re-parsing the stream.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from collections.abc import Callable, Iterable
+
+from repro.common.types import LogRecord, ParseResult
+from repro.mining.event_matrix import EventCountMatrix, EventMatrixAccumulator
+from repro.streaming.engine import StreamingCounters, StreamingParser
+
+
+@dataclass(frozen=True)
+class SessionCounters:
+    """Engine counters plus wall-clock throughput."""
+
+    stream: StreamingCounters
+    elapsed_seconds: float
+
+    @property
+    def lines_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.stream.lines / self.elapsed_seconds
+
+    def describe(self) -> str:
+        """One human-readable progress line (used by the CLI)."""
+        s = self.stream
+        return (
+            f"{s.lines} lines | {s.events} events | "
+            f"hit rate {s.hit_rate:.1%} ({s.exact_hits} exact, "
+            f"{s.template_hits} template) | {s.flushes} flushes | "
+            f"{self.lines_per_second:,.0f} lines/s"
+        )
+
+
+class ParseSession:
+    """One streaming parse run: engine + clock + live event matrix.
+
+    Args:
+        parser: the streaming engine to drive.  Its ``on_assign`` /
+            ``on_remap`` hooks are claimed by the session.
+        track_matrix: maintain a live
+            :class:`EventMatrixAccumulator` keyed by each record's
+            ``session_id`` (records without one are skipped, as in
+            :func:`~repro.mining.event_matrix.build_event_matrix`).
+    """
+
+    def __init__(
+        self, parser: StreamingParser, track_matrix: bool = True
+    ) -> None:
+        self.parser = parser
+        self.accumulator = EventMatrixAccumulator() if track_matrix else None
+        self._started: float | None = None
+        self._elapsed = 0.0
+        parser.on_assign = self._on_assign
+        parser.on_remap = self._on_remap
+
+    # ------------------------------------------------------------------
+
+    def _on_assign(self, line_no: int, record: LogRecord, slot: int) -> None:
+        if self.accumulator is not None and record.session_id:
+            self.accumulator.add(record.session_id, slot)
+
+    def _on_remap(self, old_slot: int, new_slot: int) -> None:
+        if self.accumulator is not None:
+            self.accumulator.remap(old_slot, new_slot)
+
+    # ------------------------------------------------------------------
+
+    def feed(self, record: LogRecord) -> int:
+        if self._started is None:
+            self._started = time.perf_counter()
+        line_no = self.parser.feed(record)
+        self._elapsed = time.perf_counter() - self._started
+        return line_no
+
+    def consume(
+        self,
+        records: Iterable[LogRecord],
+        report_every: int | None = None,
+        report: Callable[[SessionCounters], None] | None = None,
+    ) -> None:
+        """Feed a whole stream, optionally reporting progress.
+
+        ``report`` (default: print the counters' describe line) fires
+        after every ``report_every`` lines.
+        """
+        if report is None:
+            report = lambda counters: print(counters.describe())  # noqa: E731
+        for record in records:
+            line_no = self.feed(record)
+            if report_every and (line_no + 1) % report_every == 0:
+                report(self.counters())
+        return None
+
+    def finalize(self) -> ParseResult | None:
+        """Flush everything; returns the ParseResult in retained mode."""
+        if self._started is None:
+            self._started = time.perf_counter()
+        self.parser.finalize()
+        self._elapsed = time.perf_counter() - self._started
+        if self.parser.retain:
+            return self.parser.result()
+        return None
+
+    # ------------------------------------------------------------------
+
+    def counters(self) -> SessionCounters:
+        return SessionCounters(
+            stream=self.parser.counters, elapsed_seconds=self._elapsed
+        )
+
+    def snapshot(self) -> ParseResult:
+        """The incremental ParseResult right now (retained mode).
+
+        Lines still buffered appear with the ``PENDING`` pseudo event
+        id; :meth:`finalize` resolves them.
+        """
+        return self.parser.result()
+
+    def matrix(self) -> EventCountMatrix:
+        """Materialize the live session-by-event count matrix.
+
+        Under the prefix flush policy each flush rewrites history, so
+        the matrix is rebuilt from the engine's current assignments
+        rather than from the (now stale) live accumulator.
+        """
+        if self.accumulator is None:
+            raise ValueError("session was created with track_matrix=False")
+        if self.parser.flush_policy == "prefix":
+            accumulator = EventMatrixAccumulator()
+            for record, slot in self.parser.iter_assigned():
+                if record.session_id:
+                    accumulator.add(record.session_id, slot)
+            return accumulator.build(self.parser.event_label)
+        return self.accumulator.build(self.parser.event_label)

@@ -4,6 +4,7 @@ Only the fast examples are executed here (the interactive comparison
 script enumerates every parser × dataset and belongs to manual runs).
 """
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -11,12 +12,28 @@ import sys
 import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = EXAMPLES_DIR.parent / "src"
 
 FAST_EXAMPLES = [
     "quickstart.py",
     "fig1_overview.py",
     "tagged_logging.py",
+    "streaming_parse.py",
 ]
+
+
+def _env_with_src() -> dict:
+    """Subprocess environment that can import repro from src/.
+
+    The test runner's own PYTHONPATH is not inherited reliably (pytest
+    may be launched with src/ on sys.path only), so build it explicitly.
+    """
+    env = os.environ.copy()
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        f"{SRC_DIR}{os.pathsep}{existing}" if existing else str(SRC_DIR)
+    )
+    return env
 
 
 @pytest.mark.parametrize("script", FAST_EXAMPLES)
@@ -27,6 +44,7 @@ def test_example_runs_cleanly(script, tmp_path):
         text=True,
         timeout=300,
         cwd=tmp_path,  # examples write their artifacts to the cwd
+        env=_env_with_src(),
     )
     assert completed.returncode == 0, completed.stderr
     assert completed.stdout.strip()
@@ -47,6 +65,7 @@ def test_fig1_output_matches_paper():
         capture_output=True,
         text=True,
         timeout=120,
+        env=_env_with_src(),
     )
     out = completed.stdout
     # The six events of the paper's Fig. 1, verbatim.

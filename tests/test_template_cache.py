@@ -1,0 +1,135 @@
+"""Unit tests for the streaming engine's LRU template cache."""
+
+import pytest
+
+from repro.common.errors import ParserConfigurationError
+from repro.common.types import LogRecord
+from repro.parsers.base import Clustering, LogParser
+from repro.streaming import StreamingParser, TemplateCache, subsumes
+
+
+def test_subsumes_requires_equal_length_and_coverage():
+    assert subsumes(["open", "*", "*"], ["open", "file", "*"])
+    assert not subsumes(["open", "file", "*"], ["open", "*", "*"])
+    assert not subsumes(["open", "*"], ["open", "file", "x"])
+    assert subsumes(["*"], ["*"])
+
+
+def test_exact_fast_path_and_counters():
+    cache = TemplateCache(capacity=8)
+    cache.insert(0, ("connect", "*", "ok"))
+    line = ("connect", "10.0.0.1", "ok")
+    assert cache.match(line) == 0
+    assert cache.template_hits == 1 and cache.exact_hits == 0
+    # The first hit memoizes the exact signature; the repeat is exact.
+    assert cache.match(line) == 0
+    assert cache.exact_hits == 1
+    assert cache.match(("connect", "10.0.0.2", "ok")) == 0
+    assert cache.template_hits == 2
+    assert cache.match(("disconnect",)) is None
+    assert cache.misses == 1
+    assert cache.hits == 3
+    assert cache.hit_rate == pytest.approx(3 / 4)
+
+
+def test_wildcard_collision_most_specific_template_wins():
+    cache = TemplateCache(capacity=8)
+    cache.insert(0, ("open", "*", "*"))
+    cache.insert(1, ("open", "file", "*"))
+    cache.insert(2, ("*", "file", "done"))
+    # All three cover this line; the one with most constants wins.
+    assert cache.match(("open", "file", "done")) == 1
+    # Only the general ones cover these.
+    assert cache.match(("open", "sock", "x")) == 0
+    assert cache.match(("close", "file", "done")) == 2
+
+
+def test_wildcard_collision_tie_goes_to_oldest_slot():
+    cache = TemplateCache(capacity=8)
+    cache.insert(0, ("open", "file", "*"))
+    cache.insert(1, ("open", "*", "done"))
+    # Both cover this line with two constants each.
+    assert cache.match(("open", "file", "done")) == 0
+
+
+def test_lru_eviction_order_respects_use():
+    cache = TemplateCache(capacity=2)
+    cache.insert(0, ("a", "*"))
+    cache.insert(1, ("b", "*"))
+    # Touch slot 0 so slot 1 becomes the least recently used.
+    assert cache.match(("a", "x")) == 0
+    cache.insert(2, ("c", "*"))
+    assert cache.evictions == 1
+    assert 0 in cache and 2 in cache and 1 not in cache
+    # The evicted template no longer matches fresh lines...
+    assert cache.match(("b", "zzz")) is None
+
+
+def test_stale_exact_memo_survives_eviction():
+    cache = TemplateCache(capacity=1)
+    cache.insert(0, ("a", "*"))
+    assert cache.match(("a", "x")) == 0  # memoizes "a x" -> 0
+    cache.insert(1, ("b", "*"))  # evicts slot 0's template
+    assert 0 not in cache
+    # The memoized assignment is still correct: slot 0 remains a valid
+    # event in the engine's permanent table.
+    assert cache.match(("a", "x")) == 0
+    assert cache.match(("a", "y")) is None
+
+
+def test_find_generalizer_and_specializations():
+    cache = TemplateCache(capacity=8)
+    cache.insert(0, ("put", "obj", "*"))
+    cache.insert(1, ("put", "blob", "*"))
+    cache.insert(2, ("get", "obj", "*"))
+    assert sorted(cache.find_specializations(("put", "*", "*"))) == [0, 1]
+    cache.insert(3, ("put", "*", "*"))
+    assert cache.find_generalizer(("put", "tmp", "*")) == 3
+    assert cache.find_generalizer(("del", "x", "*")) is None
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ParserConfigurationError):
+        TemplateCache(capacity=0)
+    with pytest.raises(ParserConfigurationError):
+        TemplateCache(exact_capacity=-1)
+
+
+class _FirstTokenParser(LogParser):
+    """Deterministic, scale-free stub: cluster by (first token, length)."""
+
+    name = "FirstToken"
+
+    def _cluster(self, token_lists):
+        groups: dict[tuple[str, int], int] = {}
+        labels = []
+        templates = []
+        for tokens in token_lists:
+            key = (tokens[0], len(tokens))
+            if key not in groups:
+                groups[key] = len(templates)
+                templates.append([tokens[0]] + ["*"] * (len(tokens) - 1))
+            labels.append(groups[key])
+        return Clustering(labels=labels, templates=templates)
+
+
+def test_evicted_template_relearned_as_identical_event():
+    # Capacity 1 forces an eviction between the two "alpha" sightings;
+    # the re-learned template must map back to the same event.
+    engine = StreamingParser(
+        _FirstTokenParser, flush_size=1, cache_capacity=1
+    )
+    engine.feed(LogRecord(content="alpha one two"))
+    engine.feed(LogRecord(content="beta one two"))  # evicts "alpha *"
+    engine.feed(LogRecord(content="alpha three four"))
+    engine.finalize()
+    result = engine.result()
+    assert engine.counters.evictions >= 1
+    assert sorted(e.template for e in result.events) == [
+        "alpha * *",
+        "beta * *",
+    ]
+    first, _, relearned = result.assignments
+    assert first == relearned
+    by_id = {e.event_id: e.template for e in result.events}
+    assert by_id[first] == "alpha * *"
