@@ -11,7 +11,16 @@ Subcommands:
   a chosen parser (Table III style, one row).
 * ``stream`` — parse a raw log file or synthetic dataset incrementally
   through the template-cache streaming engine, reporting cache hit
-  rate and throughput (§V / Finding 3 remedy).
+  rate and throughput (§V / Finding 3 remedy).  Supports per-record
+  error policies with quarantine, deterministic fault injection, and
+  checkpoint/resume.
+* ``supervise`` — parse under the fault-tolerant supervision runtime:
+  a fallback chain of parsers with deadlines, retries, and circuit
+  breakers, input screening into a quarantine file, and optional
+  injected faults to demonstrate the recovery paths.
+
+Exit codes: 0 success, 1 verification failure, 2 configuration error,
+3 data error, 4 runtime failure.
 """
 
 from __future__ import annotations
@@ -20,7 +29,14 @@ import argparse
 import sys
 from functools import partial
 
-from repro.common.errors import ReproError
+from repro.common.errors import (
+    DatasetError,
+    EvaluationError,
+    MiningError,
+    ParserConfigurationError,
+    ReproError,
+    ValidationError,
+)
 from repro.datasets import (
     DATASET_NAMES,
     generate_dataset,
@@ -35,7 +51,48 @@ from repro.datasets import (
 from repro.evaluation import evaluate_accuracy, evaluate_mining_impact
 from repro.evaluation.mining_impact import table3_parser_factory
 from repro.parsers import PARSER_NAMES, default_preprocessor, make_parser
+from repro.resilience import (
+    ErrorPolicy,
+    FlakyFactory,
+    ParserSupervisor,
+    QuarantineSink,
+    RetryPolicy,
+    corrupt_records,
+    load_checkpoint,
+    restore_accumulator,
+    restore_streaming_parser,
+    save_checkpoint,
+    screen_records,
+)
 from repro.streaming import ParseSession, StreamingParser, diff_results
+
+#: Exit codes per error family (the argparse convention reserves 2 for
+#: usage errors, which configuration errors generalize).
+EXIT_CONFIG = 2
+EXIT_DATA = 3
+EXIT_RUNTIME = 4
+
+
+def exit_code_for(error: ReproError) -> int:
+    """Map a :class:`ReproError` onto the CLI's exit-code contract.
+
+    Configuration/usage problems exit 2, bad input data exits 3, and
+    runtime failures (timeouts, crashed workers, broken checkpoints,
+    exhausted fallback chains) exit 4.
+    """
+    if isinstance(
+        error,
+        (
+            ParserConfigurationError,
+            ValidationError,
+            EvaluationError,
+            MiningError,
+        ),
+    ):
+        return EXIT_CONFIG
+    if isinstance(error, DatasetError):
+        return EXIT_DATA
+    return EXIT_RUNTIME
 
 
 def _add_generate(subparsers) -> None:
@@ -193,6 +250,161 @@ def _add_stream(subparsers) -> None:
     )
     cmd.add_argument("--support", type=float, default=0.005, help="SLCT only")
     cmd.add_argument("--seed", type=int, default=None)
+    _add_hardening_flags(cmd)
+    cmd.add_argument(
+        "--checkpoint",
+        default=None,
+        help="checkpoint file: written every --checkpoint-every records "
+        "(and read back with --resume)",
+    )
+    cmd.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=10_000,
+        help="records between checkpoint snapshots",
+    )
+    cmd.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore engine state from --checkpoint and skip the "
+        "records it already consumed",
+    )
+
+
+def _add_hardening_flags(cmd) -> None:
+    """Input-hardening / fault-injection flags shared by stream+supervise."""
+    cmd.add_argument(
+        "--error-policy",
+        choices=["raise", "skip", "quarantine"],
+        default=None,
+        help="what to do with undecodable/oversized/binary records "
+        "(default: raise; quarantine when --quarantine-path or "
+        "--faults is given)",
+    )
+    cmd.add_argument(
+        "--quarantine-path",
+        default=None,
+        help="append rejected records (with provenance) to this JSONL file",
+    )
+    cmd.add_argument(
+        "--max-record-len",
+        type=int,
+        default=None,
+        help="reject records whose content exceeds this many characters",
+    )
+    cmd.add_argument(
+        "--faults",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="deterministically corrupt the input stream with this seed",
+    )
+    cmd.add_argument(
+        "--fault-every",
+        type=int,
+        default=20,
+        help="with --faults: corrupt every N-th record",
+    )
+
+
+def _resolve_policy(args) -> tuple[str | None, "QuarantineSink | None"]:
+    """Resolve the hardening flags into (policy mode, sink)."""
+    mode = args.error_policy
+    if mode is None and (
+        args.quarantine_path is not None or args.faults is not None
+    ):
+        mode = "quarantine"
+    sink = None
+    if mode is not None:
+        sink = QuarantineSink(args.quarantine_path)
+    return mode, sink
+
+
+def _add_supervise(subparsers) -> None:
+    cmd = subparsers.add_parser(
+        "supervise",
+        help="parse under the fault-tolerant supervision runtime "
+        "(fallback chain, deadlines, retries, circuit breakers)",
+    )
+    cmd.add_argument(
+        "input",
+        nargs="?",
+        default=None,
+        help="raw log file to parse (omit when using --dataset)",
+    )
+    cmd.add_argument(
+        "--dataset",
+        choices=DATASET_NAMES,
+        default=None,
+        help="parse a synthetic dataset instead of a file",
+    )
+    cmd.add_argument(
+        "--size", type=int, default=2000,
+        help="lines to generate with --dataset",
+    )
+    cmd.add_argument(
+        "--chain",
+        default="IPLoM,SLCT",
+        help="comma-separated fallback chain, preferred parser first",
+    )
+    cmd.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="wall-clock deadline per parse attempt (seconds)",
+    )
+    cmd.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="total attempts per parser before falling back",
+    )
+    cmd.add_argument(
+        "--retry-delay",
+        type=float,
+        default=0.01,
+        help="base backoff delay between retries (seconds)",
+    )
+    _add_hardening_flags(cmd)
+    cmd.add_argument(
+        "--fault-parser",
+        default=None,
+        metavar="NAME",
+        help="wrap this chain entry in a flaky factory that fails first",
+    )
+    cmd.add_argument(
+        "--fault-parser-fails",
+        type=int,
+        default=2,
+        help="with --fault-parser: how many parses crash before recovery",
+    )
+    cmd.add_argument(
+        "--fault-parser-hang",
+        type=float,
+        default=0.0,
+        help="with --fault-parser: stall instead of crashing (seconds)",
+    )
+    cmd.add_argument(
+        "--output-stem",
+        default=None,
+        help="write .events/.structured outputs of the winning parse",
+    )
+    cmd.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-parse the clean records with the winning parser "
+        "un-supervised and diff the results",
+    )
+    cmd.add_argument(
+        "--preprocess-dataset",
+        default=None,
+        help="apply this dataset's domain-knowledge preprocessing rules",
+    )
+    cmd.add_argument(
+        "--groups", type=int, default=50, help="LogSig only"
+    )
+    cmd.add_argument("--support", type=float, default=0.005, help="SLCT only")
+    cmd.add_argument("--seed", type=int, default=None)
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -209,6 +421,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     _add_tune(subparsers)
     _add_mine(subparsers)
     _add_stream(subparsers)
+    _add_supervise(subparsers)
     return parser
 
 
@@ -335,6 +548,18 @@ def _cmd_mine(args) -> int:
     return 0
 
 
+def _parser_params(name: str, args) -> dict:
+    """Per-parser construction keywords shared by stream/supervise."""
+    params: dict = {}
+    if name == "LogSig":
+        params.update(groups=args.groups, seed=args.seed)
+    elif name == "SLCT":
+        params.update(support=args.support)
+    elif name == "LKE":
+        params.update(seed=args.seed)
+    return params
+
+
 def _cmd_stream(args) -> int:
     if (args.dataset is None) == (args.input is None):
         print(
@@ -351,40 +576,99 @@ def _cmd_stream(args) -> int:
             file=sys.stderr,
         )
         return 2
-    params: dict = {}
-    if args.parser == "LogSig":
-        params.update(groups=args.groups, seed=args.seed)
-    elif args.parser == "SLCT":
-        params.update(support=args.support)
-    elif args.parser == "LKE":
-        params.update(seed=args.seed)
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint", file=sys.stderr)
+        return 2
+    params = _parser_params(args.parser, args)
     factory = partial(make_parser, args.parser, **params)
     preprocessor = (
         default_preprocessor(args.preprocess_dataset)
         if args.preprocess_dataset
         else None
     )
-    engine = StreamingParser(
-        factory,
-        flush_policy=args.flush_policy,
-        flush_size=args.flush_size,
-        cache_capacity=args.cache_capacity,
-        max_flush_retries=args.max_retries,
-        workers=args.workers,
-        chunk_size=args.chunk_size,
-        retain=not args.no_retain,
-        preprocessor=preprocessor,
-    )
+    policy_mode, sink = _resolve_policy(args)
+    if args.resume:
+        checkpoint = load_checkpoint(args.checkpoint)
+        engine = restore_streaming_parser(
+            checkpoint,
+            factory,
+            preprocessor=preprocessor,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            error_policy=policy_mode,
+            quarantine=sink,
+            max_record_len=args.max_record_len,
+        )
+        skip = checkpoint.records_consumed
+    else:
+        engine = StreamingParser(
+            factory,
+            flush_policy=args.flush_policy,
+            flush_size=args.flush_size,
+            cache_capacity=args.cache_capacity,
+            max_flush_retries=args.max_retries,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            retain=not args.no_retain,
+            preprocessor=preprocessor,
+            error_policy=policy_mode,
+            quarantine=sink,
+            max_record_len=args.max_record_len,
+        )
+        skip = 0
     session = ParseSession(engine, track_matrix=args.mine)
+    if args.resume and args.mine:
+        restored = restore_accumulator(checkpoint)
+        if restored is not None:
+            session.accumulator = restored
     if args.dataset is not None:
+        source = f"dataset:{args.dataset}"
         records = iter_dataset(
             get_dataset_spec(args.dataset), args.size, seed=args.seed
         )
     else:
-        records = iter_raw_log(args.input)
-    session.consume(records, report_every=args.report_every or None)
+        source = args.input
+        records = iter_raw_log(
+            args.input,
+            policy=policy_mode or "raise",
+            quarantine=sink,
+        )
+    if args.faults is not None:
+        records = corrupt_records(
+            records, seed=args.faults, every=args.fault_every
+        )
+    consumed = skip
+    for index, record in enumerate(records):
+        if index < skip:
+            continue
+        session.feed(record)
+        consumed += 1
+        if args.checkpoint and consumed % args.checkpoint_every == 0:
+            save_checkpoint(
+                args.checkpoint,
+                engine,
+                records_consumed=consumed,
+                parser=args.parser,
+                source=source,
+                accumulator=session.accumulator,
+            )
+        if args.report_every and consumed % args.report_every == 0:
+            print(session.counters().describe())
     result = session.finalize()
+    if args.checkpoint:
+        save_checkpoint(
+            args.checkpoint,
+            engine,
+            records_consumed=consumed,
+            parser=args.parser,
+            source=source,
+            accumulator=session.accumulator,
+        )
     print(session.counters().describe())
+    if sink is not None:
+        sink.close()
+        if len(sink):
+            print(sink.describe())
     if args.output_stem and result is not None:
         events_path, structured_path = write_parse_result(
             result, args.output_stem
@@ -418,6 +702,121 @@ def _cmd_stream(args) -> int:
     return 0
 
 
+def _cmd_supervise(args) -> int:
+    if (args.dataset is None) == (args.input is None):
+        print(
+            "error: give exactly one of INPUT or --dataset",
+            file=sys.stderr,
+        )
+        return 2
+    chain_names = [
+        name.strip() for name in args.chain.split(",") if name.strip()
+    ]
+    if not chain_names:
+        print("error: --chain must name at least one parser", file=sys.stderr)
+        return 2
+    for name in chain_names:
+        if name not in PARSER_NAMES:
+            print(
+                f"error: unknown parser {name!r} in --chain "
+                f"(choose from {', '.join(PARSER_NAMES)})",
+                file=sys.stderr,
+            )
+            return 2
+    if args.fault_parser is not None and args.fault_parser not in chain_names:
+        print(
+            f"error: --fault-parser {args.fault_parser!r} is not in the chain",
+            file=sys.stderr,
+        )
+        return 2
+    policy_mode, sink = _resolve_policy(args)
+    policy_mode = policy_mode or "quarantine"
+    if sink is None:
+        sink = QuarantineSink(args.quarantine_path)
+    preprocessor = (
+        default_preprocessor(args.preprocess_dataset)
+        if args.preprocess_dataset
+        else None
+    )
+    if args.dataset is not None:
+        source = f"dataset:{args.dataset}"
+        records = iter_dataset(
+            get_dataset_spec(args.dataset), args.size, seed=args.seed
+        )
+    else:
+        source = args.input
+        records = iter_raw_log(
+            args.input, policy=policy_mode, quarantine=sink
+        )
+    if args.faults is not None:
+        records = corrupt_records(
+            records, seed=args.faults, every=args.fault_every
+        )
+    policy = ErrorPolicy(policy_mode, sink=sink)
+    clean = list(
+        screen_records(
+            records,
+            policy,
+            source=source,
+            max_len=args.max_record_len,
+            sink=sink,
+        )
+    )
+    chain = []
+    for name in chain_names:
+        factory = partial(
+            make_parser,
+            name,
+            preprocessor=preprocessor,
+            **_parser_params(name, args),
+        )
+        if name == args.fault_parser:
+            factory = FlakyFactory(
+                factory,
+                fail_times=args.fault_parser_fails,
+                hang_seconds=args.fault_parser_hang,
+                name=name,
+            )
+        chain.append((name, factory))
+    supervisor = ParserSupervisor(
+        chain,
+        timeout=args.timeout,
+        retry=RetryPolicy(
+            attempts=args.retries, base_delay=args.retry_delay
+        ),
+    )
+    try:
+        outcome = supervisor.parse(clean)
+    finally:
+        sink.close()
+    print(outcome.report.describe())
+    print(
+        f"{outcome.parser}: {len(outcome.result.events)} events from "
+        f"{len(clean)} clean lines ({policy.skipped} rejected)"
+    )
+    print(sink.describe())
+    if args.output_stem:
+        events_path, structured_path = write_parse_result(
+            outcome.result, args.output_stem
+        )
+        print(f"wrote {events_path}, {structured_path}")
+    if args.verify:
+        batch_parser = make_parser(
+            outcome.parser,
+            preprocessor=preprocessor,
+            **_parser_params(outcome.parser, args),
+        )
+        report = diff_results(
+            batch_parser.name,
+            batch_parser.parse(clean),
+            outcome.result,
+        )
+        print(report.describe())
+        if not report.equivalent:
+            return 1
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "parse": _cmd_parse,
@@ -426,6 +825,7 @@ _COMMANDS = {
     "tune": _cmd_tune,
     "mine": _cmd_mine,
     "stream": _cmd_stream,
+    "supervise": _cmd_supervise,
 }
 
 
@@ -435,7 +835,7 @@ def main(argv: list[str] | None = None) -> int:
         return _COMMANDS[args.command](args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return exit_code_for(error)
 
 
 if __name__ == "__main__":

@@ -3,12 +3,22 @@
 All library-raised exceptions derive from :class:`ReproError` so callers can
 catch everything coming out of this package with a single ``except`` clause
 while still being able to distinguish configuration problems from data
-problems.
+problems.  The CLI maps the hierarchy onto exit codes (configuration
+errors exit 2, data errors exit 3, runtime failures exit 4); see
+:func:`repro.cli.exit_code_for`.
 """
 
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """A public API was called with invalid argument values.
+
+    Doubles as a :class:`ValueError` so callers following the builtin
+    convention (``except ValueError``) keep working.
+    """
 
 
 class ParserConfigurationError(ReproError):
@@ -25,3 +35,28 @@ class EvaluationError(ReproError):
 
 class MiningError(ReproError):
     """A log mining model was given inconsistent or unusable inputs."""
+
+
+class ParserTimeoutError(ReproError):
+    """A supervised parse exceeded its wall-clock deadline."""
+
+
+class WorkerCrashError(ReproError):
+    """A parallel parsing worker died or hung and could not be recovered."""
+
+
+class CheckpointError(ReproError):
+    """A streaming checkpoint could not be written, read, or applied."""
+
+
+class FallbackExhaustedError(ReproError):
+    """Every parser in a supervision fallback chain failed.
+
+    Carries the :class:`~repro.resilience.supervisor.FailureReport` of
+    the attempts as the ``report`` attribute when raised by
+    :class:`~repro.resilience.supervisor.ParserSupervisor`.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report

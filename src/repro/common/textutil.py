@@ -10,6 +10,8 @@ from __future__ import annotations
 import math
 from collections.abc import Callable, Sequence
 
+from repro.common.errors import ValidationError
+
 
 def edit_distance(
     a: Sequence[str],
@@ -102,7 +104,7 @@ def format_table(
     widths = [len(h) for h in headers]
     for row in cells:
         if len(row) != len(headers):
-            raise ValueError("row width must match header width")
+            raise ValidationError("row width must match header width")
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
     lines = [

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro.common.errors import ValidationError
+
 #: Marker used in templates for a variable (parameter) position.
 WILDCARD = "*"
 
@@ -75,14 +77,14 @@ def generalize(tokens_a: Sequence[str], tokens_b: Sequence[str]) -> list[str]:
     """Merge two equal-length token sequences into their common template.
 
     Positions where the sequences agree keep the token; positions where
-    they differ become wildcards.  Raises ``ValueError`` on length
+    they differ become wildcards.  Raises :class:`ValidationError` on length
     mismatch — same-length membership is each parser's responsibility.
 
     >>> generalize(["open", "file", "a.txt"], ["open", "file", "b.txt"])
     ['open', 'file', '*']
     """
     if len(tokens_a) != len(tokens_b):
-        raise ValueError(
+        raise ValidationError(
             f"cannot generalize sequences of different lengths "
             f"({len(tokens_a)} vs {len(tokens_b)})"
         )
@@ -99,15 +101,15 @@ def template_from_cluster(token_lists: Sequence[Sequence[str]]) -> list[str]:
     otherwise it becomes a wildcard.  This is the "log template
     generation" step shared by SLCT, IPLoM, LKE, and LogSig.
 
-    Raises ``ValueError`` when the cluster is empty or lengths disagree.
+    Raises :class:`ValidationError` when the cluster is empty or lengths disagree.
     """
     if not token_lists:
-        raise ValueError("cannot build a template from an empty cluster")
+        raise ValidationError("cannot build a template from an empty cluster")
     width = len(token_lists[0])
     template = list(token_lists[0])
     for tokens in token_lists[1:]:
         if len(tokens) != width:
-            raise ValueError(
+            raise ValidationError(
                 "cannot build a template from sequences of different lengths"
             )
         for i, token in enumerate(tokens):

@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from collections.abc import Iterator, Sequence
 
+from repro.common.errors import ValidationError
+
 from repro.common.tokenize import template_matches, tokenize
 
 
@@ -44,6 +46,24 @@ class LogRecord:
     def tokens(self) -> list[str]:
         """Whitespace tokens of the message content."""
         return tokenize(self.content)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form, used by streaming checkpoints."""
+        return {
+            "content": self.content,
+            "timestamp": self.timestamp,
+            "session_id": self.session_id,
+            "truth_event": self.truth_event,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LogRecord":
+        return cls(
+            content=data["content"],
+            timestamp=data.get("timestamp", ""),
+            session_id=data.get("session_id", ""),
+            truth_event=data.get("truth_event"),
+        )
 
 
 @dataclass(frozen=True)
@@ -91,7 +111,7 @@ class ParseResult:
 
     def __post_init__(self) -> None:
         if len(self.assignments) != len(self.records):
-            raise ValueError(
+            raise ValidationError(
                 f"assignments ({len(self.assignments)}) and records "
                 f"({len(self.records)}) must have equal length"
             )
@@ -154,7 +174,7 @@ def records_from_contents(
     Convenience for tests and examples that start from plain strings.
     """
     if session_ids is not None and len(session_ids) != len(contents):
-        raise ValueError("session_ids must be as long as contents")
+        raise ValidationError("session_ids must be as long as contents")
     return [
         LogRecord(
             content=content,

@@ -17,6 +17,12 @@ from collections.abc import Iterator
 from repro.common.errors import DatasetError
 from repro.common.rng import spawn
 from repro.common.types import LogRecord, ParseResult
+from repro.resilience.quarantine import (
+    REASON_OVERSIZED,
+    REASON_UNDECODABLE,
+    ErrorPolicy,
+    QuarantineSink,
+)
 
 
 def write_raw_log(records: list[LogRecord], path: str) -> None:
@@ -54,28 +60,99 @@ def _parse_raw_line(line: str) -> LogRecord:
     )
 
 
-def read_raw_log(path: str) -> list[LogRecord]:
+def read_raw_log(
+    path: str,
+    *,
+    policy: ErrorPolicy | str = "raise",
+    quarantine: QuarantineSink | None = None,
+    max_line_bytes: int | None = None,
+    encoding_errors: str = "strict",
+) -> list[LogRecord]:
     """Read a raw log file written by :func:`write_raw_log`.
 
     Lines without tabs are treated as bare content (header-less logs),
-    so plain message-per-line files also load.
+    so plain message-per-line files also load.  Keyword arguments are
+    forwarded to :func:`iter_raw_log` — see there for the error
+    policy semantics.
     """
-    return list(iter_raw_log(path))
+    return list(
+        iter_raw_log(
+            path,
+            policy=policy,
+            quarantine=quarantine,
+            max_line_bytes=max_line_bytes,
+            encoding_errors=encoding_errors,
+        )
+    )
 
 
-def iter_raw_log(path: str) -> Iterator[LogRecord]:
+def iter_raw_log(
+    path: str,
+    *,
+    policy: ErrorPolicy | str = "raise",
+    quarantine: QuarantineSink | None = None,
+    max_line_bytes: int | None = None,
+    encoding_errors: str = "strict",
+) -> Iterator[LogRecord]:
     """Lazily iterate a raw log file, one record at a time.
 
     The streaming counterpart of :func:`read_raw_log`: only one line is
     in memory at a time, so arbitrarily large files can be fed straight
     into :class:`~repro.streaming.engine.StreamingParser`.
+
+    The file is read as bytes and decoded per line, so one dirty line
+    cannot kill the whole run unless you ask it to:
+
+    * a line that is not valid UTF-8 (under *encoding_errors*
+      ``"strict"``, the default) or longer than *max_line_bytes* is
+      handled by *policy* — ``"raise"`` aborts with a
+      :class:`~repro.common.errors.DatasetError` naming the line
+      number and byte offset, ``"skip"`` drops it, ``"quarantine"``
+      diverts it (with provenance and an ``errors="replace"`` preview)
+      into *quarantine*;
+    * *encoding_errors* ``"replace"`` is the explicit lossy path for
+      known non-UTF-8 logs: every line decodes (bad bytes become
+      U+FFFD) and only the size cap can reject.
     """
     if not os.path.exists(path):
         raise DatasetError(f"raw log file not found: {path}")
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.rstrip("\n")
-            if not line:
+    policy = ErrorPolicy.coerce(policy, sink=quarantine)
+    offset = 0
+    with open(path, "rb") as handle:
+        for line_no, raw in enumerate(handle):
+            start = offset
+            offset += len(raw)
+            stripped = raw.rstrip(b"\n")
+            if not stripped:
+                continue
+            if (
+                max_line_bytes is not None
+                and len(stripped) > max_line_bytes
+            ):
+                policy.handle(
+                    source=path,
+                    line_no=line_no,
+                    byte_offset=start,
+                    reason=REASON_OVERSIZED,
+                    detail=(
+                        f"line is {len(stripped)} bytes "
+                        f"(cap {max_line_bytes})"
+                    ),
+                    payload=stripped,
+                )
+                continue
+            try:
+                line = stripped.decode("utf-8", errors=encoding_errors)
+            except UnicodeDecodeError as error:
+                policy.handle(
+                    source=path,
+                    line_no=line_no,
+                    byte_offset=start,
+                    reason=REASON_UNDECODABLE,
+                    detail=str(error),
+                    payload=stripped,
+                    error=error,
+                )
                 continue
             yield _parse_raw_line(line)
 

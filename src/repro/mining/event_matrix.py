@@ -134,6 +134,28 @@ class EventMatrixAccumulator:
         for session_id, count in old_column.items():
             column[session_id] = column.get(session_id, 0.0) + count
 
+    def state(self) -> dict:
+        """JSON-ready snapshot for streaming checkpoints.
+
+        Event keys survive a JSON round-trip unchanged for the keys
+        the streaming engine actually uses (integer slots).
+        """
+        return {
+            "sessions": list(self._sessions),
+            "columns": [
+                [key, sorted(column.items())]
+                for key, column in self._columns.items()
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild the accumulator from a :meth:`state` snapshot."""
+        self._sessions = {session_id: None for session_id in state["sessions"]}
+        self._columns = {
+            key: {session_id: count for session_id, count in column}
+            for key, column in state["columns"]
+        }
+
     def build(
         self, label_of: Callable[[Hashable], str] | None = None
     ) -> EventCountMatrix:

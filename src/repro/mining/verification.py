@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.common.errors import ValidationError
+
 from repro.common.types import ParseResult
 
 
@@ -85,7 +87,7 @@ def compare_deployments(
       interleave nondeterministically).
     """
     if signature not in {"sequence", "set"}:
-        raise ValueError(
+        raise ValidationError(
             f"signature must be 'sequence' or 'set', got {signature!r}"
         )
 

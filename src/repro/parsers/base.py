@@ -13,7 +13,7 @@ import abc
 from dataclasses import dataclass
 from collections.abc import Sequence
 
-from repro.common.errors import ParserConfigurationError
+from repro.common.errors import ParserConfigurationError, ValidationError
 from repro.common.tokenize import WILDCARD, render_template, tokenize
 from repro.common.types import EventTemplate, LogRecord, ParseResult
 from repro.parsers.preprocess import Preprocessor
@@ -39,7 +39,7 @@ class Clustering:
     def __post_init__(self) -> None:
         for label in self.labels:
             if label != OUTLIER and not 0 <= label < len(self.templates):
-                raise ValueError(f"cluster label {label} out of range")
+                raise ValidationError(f"cluster label {label} out of range")
 
 
 class LogParser(abc.ABC):

@@ -10,14 +10,27 @@ The merge is exact for parsers whose templates are deterministic
 functions of a cluster's members (SLCT, IPLoM) and approximate for the
 randomized clustering parsers — the trade-off the paper's discussion
 anticipates.
+
+Dispatch is **supervised**: a chunk whose worker raises, dies (broken
+pool), or exceeds ``chunk_timeout`` is re-dispatched into a fresh pool
+with exponential backoff, and after ``max_chunk_attempts`` worker
+tries the chunk is parsed in-process as a last resort — so one bad
+worker (or one poisoned chunk of input) degrades throughput instead of
+killing the whole parse.  Every attempt is recorded in
+:attr:`ChunkedParallelParser.last_recovery`; only when the in-process
+fallback itself fails does
+:class:`~repro.common.errors.WorkerCrashError` propagate.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, field
 from collections.abc import Callable, Sequence
 
-from repro.common.errors import ParserConfigurationError
+from repro.common.errors import ParserConfigurationError, WorkerCrashError
 from repro.common.types import EventTemplate, LogRecord, ParseResult
 from repro.parsers.base import LogParser
 
@@ -26,11 +39,82 @@ from repro.parsers.base import LogParser
 #: over picklable arguments).
 ParserFactory = Callable[[], LogParser]
 
+#: Chunk attempt status tags.
+CHUNK_OK = "ok"
+CHUNK_ERROR = "error"
+CHUNK_TIMEOUT = "timeout"
+CHUNK_FALLBACK = "fallback-ok"
+
 
 def _parse_chunk(
-    factory: ParserFactory, records: list[LogRecord]
+    factory: ParserFactory,
+    records: list[LogRecord],
+    chunk_index: int = 0,
+    attempt: int = 1,
+    fault=None,
+    in_process: bool = True,
 ) -> ParseResult:
+    """Parse one chunk, firing any scheduled injected fault first.
+
+    *fault* is anything with ``should_fire(chunk_index, attempt,
+    in_process)`` / ``fire(chunk_index, attempt)`` — in practice a
+    :class:`~repro.resilience.faults.ChunkFault` — and is consulted
+    here, inside the (possibly worker-side) call, so crashes happen
+    exactly where real ones would.
+    """
+    if fault is not None and fault.should_fire(chunk_index, attempt, in_process):
+        fault.fire(chunk_index, attempt)
     return factory().parse(records)
+
+
+@dataclass(frozen=True)
+class ChunkAttempt:
+    """One dispatch of one chunk."""
+
+    chunk: int
+    attempt: int
+    status: str
+    error: str | None = None
+
+    def describe(self) -> str:
+        tail = f": {self.error}" if self.error else ""
+        return f"chunk {self.chunk} attempt {self.attempt}: {self.status}{tail}"
+
+
+@dataclass
+class ChunkRecoveryReport:
+    """Every chunk attempt of one :meth:`ChunkedParallelParser.parse`."""
+
+    attempts: list[ChunkAttempt] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[ChunkAttempt]:
+        return [
+            a
+            for a in self.attempts
+            if a.status in (CHUNK_ERROR, CHUNK_TIMEOUT)
+        ]
+
+    @property
+    def redispatched_chunks(self) -> set[int]:
+        """Chunks that needed more than one attempt."""
+        return {a.chunk for a in self.attempts if a.attempt > 1}
+
+    @property
+    def fallback_chunks(self) -> set[int]:
+        """Chunks rescued by the in-process fallback."""
+        return {a.chunk for a in self.attempts if a.status == CHUNK_FALLBACK}
+
+    def describe(self) -> str:
+        if not self.failures:
+            return "all chunks parsed on first dispatch"
+        lines = [a.describe() for a in self.attempts]
+        summary = (
+            f"{len(self.failures)} failed attempts, "
+            f"{len(self.redispatched_chunks)} chunks re-dispatched, "
+            f"{len(self.fallback_chunks)} rescued in-process"
+        )
+        return "\n".join([*lines, summary])
 
 
 class ChunkedParallelParser(LogParser):
@@ -42,6 +126,20 @@ class ChunkedParallelParser(LogParser):
         workers: worker processes; 1 parses chunks sequentially
             in-process (useful for tests and for measuring the merge
             overhead in isolation).
+        max_chunk_attempts: dispatches a chunk gets before the
+            in-process fallback (each failed dispatch backs off
+            exponentially).
+        chunk_timeout: per-chunk wall-clock deadline in seconds; a
+            chunk still running past it is treated as hung, its worker
+            abandoned, and the chunk re-dispatched.  ``None`` waits
+            forever (the historical behavior).
+        fault: optional injected-fault schedule (see
+            :class:`~repro.resilience.faults.ChunkFault`), consulted
+            inside every chunk parse.
+        backoff_base / backoff_max: the re-dispatch delay after the
+            n-th failed wave is ``min(backoff_max, backoff_base *
+            2**(n-1))`` seconds.
+        sleep: injectable sleep for tests.
     """
 
     name = "Chunked"
@@ -51,6 +149,13 @@ class ChunkedParallelParser(LogParser):
         factory: ParserFactory,
         chunk_size: int = 10_000,
         workers: int = 1,
+        *,
+        max_chunk_attempts: int = 3,
+        chunk_timeout: float | None = None,
+        fault=None,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         super().__init__(preprocessor=None)
         if chunk_size < 1:
@@ -61,9 +166,25 @@ class ChunkedParallelParser(LogParser):
             raise ParserConfigurationError(
                 f"workers must be >= 1, got {workers}"
             )
+        if max_chunk_attempts < 1:
+            raise ParserConfigurationError(
+                f"max_chunk_attempts must be >= 1, got {max_chunk_attempts}"
+            )
+        if chunk_timeout is not None and chunk_timeout <= 0:
+            raise ParserConfigurationError(
+                f"chunk_timeout must be > 0, got {chunk_timeout}"
+            )
         self.factory = factory
         self.chunk_size = chunk_size
         self.workers = workers
+        self.max_chunk_attempts = max_chunk_attempts
+        self.chunk_timeout = chunk_timeout
+        self.fault = fault
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self._sleep = sleep
+        #: Recovery report of the most recent :meth:`parse` call.
+        self.last_recovery: ChunkRecoveryReport | None = None
 
     def parse(self, records: Sequence[LogRecord]) -> ParseResult:
         records = list(records)
@@ -71,21 +192,186 @@ class ChunkedParallelParser(LogParser):
             records[start : start + self.chunk_size]
             for start in range(0, len(records), self.chunk_size)
         ]
+        report = ChunkRecoveryReport()
+        self.last_recovery = report
         if not chunks:
             return ParseResult(events=[], assignments=[], records=[])
+        results = self._dispatch(chunks, report)
+        return self._merge(records, [results[i] for i in range(len(chunks))])
 
-        if self.workers == 1 or len(chunks) == 1:
-            results = [_parse_chunk(self.factory, chunk) for chunk in chunks]
-        else:
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                results = list(
-                    pool.map(
-                        _parse_chunk,
-                        [self.factory] * len(chunks),
-                        chunks,
+    # ------------------------------------------------------------------
+    # Supervised dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(
+        self, chunks: list[list[LogRecord]], report: ChunkRecoveryReport
+    ) -> dict[int, ParseResult]:
+        """Parse every chunk, surviving worker crashes and hangs."""
+        in_process = self.workers == 1 or len(chunks) == 1
+        results: dict[int, ParseResult] = {}
+        attempts = {index: 0 for index in range(len(chunks))}
+        pending = set(attempts)
+        wave = 0
+        while pending:
+            wave += 1
+            ordered = sorted(pending)
+            for index in ordered:
+                attempts[index] += 1
+            if in_process:
+                failed = self._run_wave_in_process(
+                    ordered, chunks, attempts, results, report
+                )
+            else:
+                failed = self._run_wave_in_pool(
+                    ordered, chunks, attempts, results, report
+                )
+            pending.difference_update(set(ordered) - set(failed))
+            for index in failed:
+                if attempts[index] >= self.max_chunk_attempts:
+                    self._fallback(index, chunks, attempts, results, report)
+                    pending.discard(index)
+            if pending:
+                self._sleep(
+                    min(self.backoff_max, self.backoff_base * 2 ** (wave - 1))
+                )
+        return results
+
+    def _run_wave_in_process(
+        self, ordered, chunks, attempts, results, report
+    ) -> list[int]:
+        failed = []
+        for index in ordered:
+            try:
+                results[index] = _parse_chunk(
+                    self.factory,
+                    chunks[index],
+                    index,
+                    attempts[index],
+                    self.fault,
+                    True,
+                )
+            except Exception as error:  # noqa: BLE001 - retried
+                failed.append(index)
+                report.attempts.append(
+                    ChunkAttempt(
+                        chunk=index,
+                        attempt=attempts[index],
+                        status=CHUNK_ERROR,
+                        error=f"{type(error).__name__}: {error}",
                     )
                 )
-        return self._merge(records, results)
+            else:
+                report.attempts.append(
+                    ChunkAttempt(
+                        chunk=index, attempt=attempts[index], status=CHUNK_OK
+                    )
+                )
+        return failed
+
+    def _run_wave_in_pool(
+        self, ordered, chunks, attempts, results, report
+    ) -> list[int]:
+        """One parallel dispatch wave; the pool is disposable.
+
+        A fresh pool per wave means a wave poisoned by a dead or hung
+        worker cannot leak into the next: on exit the pool is shut
+        down without waiting, abandoning any still-running (hung)
+        workers exactly like
+        :func:`~repro.resilience.supervisor.run_with_deadline`
+        abandons an overrunning thread.
+        """
+        failed = []
+        pool = ProcessPoolExecutor(max_workers=self.workers)
+        try:
+            futures = {
+                index: pool.submit(
+                    _parse_chunk,
+                    self.factory,
+                    chunks[index],
+                    index,
+                    attempts[index],
+                    self.fault,
+                    False,
+                )
+                for index in ordered
+            }
+            for index in ordered:
+                try:
+                    results[index] = futures[index].result(
+                        timeout=self.chunk_timeout
+                    )
+                except FuturesTimeoutError:
+                    failed.append(index)
+                    report.attempts.append(
+                        ChunkAttempt(
+                            chunk=index,
+                            attempt=attempts[index],
+                            status=CHUNK_TIMEOUT,
+                            error=(
+                                f"no result within {self.chunk_timeout}s; "
+                                "worker abandoned"
+                            ),
+                        )
+                    )
+                except Exception as error:  # noqa: BLE001 - retried
+                    failed.append(index)
+                    report.attempts.append(
+                        ChunkAttempt(
+                            chunk=index,
+                            attempt=attempts[index],
+                            status=CHUNK_ERROR,
+                            error=f"{type(error).__name__}: {error}",
+                        )
+                    )
+                else:
+                    report.attempts.append(
+                        ChunkAttempt(
+                            chunk=index,
+                            attempt=attempts[index],
+                            status=CHUNK_OK,
+                        )
+                    )
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return failed
+
+    def _fallback(self, index, chunks, attempts, results, report) -> None:
+        """Last resort: parse the chunk in this process.
+
+        Escapes a poisoned worker environment entirely; injected
+        faults marked ``worker_only`` deliberately do not fire here.
+        A failure at this point is a genuine parser bug on this input,
+        surfaced as :class:`WorkerCrashError` with the full recovery
+        report chained in.
+        """
+        attempts[index] += 1
+        try:
+            results[index] = _parse_chunk(
+                self.factory,
+                chunks[index],
+                index,
+                attempts[index],
+                self.fault,
+                True,
+            )
+        except Exception as error:  # noqa: BLE001 - rethrown
+            report.attempts.append(
+                ChunkAttempt(
+                    chunk=index,
+                    attempt=attempts[index],
+                    status=CHUNK_ERROR,
+                    error=f"{type(error).__name__}: {error}",
+                )
+            )
+            raise WorkerCrashError(
+                f"chunk {index} failed its in-process fallback after "
+                f"{attempts[index]} attempts:\n{report.describe()}"
+            ) from error
+        report.attempts.append(
+            ChunkAttempt(
+                chunk=index, attempt=attempts[index], status=CHUNK_FALLBACK
+            )
+        )
 
     @staticmethod
     def _merge(

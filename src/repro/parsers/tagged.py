@@ -24,6 +24,8 @@ import re
 from collections import Counter
 from collections.abc import Sequence
 
+from repro.common.errors import ValidationError
+
 from repro.common.tokenize import render_template, template_from_cluster
 from repro.common.types import EventTemplate, LogRecord, ParseResult
 from repro.parsers.base import LogParser
@@ -42,7 +44,7 @@ def tag_records(records: Sequence[LogRecord]) -> list[LogRecord]:
     tagged = []
     for record in records:
         if not record.truth_event:
-            raise ValueError(
+            raise ValidationError(
                 "cannot tag a record without a known event id"
             )
         tagged.append(

@@ -1,0 +1,208 @@
+"""Checkpoint/resume for streaming parse sessions.
+
+A streaming run killed mid-stream should not have to start over: the
+engine's mutable state (slot table, template cache, miss buffer,
+retained assignments) plus the live mining accumulator serialize to a
+single JSON checkpoint file, and a fresh engine restored from it —
+fed the *remaining* records — finalizes to the same result as an
+uninterrupted run.  Under the ``prefix`` flush policy that identity is
+byte-exact (same ``.events`` / ``.structured`` output), because the
+final full re-parse sees the identical record sequence either way; the
+resilience test suite certifies it with the equivalence harness.
+
+The file format is versioned JSON written atomically (temp file +
+``os.replace``), so a crash *during* checkpointing leaves the previous
+checkpoint intact.  Code-valued engine parameters (the parser factory,
+preprocessor, callbacks) are not serialized — the resume path takes
+them as arguments and the saved configuration is cross-checked against
+the rebuilt engine, failing with
+:class:`~repro.common.errors.CheckpointError` on any mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.common.errors import CheckpointError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mining.event_matrix import EventMatrixAccumulator
+    from repro.parsers.parallel import ParserFactory
+    from repro.parsers.preprocess import Preprocessor
+    from repro.streaming.engine import StreamingParser
+
+#: Bump when the checkpoint schema changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class StreamCheckpoint:
+    """One serialized stream position.
+
+    Attributes:
+        version: schema version (must equal :data:`CHECKPOINT_VERSION`).
+        parser: name of the wrapped batch parser (informational; used
+            for error messages, not identity).
+        source: where the stream came from (path or dataset spec), so
+            a resume can rebuild the same record iterator.
+        records_consumed: how many records were pulled from the source
+            iterator — including ones the engine's error policy
+            rejected — i.e. how many a resume must skip.
+        engine: :meth:`~repro.streaming.engine.StreamingParser.checkpoint_state`
+            snapshot.
+        accumulator: live mining accumulator snapshot, or ``None``.
+    """
+
+    version: int
+    parser: str | None
+    source: str | None
+    records_consumed: int
+    engine: dict
+    accumulator: dict | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "parser": self.parser,
+            "source": self.source,
+            "records_consumed": self.records_consumed,
+            "engine": self.engine,
+            "accumulator": self.accumulator,
+        }
+
+
+def save_checkpoint(
+    path: str,
+    engine: "StreamingParser",
+    *,
+    records_consumed: int,
+    parser: str | None = None,
+    source: str | None = None,
+    accumulator: "EventMatrixAccumulator | None" = None,
+) -> StreamCheckpoint:
+    """Snapshot *engine* (and optional accumulator) to *path* atomically.
+
+    Returns the in-memory :class:`StreamCheckpoint` that was written.
+    """
+    checkpoint = StreamCheckpoint(
+        version=CHECKPOINT_VERSION,
+        parser=parser,
+        source=source,
+        records_consumed=records_consumed,
+        engine=engine.checkpoint_state(),
+        accumulator=accumulator.state() if accumulator is not None else None,
+    )
+    tmp_path = f"{path}.tmp"
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(checkpoint.to_dict(), handle)
+        os.replace(tmp_path, path)
+    except OSError as error:
+        raise CheckpointError(
+            f"could not write checkpoint to {path}: {error}"
+        ) from error
+    return checkpoint
+
+
+def load_checkpoint(path: str) -> StreamCheckpoint:
+    """Read and validate a checkpoint file.
+
+    Raises :class:`~repro.common.errors.CheckpointError` when the file
+    is missing, is not valid JSON, lacks required fields, or was
+    written by an incompatible schema version.
+    """
+    if not os.path.exists(path):
+        raise CheckpointError(f"checkpoint file not found: {path}")
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise CheckpointError(
+            f"could not read checkpoint {path}: {error}"
+        ) from error
+    if not isinstance(data, dict):
+        raise CheckpointError(
+            f"checkpoint {path} does not hold a JSON object"
+        )
+    version = data.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has schema version {version!r}; "
+            f"this runtime reads version {CHECKPOINT_VERSION}"
+        )
+    try:
+        return StreamCheckpoint(
+            version=version,
+            parser=data.get("parser"),
+            source=data.get("source"),
+            records_consumed=data["records_consumed"],
+            engine=data["engine"],
+            accumulator=data.get("accumulator"),
+        )
+    except KeyError as error:
+        raise CheckpointError(
+            f"checkpoint {path} is missing required field {error}"
+        ) from error
+
+
+def restore_streaming_parser(
+    checkpoint: StreamCheckpoint,
+    factory: "ParserFactory",
+    *,
+    preprocessor: "Preprocessor | None" = None,
+    workers: int = 1,
+    chunk_size: int = 10_000,
+    error_policy=None,
+    quarantine=None,
+    max_record_len: int | None = None,
+) -> "StreamingParser":
+    """Build a fresh engine positioned exactly at *checkpoint*.
+
+    The engine configuration is taken from the checkpoint itself; the
+    caller supplies only the code-valued pieces (factory,
+    preprocessor, error policy) — which must be equivalent to the ones
+    the checkpointed run used for the resumed result to match.
+    """
+    from repro.streaming.engine import StreamingParser
+
+    config = checkpoint.engine.get("config")
+    if not isinstance(config, dict):
+        raise CheckpointError("checkpoint lacks an engine configuration")
+    try:
+        engine = StreamingParser(
+            factory,
+            flush_policy=config["flush_policy"],
+            flush_size=config["flush_size"],
+            cache_capacity=config["cache_capacity"],
+            exact_capacity=config["exact_capacity"],
+            max_flush_retries=config["max_flush_retries"],
+            retain=config["retain"],
+            workers=workers,
+            chunk_size=chunk_size,
+            preprocessor=preprocessor,
+            error_policy=error_policy,
+            quarantine=quarantine,
+            max_record_len=max_record_len,
+        )
+    except KeyError as error:
+        raise CheckpointError(
+            f"checkpoint engine configuration is missing {error}"
+        ) from error
+    engine.restore_state(checkpoint.engine)
+    return engine
+
+
+def restore_accumulator(
+    checkpoint: StreamCheckpoint,
+) -> "EventMatrixAccumulator | None":
+    """Rebuild the live mining accumulator saved in *checkpoint*."""
+    if checkpoint.accumulator is None:
+        return None
+    from repro.mining.event_matrix import EventMatrixAccumulator
+
+    accumulator = EventMatrixAccumulator()
+    accumulator.restore_state(checkpoint.accumulator)
+    return accumulator

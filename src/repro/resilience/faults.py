@@ -1,0 +1,286 @@
+"""Deterministic, seeded fault injection for the resilience suite.
+
+Every recovery path in the runtime — quarantine, retry, circuit
+breaking, worker re-dispatch, checkpoint resume — is only trustworthy
+if it is *exercised*, and real faults are rare and irreproducible.
+This module manufactures them on a fixed schedule derived from a seed,
+so a failing resilience test replays bit-for-bit:
+
+* :func:`corrupt_records` / :func:`corrupt_raw_file` dirty an input
+  stream (binary garbage, oversized payloads, mid-token truncation,
+  invalid UTF-8 bytes) — exercised against the loader's and engine's
+  error policies;
+* :class:`FlakyFactory` builds parsers that crash or stall on their
+  first *n* calls — exercised against
+  :class:`~repro.resilience.supervisor.ParserSupervisor` retries,
+  deadlines, and fallback chains;
+* :class:`ChunkFault` fires inside chunk workers on scheduled
+  ``(chunk, attempt)`` pairs — exercised against
+  :class:`~repro.parsers.parallel.ChunkedParallelParser` re-dispatch
+  and in-process fallback.
+
+Everything here is picklable (plain module-level classes over plain
+data) so faults survive the trip into worker processes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from random import Random
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.common.errors import ReproError, ValidationError
+from repro.common.types import LogRecord, ParseResult
+from repro.parsers.base import LogParser
+from repro.parsers.parallel import ParserFactory
+
+
+class InjectedFault(ReproError, RuntimeError):
+    """Raised by the harness where a real crash would occur.
+
+    Subclasses :class:`RuntimeError` so recovery code that catches
+    broad runtime failures treats it exactly like the genuine article.
+    """
+
+
+# ----------------------------------------------------------------------
+# Input corruption
+# ----------------------------------------------------------------------
+
+#: Record-level corruption kinds.
+KIND_BINARY = "binary"
+KIND_OVERSIZED = "oversized"
+KIND_TRUNCATED = "truncated"
+RECORD_KINDS = (KIND_BINARY, KIND_OVERSIZED, KIND_TRUNCATED)
+
+_BINARY_JUNK = "\x00\x07\x1b[31m"
+
+
+def corrupt_records(
+    records: Iterable[LogRecord],
+    *,
+    seed: int,
+    every: int,
+    kinds: Sequence[str] = RECORD_KINDS,
+    oversize_to: int = 5000,
+) -> Iterator[LogRecord]:
+    """Yield *records* with every ``every``-th one corrupted.
+
+    The corruption kind for each victim is drawn from a
+    ``Random(seed)`` stream, so the same seed always corrupts the same
+    records the same way.  Kinds:
+
+    * ``binary`` — control bytes spliced into the content (caught by
+      :func:`~repro.resilience.quarantine.is_clean_content`);
+    * ``oversized`` — content padded past *oversize_to* characters;
+    * ``truncated`` — content cut mid-token (stays printable: models
+      a log line chopped by a crashing writer, dirty but parseable).
+    """
+    if every < 1:
+        raise ValidationError(f"every must be >= 1, got {every}")
+    for kind in kinds:
+        if kind not in RECORD_KINDS:
+            raise ValidationError(
+                f"unknown corruption kind {kind!r}; choose from {RECORD_KINDS}"
+            )
+    rng = Random(seed)
+    for index, record in enumerate(records):
+        if (index + 1) % every != 0:
+            yield record
+            continue
+        kind = rng.choice(list(kinds))
+        content = record.content
+        if kind == KIND_BINARY:
+            cut = rng.randrange(len(content) + 1)
+            content = content[:cut] + _BINARY_JUNK + content[cut:]
+        elif kind == KIND_OVERSIZED:
+            pad = "A" * (oversize_to + 1 - len(content))
+            content = content + pad
+        else:  # truncated
+            keep = max(1, len(content) // 3)
+            content = content[:keep]
+        yield LogRecord(
+            content=content,
+            timestamp=record.timestamp,
+            session_id=record.session_id,
+            truth_event=record.truth_event,
+        )
+
+
+def corrupt_raw_file(
+    src: str,
+    dst: str,
+    *,
+    seed: int,
+    every: int,
+    oversize_to: int = 100_000,
+) -> int:
+    """Copy raw log *src* to *dst*, corrupting every ``every``-th line.
+
+    Works at the byte level so the loader's decode path is exercised:
+    victims alternately get invalid UTF-8 bytes spliced in or are
+    padded past *oversize_to* bytes.  Returns the number of corrupted
+    lines.
+    """
+    if every < 1:
+        raise ValidationError(f"every must be >= 1, got {every}")
+    rng = Random(seed)
+    corrupted = 0
+    with open(src, "rb") as infile, open(dst, "wb") as outfile:
+        for index, raw in enumerate(infile):
+            line = raw.rstrip(b"\n")
+            if line and (index + 1) % every == 0:
+                corrupted += 1
+                if rng.random() < 0.5:
+                    cut = rng.randrange(len(line) + 1)
+                    line = line[:cut] + b"\xff\xfe\xfd" + line[cut:]
+                else:
+                    line = line + b"A" * (oversize_to + 1 - len(line))
+            outfile.write(line + b"\n")
+    return corrupted
+
+
+# ----------------------------------------------------------------------
+# Flaky parsers (supervisor faults)
+# ----------------------------------------------------------------------
+
+
+class FlakyFactory:
+    """Parser factory whose first *n* parses crash and/or stall.
+
+    Args:
+        inner: the real factory to delegate to.
+        fail_times: the first *fail_times* ``parse()`` calls raise
+            :class:`InjectedFault`.
+        hang_seconds: when > 0, the first *fail_times* calls sleep this
+            long *instead of* raising — long enough past a supervisor
+            deadline, that registers as a timeout.
+        name: reported parser name (defaults to the inner parser's).
+
+    Call-count state lives on the factory instance, so it spans the
+    fresh parser objects a supervisor builds per attempt.  That makes
+    the factory in-process only; use :class:`ChunkFault` for faults
+    that must fire inside worker processes.
+    """
+
+    def __init__(
+        self,
+        inner: ParserFactory,
+        *,
+        fail_times: int = 1,
+        hang_seconds: float = 0.0,
+        name: str | None = None,
+    ) -> None:
+        if fail_times < 0:
+            raise ValidationError(
+                f"fail_times must be >= 0, got {fail_times}"
+            )
+        self.inner = inner
+        self.fail_times = fail_times
+        self.hang_seconds = hang_seconds
+        self.name = name
+        self.calls = 0
+
+    def __call__(self) -> LogParser:
+        return _FlakyParser(self)
+
+
+class _FlakyParser(LogParser):
+    """The per-call wrapper :class:`FlakyFactory` hands out."""
+
+    def __init__(self, gate: FlakyFactory) -> None:
+        super().__init__(preprocessor=None)
+        self._gate = gate
+        inner = gate.inner()
+        self._inner = inner
+        self.name = gate.name or inner.name
+
+    def parse(self, records: Sequence[LogRecord]) -> ParseResult:
+        gate = self._gate
+        gate.calls += 1
+        if gate.calls <= gate.fail_times:
+            if gate.hang_seconds > 0:
+                time.sleep(gate.hang_seconds)
+            else:
+                raise InjectedFault(
+                    f"injected crash on parse call {gate.calls} "
+                    f"of {self.name}"
+                )
+        return self._inner.parse(records)
+
+    def _cluster(self, token_lists):  # pragma: no cover - parse() overridden
+        raise NotImplementedError("_FlakyParser overrides parse() directly")
+
+
+# ----------------------------------------------------------------------
+# Worker-chunk faults
+# ----------------------------------------------------------------------
+
+#: Chunk fault modes.
+MODE_RAISE = "raise"
+MODE_EXIT = "exit"
+MODE_HANG = "hang"
+CHUNK_MODES = (MODE_RAISE, MODE_EXIT, MODE_HANG)
+
+
+@dataclass(frozen=True)
+class ChunkFault:
+    """Scheduled fault firing inside chunk parses.
+
+    Args:
+        chunks: chunk indices to sabotage.
+        attempts: the fault fires on attempts ``1..attempts`` of a
+            sabotaged chunk and then lets it succeed — raise
+            ``attempts`` past the dispatcher's ``max_chunk_attempts``
+            to force the in-process fallback.
+        mode: ``raise`` (exception in the worker), ``exit`` (hard
+            ``os._exit``, i.e. a dead worker process and a broken
+            pool), or ``hang`` (sleep ``hang_seconds`` before parsing,
+            tripping a chunk deadline).
+        hang_seconds: stall length for ``hang`` mode.
+        worker_only: when True (default), the fault never fires for
+            in-process parses — so the dispatcher's in-process
+            fallback, which models escaping a poisoned worker
+            environment, genuinely recovers.
+
+    Frozen and built from plain data, so it pickles into workers and
+    the schedule is identical on every replay.
+    """
+
+    chunks: tuple[int, ...]
+    attempts: int = 1
+    mode: str = MODE_RAISE
+    hang_seconds: float = 5.0
+    worker_only: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mode not in CHUNK_MODES:
+            raise ValidationError(
+                f"chunk fault mode must be one of {CHUNK_MODES}, "
+                f"got {self.mode!r}"
+            )
+        if self.attempts < 1:
+            raise ValidationError(
+                f"attempts must be >= 1, got {self.attempts}"
+            )
+
+    def should_fire(
+        self, chunk_index: int, attempt: int, in_process: bool
+    ) -> bool:
+        if in_process and self.worker_only:
+            return False
+        return chunk_index in self.chunks and attempt <= self.attempts
+
+    def fire(self, chunk_index: int, attempt: int) -> None:
+        """Enact the fault (called from inside the chunk parse)."""
+        if self.mode == MODE_EXIT:
+            os._exit(13)
+        if self.mode == MODE_HANG:
+            time.sleep(self.hang_seconds)
+            return
+        raise InjectedFault(
+            f"injected worker crash on chunk {chunk_index} "
+            f"attempt {attempt}"
+        )

@@ -1,0 +1,342 @@
+"""Supervised parsing: deadlines, retries, circuit breakers, fallbacks.
+
+The paper evaluates four parsers with sharply different failure
+envelopes — LKE's clustering is quadratic and routinely infeasible on
+full datasets (Finding 3), while SLCT degrades gracefully — so a
+production pipeline should *chain* them: try the accurate parser under
+a deadline, fall back to the cheap one when it times out or crashes.
+:class:`ParserSupervisor` implements that chain:
+
+* each parse attempt runs under an optional **wall-clock deadline**
+  (enforced by a daemon worker thread; an expired parse is abandoned
+  and reported as :class:`~repro.common.errors.ParserTimeoutError`);
+* failures are retried with **exponential backoff** per
+  :class:`RetryPolicy` (deterministic — no jitter — so tests can
+  assert the exact sleep schedule);
+* a per-parser :class:`CircuitBreaker` skips a parser that keeps
+  failing, so a chain consulted repeatedly (e.g. once per stream
+  flush) stops paying the deadline for a known-bad stage until its
+  cooldown expires; and
+* every attempt — success, error, timeout, or breaker skip — lands in
+  a structured :class:`FailureReport` so "what happened" is never a
+  matter of scrolling logs.
+
+All time sources (``sleep``, ``clock``) are injectable, which the test
+suite uses to drive breaker transitions and backoff schedules without
+real waiting.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from collections.abc import Callable, Sequence
+
+from repro.common.errors import (
+    FallbackExhaustedError,
+    ParserTimeoutError,
+    ValidationError,
+)
+from repro.common.types import LogRecord, ParseResult
+from repro.parsers.parallel import ParserFactory
+
+#: Attempt status tags.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_TIMEOUT = "timeout"
+STATUS_SKIPPED = "skipped"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic exponential backoff schedule.
+
+    ``delay(1)`` is the wait after the first failure:
+    ``base_delay * backoff**(attempt-1)``, capped at ``max_delay``.
+    ``attempts`` is the total number of tries (1 = no retries).
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    backoff: float = 2.0
+    max_delay: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValidationError(
+                f"retry attempts must be >= 1, got {self.attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0 or self.backoff < 1:
+            raise ValidationError(
+                "retry delays must be >= 0 and backoff >= 1"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait after failed attempt number *attempt* (1-based)."""
+        return min(self.max_delay, self.base_delay * self.backoff ** (attempt - 1))
+
+
+class CircuitBreaker:
+    """Classic closed → open → half-open breaker around one parser.
+
+    Args:
+        failure_threshold: consecutive failures that trip the breaker.
+        reset_timeout: seconds the breaker stays open before allowing
+            one half-open probe.
+        clock: monotonic time source (injectable for tests).
+
+    State machine: ``closed`` admits every call; *failure_threshold*
+    consecutive failures move to ``open``, which rejects calls until
+    *reset_timeout* has elapsed; the next call then runs as a
+    ``half-open`` probe — success closes the breaker, failure re-opens
+    it (and restarts the cooldown).
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValidationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout < 0:
+            raise ValidationError(
+                f"reset_timeout must be >= 0, got {reset_timeout}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._failures = 0
+        self._state = self.CLOSED
+        self._opened_at: float | None = None
+
+    @property
+    def state(self) -> str:
+        if (
+            self._state == self.OPEN
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            return self.HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """May the protected call run right now?"""
+        return self.state != self.OPEN
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._state = self.CLOSED
+        self._opened_at = None
+
+    def record_failure(self) -> None:
+        self._failures += 1
+        if self._state == self.OPEN or self._failures >= self.failure_threshold:
+            # A half-open probe failing re-opens immediately.
+            self._state = self.OPEN
+            self._opened_at = self._clock()
+
+
+@dataclass(frozen=True)
+class Attempt:
+    """One supervised parse attempt (or breaker skip)."""
+
+    parser: str
+    attempt: int
+    status: str
+    seconds: float = 0.0
+    error: str | None = None
+
+    def describe(self) -> str:
+        tail = f": {self.error}" if self.error else ""
+        return (
+            f"{self.parser} attempt {self.attempt}: {self.status} "
+            f"({self.seconds:.3f}s){tail}"
+        )
+
+
+@dataclass
+class FailureReport:
+    """Structured record of every attempt a supervised parse made."""
+
+    attempts: list[Attempt] = field(default_factory=list)
+    winner: str | None = None
+
+    @property
+    def failures(self) -> list[Attempt]:
+        return [a for a in self.attempts if a.status not in (STATUS_OK,)]
+
+    @property
+    def timed_out(self) -> list[Attempt]:
+        return [a for a in self.attempts if a.status == STATUS_TIMEOUT]
+
+    @property
+    def skipped(self) -> list[Attempt]:
+        return [a for a in self.attempts if a.status == STATUS_SKIPPED]
+
+    def describe(self) -> str:
+        lines = [a.describe() for a in self.attempts]
+        outcome = (
+            f"winner: {self.winner}" if self.winner else "no parser succeeded"
+        )
+        return "\n".join([*lines, outcome])
+
+
+@dataclass(frozen=True)
+class SupervisedResult:
+    """Outcome of :meth:`ParserSupervisor.parse`."""
+
+    result: ParseResult
+    parser: str
+    report: FailureReport
+
+
+def run_with_deadline(
+    fn: Callable[[], ParseResult], timeout: float | None
+) -> ParseResult:
+    """Run *fn*, raising :class:`ParserTimeoutError` past *timeout*.
+
+    The call executes in a daemon thread so an overrunning parse can
+    be abandoned: the thread keeps burning its CPU until the parse
+    returns, but the supervisor (and the process at exit) no longer
+    waits for it.  That is the honest best available in-process —
+    Python offers no safe preemptive cancellation — and mirrors how
+    the chunked parallel backend abandons hung worker processes.
+    """
+    if timeout is None:
+        return fn()
+    box: dict[str, object] = {}
+
+    def target() -> None:
+        try:
+            box["result"] = fn()
+        except BaseException as error:  # noqa: BLE001 - re-raised below
+            box["error"] = error
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    thread.join(timeout)
+    if thread.is_alive():
+        raise ParserTimeoutError(
+            f"parse exceeded its {timeout:.3f}s deadline"
+        )
+    if "error" in box:
+        raise box["error"]  # type: ignore[misc]
+    return box["result"]  # type: ignore[return-value]
+
+
+class ParserSupervisor:
+    """Run a parse down a fallback chain of supervised parsers.
+
+    Args:
+        chain: ordered ``(name, factory)`` pairs — the preferred parser
+            first, fallbacks after it.
+        timeout: wall-clock deadline per attempt (``None`` = no limit).
+        retry: per-parser retry/backoff policy.
+        breaker_threshold / breaker_reset: circuit breaker parameters,
+            one breaker per chain entry, persistent across
+            :meth:`parse` calls.
+        sleep / clock: injectable time sources for tests.
+
+    :meth:`parse` returns a :class:`SupervisedResult` from the first
+    chain entry that succeeds, or raises
+    :class:`~repro.common.errors.FallbackExhaustedError` (carrying the
+    full :class:`FailureReport`) when every entry fails.
+    """
+
+    def __init__(
+        self,
+        chain: Sequence[tuple[str, ParserFactory]],
+        *,
+        timeout: float | None = None,
+        retry: RetryPolicy | None = None,
+        breaker_threshold: int = 3,
+        breaker_reset: float = 30.0,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not chain:
+            raise ValidationError("supervision chain must not be empty")
+        if timeout is not None and timeout <= 0:
+            raise ValidationError(f"timeout must be > 0, got {timeout}")
+        self.chain = list(chain)
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._sleep = sleep
+        self._clock = clock
+        self.breakers = {
+            name: CircuitBreaker(
+                failure_threshold=breaker_threshold,
+                reset_timeout=breaker_reset,
+                clock=clock,
+            )
+            for name, _ in self.chain
+        }
+        #: Report of the most recent :meth:`parse` call.
+        self.last_report: FailureReport | None = None
+
+    def parse(self, records: Sequence[LogRecord]) -> SupervisedResult:
+        records = list(records)
+        report = FailureReport()
+        self.last_report = report
+        for name, factory in self.chain:
+            breaker = self.breakers[name]
+            if not breaker.allow():
+                report.attempts.append(
+                    Attempt(
+                        parser=name,
+                        attempt=0,
+                        status=STATUS_SKIPPED,
+                        error="circuit breaker open",
+                    )
+                )
+                continue
+            for attempt in range(1, self.retry.attempts + 1):
+                started = self._clock()
+                try:
+                    result = run_with_deadline(
+                        lambda: factory().parse(records), self.timeout
+                    )
+                except ParserTimeoutError as error:
+                    status, detail = STATUS_TIMEOUT, str(error)
+                except Exception as error:  # noqa: BLE001 - recorded
+                    status, detail = STATUS_ERROR, f"{type(error).__name__}: {error}"
+                else:
+                    breaker.record_success()
+                    report.attempts.append(
+                        Attempt(
+                            parser=name,
+                            attempt=attempt,
+                            status=STATUS_OK,
+                            seconds=self._clock() - started,
+                        )
+                    )
+                    report.winner = name
+                    return SupervisedResult(
+                        result=result, parser=name, report=report
+                    )
+                breaker.record_failure()
+                report.attempts.append(
+                    Attempt(
+                        parser=name,
+                        attempt=attempt,
+                        status=status,
+                        seconds=self._clock() - started,
+                        error=detail,
+                    )
+                )
+                if not breaker.allow() or attempt == self.retry.attempts:
+                    break
+                self._sleep(self.retry.delay(attempt))
+        raise FallbackExhaustedError(
+            "every parser in the fallback chain failed:\n" + report.describe(),
+            report=report,
+        )

@@ -215,6 +215,43 @@ class TemplateCache:
         self._by_length.clear()
         self._exact.clear()
 
+    # ------------------------------------------------------------------
+
+    def state(self) -> dict:
+        """JSON-ready snapshot of the cache for checkpointing.
+
+        Captures the template working set and exact memo *in LRU
+        order* plus the hit counters, so a restored cache behaves
+        identically — same residents, same next eviction victim.
+        """
+        return {
+            "capacity": self.capacity,
+            "exact_capacity": self.exact_capacity,
+            "templates": [
+                [slot, list(tokens)]
+                for slot, tokens in self._templates.items()
+            ],
+            "exact": [[sig, slot] for sig, slot in self._exact.items()],
+            "exact_hits": self.exact_hits,
+            "template_hits": self.template_hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Rebuild this cache from a :meth:`state` snapshot."""
+        self.clear_templates()
+        for slot, tokens in state["templates"]:
+            self.insert(int(slot), tuple(tokens))
+        for signature, slot in state["exact"]:
+            self.remember_exact(signature, int(slot))
+        self.exact_hits = state["exact_hits"]
+        self.template_hits = state["template_hits"]
+        self.misses = state["misses"]
+        self.evictions = state["evictions"]
+
+    # ------------------------------------------------------------------
+
     def _unindex(self, slot: int) -> None:
         for index in (self._buckets, self._by_length):
             for key, slots in list(index.items()):

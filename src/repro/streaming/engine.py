@@ -50,12 +50,18 @@ from collections import Counter
 from dataclasses import dataclass
 from collections.abc import Callable, Iterable, Sequence
 
-from repro.common.errors import ParserConfigurationError
+from repro.common.errors import CheckpointError, ParserConfigurationError
 from repro.common.tokenize import render_template, tokenize
 from repro.common.types import EventTemplate, LogRecord, ParseResult
 from repro.parsers.base import LogParser
 from repro.parsers.parallel import ChunkedParallelParser, ParserFactory
 from repro.parsers.preprocess import Preprocessor
+from repro.resilience.quarantine import (
+    ErrorPolicy,
+    QuarantineSink,
+    REASON_PARSE_FAILURE,
+    is_clean_content,
+)
 from repro.streaming.cache import TemplateCache
 
 #: Internal slot markers for lines not (yet) assigned to an event.
@@ -90,6 +96,7 @@ class StreamingCounters:
     outliers: int
     pending: int
     events: int
+    rejected: int = 0
 
     @property
     def hits(self) -> int:
@@ -129,6 +136,18 @@ class StreamingParser(LogParser):
         preprocessor: optional domain-knowledge preprocessing, applied
             once per line before cache matching *and* flushing (do not
             also give one to the factory's parser).
+        error_policy: per-record fault handling — ``None`` (default)
+            preserves the historical behavior (a crashing preprocessor
+            propagates, dirty content flows through); ``"raise"`` /
+            ``"skip"`` / ``"quarantine"`` (or an
+            :class:`~repro.resilience.quarantine.ErrorPolicy`) screens
+            every record: undecodable/unprintable or oversized content
+            and preprocessor crashes are handled per the policy and
+            the record never enters the stream (``feed`` returns -1).
+        quarantine: sink receiving rejected records under the
+            ``quarantine`` policy (in-memory sink by default).
+        max_record_len: content length cap enforced by the screen
+            (``None`` = no cap).
         on_assign: callback ``(line_no, record, slot)`` fired when a
             line first receives an event slot (``OUTLIER_SLOT`` for
             permanent outliers).
@@ -151,6 +170,9 @@ class StreamingParser(LogParser):
         chunk_size: int = 10_000,
         retain: bool = True,
         preprocessor: Preprocessor | None = None,
+        error_policy: ErrorPolicy | str | None = None,
+        quarantine: QuarantineSink | None = None,
+        max_record_len: int | None = None,
         on_assign: Callable[[int, LogRecord, int], None] | None = None,
         on_remap: Callable[[int, int], None] | None = None,
     ) -> None:
@@ -181,6 +203,12 @@ class StreamingParser(LogParser):
         self.workers = workers
         self.chunk_size = chunk_size
         self.retain = retain
+        self.error_policy = (
+            ErrorPolicy.coerce(error_policy, sink=quarantine)
+            if error_policy is not None
+            else None
+        )
+        self.max_record_len = max_record_len
         self.on_assign = on_assign
         self.on_remap = on_remap
         if workers > 1:
@@ -217,6 +245,8 @@ class StreamingParser(LogParser):
         #: its event order (None before the first flush).
         self._active_slots: list[int] | None = None
         self._lines_since_flush = 0
+        self._fed = 0
+        self._rejected = 0
 
     @property
     def counters(self) -> StreamingCounters:
@@ -230,6 +260,7 @@ class StreamingParser(LogParser):
             outliers=self._outliers,
             pending=len(self._pending),
             events=self.n_events,
+            rejected=self._rejected,
         )
 
     @property
@@ -252,24 +283,43 @@ class StreamingParser(LogParser):
 
         The line is assigned immediately on a cache hit; otherwise it
         joins the miss buffer (flushed automatically at
-        ``flush_size``) and is assigned during a later flush.
+        ``flush_size``) and is assigned during a later flush.  With an
+        ``error_policy`` configured, records failing the screen
+        (unprintable/oversized content, crashing preprocessor) are
+        handled per the policy and never enter the stream: ``feed``
+        returns ``-1`` for them instead of a line number.
         """
+        stream_index = self._fed
+        self._fed += 1
+        if self.error_policy is not None:
+            try:
+                content, flush_record = self._prepare(record)
+            except Exception as error:  # noqa: BLE001 - policy-routed
+                self._reject(
+                    record,
+                    stream_index,
+                    REASON_PARSE_FAILURE,
+                    f"{type(error).__name__}: {error}",
+                    error,
+                )
+                return -1
+            reason = is_clean_content(content, self.max_record_len)
+            if reason is not None:
+                self._reject(
+                    record,
+                    stream_index,
+                    reason,
+                    f"content of length {len(content)} rejected by screen",
+                    None,
+                )
+                return -1
+        else:
+            content, flush_record = self._prepare(record)
         line_no = self._n_lines
         self._n_lines += 1
         if self.retain:
             self._records.append(record)
             self._assignments.append(PENDING_SLOT)
-        if self.preprocessor is not None:
-            content = self.preprocessor(record.content)
-            flush_record = LogRecord(
-                content=content,
-                timestamp=record.timestamp,
-                session_id=record.session_id,
-                truth_event=record.truth_event,
-            )
-        else:
-            content = record.content
-            flush_record = record
         if self.flush_policy == "prefix":
             self._flush_records.append(flush_record)
         self._lines_since_flush += 1
@@ -512,8 +562,170 @@ class StreamingParser(LogParser):
         return dict(counts)
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def checkpoint_config(self) -> dict:
+        """The constructor parameters a resuming engine must match.
+
+        Code-valued parameters (factory, preprocessor, callbacks) are
+        deliberately absent — they cannot be serialized safely, so the
+        resumer must supply equivalent ones; see
+        :mod:`repro.resilience.checkpoint`.
+        """
+        return {
+            "flush_policy": self.flush_policy,
+            "flush_size": self.flush_size,
+            "cache_capacity": self.cache_capacity,
+            "exact_capacity": self.exact_capacity,
+            "max_flush_retries": self.max_flush_retries,
+            "retain": self.retain,
+        }
+
+    def checkpoint_state(self) -> dict:
+        """JSON-ready snapshot of the entire mutable stream state.
+
+        Everything :meth:`reset` initializes is captured — slot table,
+        redirects, miss buffer, per-line assignments, retained
+        records, cache (in LRU order), and counters — so an engine
+        restored from this snapshot continues the stream exactly where
+        this one stands and finalizes to the identical result.
+        """
+        return {
+            "config": self.checkpoint_config(),
+            "slot_templates": list(self._slot_templates),
+            "template_to_slot": dict(self._template_to_slot),
+            "redirect": [[old, new] for old, new in self._redirect.items()],
+            "pending": [
+                {
+                    "line_no": entry.line_no,
+                    "tries": entry.tries,
+                    "record": entry.record.to_dict(),
+                    "flush_record": entry.flush_record.to_dict(),
+                    "tokens": list(entry.tokens),
+                }
+                for entry in self._pending
+            ],
+            "n_lines": self._n_lines,
+            "flushes": self._flushes,
+            "outliers": self._outliers,
+            "fed": self._fed,
+            "rejected": self._rejected,
+            "records": [record.to_dict() for record in self._records],
+            "assignments": list(self._assignments),
+            "slot_counts": [
+                [slot, count] for slot, count in self._slot_counts.items()
+            ],
+            "flush_records": [
+                record.to_dict() for record in self._flush_records
+            ],
+            "active_slots": (
+                list(self._active_slots)
+                if self._active_slots is not None
+                else None
+            ),
+            "lines_since_flush": self._lines_since_flush,
+            "cache": self.cache.state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a :meth:`checkpoint_state` snapshot wholesale.
+
+        The engine must have been constructed with the same
+        configuration the snapshot records (the factory and
+        preprocessor are the caller's responsibility); a mismatch
+        raises :class:`~repro.common.errors.CheckpointError` because a
+        silently different configuration would break the resumed
+        stream's equivalence guarantee.
+        """
+        config = self.checkpoint_config()
+        saved = state["config"]
+        if config != saved:
+            diffs = ", ".join(
+                f"{key}: saved={saved.get(key)!r} engine={config[key]!r}"
+                for key in sorted(set(config) | set(saved))
+                if config.get(key) != saved.get(key)
+            )
+            raise CheckpointError(
+                f"engine configuration does not match checkpoint ({diffs})"
+            )
+        self._slot_templates = list(state["slot_templates"])
+        self._template_to_slot = {
+            template: int(slot)
+            for template, slot in state["template_to_slot"].items()
+        }
+        self._redirect = {
+            int(old): int(new) for old, new in state["redirect"]
+        }
+        self._pending = [
+            _Pending(
+                line_no=entry["line_no"],
+                record=LogRecord.from_dict(entry["record"]),
+                flush_record=LogRecord.from_dict(entry["flush_record"]),
+                tokens=tuple(entry["tokens"]),
+                tries=entry["tries"],
+            )
+            for entry in state["pending"]
+        ]
+        self._n_lines = state["n_lines"]
+        self._flushes = state["flushes"]
+        self._outliers = state["outliers"]
+        self._fed = state["fed"]
+        self._rejected = state["rejected"]
+        self._records = [
+            LogRecord.from_dict(record) for record in state["records"]
+        ]
+        self._assignments = list(state["assignments"])
+        self._slot_counts = Counter(
+            {int(slot): count for slot, count in state["slot_counts"]}
+        )
+        self._flush_records = [
+            LogRecord.from_dict(record) for record in state["flush_records"]
+        ]
+        self._active_slots = (
+            list(state["active_slots"])
+            if state["active_slots"] is not None
+            else None
+        )
+        self._lines_since_flush = state["lines_since_flush"]
+        self.cache.restore(state["cache"])
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _prepare(self, record: LogRecord) -> tuple[str, LogRecord]:
+        """Preprocessed content + the record handed to flushes."""
+        if self.preprocessor is None:
+            return record.content, record
+        content = self.preprocessor(record.content)
+        return content, LogRecord(
+            content=content,
+            timestamp=record.timestamp,
+            session_id=record.session_id,
+            truth_event=record.truth_event,
+        )
+
+    def _reject(
+        self,
+        record: LogRecord,
+        stream_index: int,
+        reason: str,
+        detail: str,
+        error: Exception | None,
+    ) -> None:
+        """Route one screened-out record through the error policy."""
+        self._rejected += 1
+        assert self.error_policy is not None
+        self.error_policy.handle(
+            source="<stream>",
+            line_no=stream_index,
+            byte_offset=-1,
+            reason=reason,
+            detail=detail,
+            payload=record.content,
+            error=error,
+        )
 
     def _resolve(self, slot: int) -> int:
         """Follow (and compress) redirect chains from merged events."""

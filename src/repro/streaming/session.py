@@ -15,6 +15,8 @@ import time
 from dataclasses import dataclass
 from collections.abc import Callable, Iterable
 
+from repro.common.errors import ValidationError
+
 from repro.common.types import LogRecord, ParseResult
 from repro.mining.event_matrix import EventCountMatrix, EventMatrixAccumulator
 from repro.streaming.engine import StreamingCounters, StreamingParser
@@ -36,12 +38,15 @@ class SessionCounters:
     def describe(self) -> str:
         """One human-readable progress line (used by the CLI)."""
         s = self.stream
-        return (
+        line = (
             f"{s.lines} lines | {s.events} events | "
             f"hit rate {s.hit_rate:.1%} ({s.exact_hits} exact, "
             f"{s.template_hits} template) | {s.flushes} flushes | "
             f"{self.lines_per_second:,.0f} lines/s"
         )
+        if s.rejected:
+            line += f" | {s.rejected} rejected"
+        return line
 
 
 class ParseSession:
@@ -137,7 +142,7 @@ class ParseSession:
         rather than from the (now stale) live accumulator.
         """
         if self.accumulator is None:
-            raise ValueError("session was created with track_matrix=False")
+            raise ValidationError("session was created with track_matrix=False")
         if self.parser.flush_policy == "prefix":
             accumulator = EventMatrixAccumulator()
             for record, slot in self.parser.iter_assigned():

@@ -1,0 +1,227 @@
+"""Checkpoint/resume certification: a killed stream must finalize identically.
+
+The core guarantee: for every kill point, saving a checkpoint mid-stream,
+rebuilding a fresh engine from it, feeding only the remaining records,
+and finalizing produces — under the ``prefix`` flush policy — the exact
+``.events`` / ``.structured`` byte content of an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+from functools import partial
+
+import pytest
+
+from repro.common.errors import CheckpointError
+from repro.datasets import generate_dataset, get_dataset_spec
+from repro.mining.event_matrix import EventMatrixAccumulator
+from repro.parsers import make_parser
+from repro.resilience import (
+    CHECKPOINT_VERSION,
+    load_checkpoint,
+    restore_accumulator,
+    restore_streaming_parser,
+    save_checkpoint,
+)
+from repro.streaming import ParseSession, StreamingParser
+
+
+def _engine(flush_policy="prefix", flush_size=64, **kwargs) -> StreamingParser:
+    return StreamingParser(
+        partial(make_parser, "IPLoM"),
+        flush_policy=flush_policy,
+        flush_size=flush_size,
+        **kwargs,
+    )
+
+
+def _output_bytes(result):
+    return (
+        "\n".join(result.events_file_lines()),
+        "\n".join(result.structured_file_lines()),
+    )
+
+
+def _run_uninterrupted(records, **engine_kwargs):
+    engine = _engine(**engine_kwargs)
+    session = ParseSession(engine)
+    session.consume(iter(records))
+    return _output_bytes(session.finalize())
+
+
+def _run_killed_and_resumed(records, kill_at, checkpoint_path, **engine_kwargs):
+    # First life: feed up to the kill point, checkpoint, and "die"
+    # (no finalize — the process is gone).
+    engine = _engine(**engine_kwargs)
+    session = ParseSession(engine)
+    for record in records[:kill_at]:
+        session.feed(record)
+    save_checkpoint(
+        checkpoint_path,
+        engine,
+        records_consumed=kill_at,
+        parser="IPLoM",
+        source="<test>",
+        accumulator=session.accumulator,
+    )
+    del engine, session
+    # Second life: restore and feed only the remainder.
+    checkpoint = load_checkpoint(checkpoint_path)
+    assert checkpoint.records_consumed == kill_at
+    resumed = restore_streaming_parser(
+        checkpoint, partial(make_parser, "IPLoM")
+    )
+    session = ParseSession(resumed)
+    restored = restore_accumulator(checkpoint)
+    if restored is not None:
+        session.accumulator = restored
+    for record in records[kill_at:]:
+        session.feed(record)
+    return _output_bytes(session.finalize())
+
+
+@pytest.mark.parametrize("dataset", ["HDFS", "Proxifier", "BGL"])
+def test_resume_is_byte_identical_across_datasets(dataset, tmp_path):
+    records = generate_dataset(
+        get_dataset_spec(dataset), 400, seed=11
+    ).records
+    baseline = _run_uninterrupted(records)
+    for kill_at in (1, 63, 64, 200, 399):
+        resumed = _run_killed_and_resumed(
+            records, kill_at, str(tmp_path / f"cp-{kill_at}.json")
+        )
+        assert resumed == baseline, f"divergence killing at {kill_at}"
+
+
+def test_resume_every_kth_record_small_stream(toy_records, tmp_path):
+    # Exhaustive sweep on a tiny stream: kill after every single record.
+    records = toy_records * 6  # 48 lines, crosses the flush boundary
+    baseline = _run_uninterrupted(records, flush_size=16)
+    for kill_at in range(1, len(records)):
+        resumed = _run_killed_and_resumed(
+            records,
+            kill_at,
+            str(tmp_path / "cp.json"),
+            flush_size=16,
+        )
+        assert resumed == baseline, f"divergence killing at {kill_at}"
+
+
+def test_resume_preserves_counters_and_cache(tmp_path):
+    records = generate_dataset(
+        get_dataset_spec("HDFS"), 300, seed=5
+    ).records
+    full = _engine()
+    for record in records:
+        full.feed(record)
+    path = str(tmp_path / "cp.json")
+    half = _engine()
+    for record in records[:150]:
+        half.feed(record)
+    save_checkpoint(path, half, records_consumed=150)
+    resumed = restore_streaming_parser(
+        load_checkpoint(path), partial(make_parser, "IPLoM")
+    )
+    for record in records[150:]:
+        resumed.feed(record)
+    assert resumed.counters.lines == full.counters.lines
+    assert resumed.counters.flushes == full.counters.flushes
+    assert resumed.counters.exact_hits == full.counters.exact_hits
+    assert resumed.counters.template_hits == full.counters.template_hits
+
+
+def test_accumulator_survives_checkpoint(session_records, tmp_path):
+    engine = _engine(flush_size=4)
+    session = ParseSession(engine, track_matrix=True)
+    for record in session_records[:4]:
+        session.feed(record)
+    path = str(tmp_path / "cp.json")
+    save_checkpoint(
+        path, engine, records_consumed=4, accumulator=session.accumulator
+    )
+    checkpoint = load_checkpoint(path)
+    restored = restore_accumulator(checkpoint)
+    assert restored is not None
+    assert restored.state() == session.accumulator.state()
+
+
+def test_accumulator_round_trip_standalone():
+    accumulator = EventMatrixAccumulator()
+    accumulator.add("s1", 0)
+    accumulator.add("s1", 2)
+    accumulator.add("s2", 1)
+    clone = EventMatrixAccumulator()
+    clone.restore_state(accumulator.state())
+    assert clone.state() == accumulator.state()
+
+
+# ----------------------------------------------------------------------
+# Failure modes
+# ----------------------------------------------------------------------
+
+
+def test_load_missing_checkpoint_fails(tmp_path):
+    with pytest.raises(CheckpointError, match="not found"):
+        load_checkpoint(str(tmp_path / "nope.json"))
+
+
+def test_load_corrupt_checkpoint_fails(tmp_path):
+    path = tmp_path / "cp.json"
+    path.write_text("{not json", encoding="utf-8")
+    with pytest.raises(CheckpointError, match="could not read"):
+        load_checkpoint(str(path))
+    path.write_text('"a bare string"', encoding="utf-8")
+    with pytest.raises(CheckpointError, match="JSON object"):
+        load_checkpoint(str(path))
+
+
+def test_load_version_mismatch_fails(tmp_path):
+    engine = _engine()
+    path = str(tmp_path / "cp.json")
+    save_checkpoint(path, engine, records_consumed=0)
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    data["version"] = CHECKPOINT_VERSION + 1
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle)
+    with pytest.raises(CheckpointError, match="schema version"):
+        load_checkpoint(str(path))
+
+
+def test_restore_config_mismatch_fails(toy_records, tmp_path):
+    engine = _engine(flush_size=32)
+    for record in toy_records:
+        engine.feed(record)
+    path = str(tmp_path / "cp.json")
+    save_checkpoint(path, engine, records_consumed=len(toy_records))
+    checkpoint = load_checkpoint(path)
+    # Restoring into an engine built with a different configuration
+    # must refuse rather than silently diverge.
+    other = _engine(flush_size=16)
+    with pytest.raises(CheckpointError, match="flush_size"):
+        other.restore_state(checkpoint.engine)
+
+
+def test_checkpoint_write_is_atomic(toy_records, tmp_path):
+    engine = _engine()
+    for record in toy_records:
+        engine.feed(record)
+    path = str(tmp_path / "cp.json")
+    save_checkpoint(path, engine, records_consumed=4)
+    first = load_checkpoint(path)
+    # A second snapshot replaces the file wholesale; no .tmp remains.
+    save_checkpoint(path, engine, records_consumed=8)
+    assert not (tmp_path / "cp.json.tmp").exists()
+    assert load_checkpoint(path).records_consumed == 8
+    assert first.records_consumed == 4
+
+
+def test_save_checkpoint_to_unwritable_path_fails(toy_records, tmp_path):
+    engine = _engine()
+    with pytest.raises(CheckpointError, match="could not write"):
+        save_checkpoint(
+            str(tmp_path / "no-such-dir" / "cp.json"),
+            engine,
+            records_consumed=0,
+        )

@@ -4,7 +4,18 @@ import os
 
 import pytest
 
-from repro.cli import build_arg_parser, main
+from repro.cli import build_arg_parser, exit_code_for, main
+from repro.common.errors import (
+    CheckpointError,
+    DatasetError,
+    EvaluationError,
+    FallbackExhaustedError,
+    MiningError,
+    ParserConfigurationError,
+    ParserTimeoutError,
+    ValidationError,
+    WorkerCrashError,
+)
 
 
 class TestArgParser:
@@ -78,12 +89,14 @@ class TestCommands:
         assert "false alarms" in out
 
     def test_mine_lke_reports_paper_exclusion(self, capsys):
-        # LKE is excluded from the Table III experiment, as in §IV-D.
+        # LKE is excluded from the Table III experiment, as in §IV-D:
+        # asking for it is a configuration error (exit 2).
         assert main(["mine", "LKE", "--blocks", "100"]) == 2
         assert "error" in capsys.readouterr().err
 
     def test_parse_missing_file_fails_cleanly(self, capsys):
-        assert main(["parse", "IPLoM", "/nonexistent/file.log"]) == 2
+        # A missing input file is a data error (exit 3).
+        assert main(["parse", "IPLoM", "/nonexistent/file.log"]) == 3
         assert "error" in capsys.readouterr().err
 
     def test_metrics(self, capsys):
@@ -117,3 +130,193 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "best:" in out
         assert "support" in out
+
+
+class TestExitCodes:
+    """The error-family → exit-code contract (config=2, data=3, runtime=4)."""
+
+    @pytest.mark.parametrize(
+        "error,expected",
+        [
+            (ParserConfigurationError("x"), 2),
+            (ValidationError("x"), 2),
+            (EvaluationError("x"), 2),
+            (MiningError("x"), 2),
+            (DatasetError("x"), 3),
+            (ParserTimeoutError("x"), 4),
+            (WorkerCrashError("x"), 4),
+            (CheckpointError("x"), 4),
+            (FallbackExhaustedError("x"), 4),
+        ],
+    )
+    def test_mapping(self, error, expected):
+        assert exit_code_for(error) == expected
+
+    def test_runtime_error_surfaces_as_4(self, tmp_path, capsys):
+        raw = str(tmp_path / "x.log")
+        main(["generate", "HDFS", raw, "--size", "50", "--seed", "1"])
+        code = main(
+            [
+                "stream",
+                "IPLoM",
+                raw,
+                "--checkpoint",
+                str(tmp_path / "missing.json"),
+                "--resume",
+            ]
+        )
+        assert code == 4  # CheckpointError: file not found
+        assert "checkpoint" in capsys.readouterr().err
+
+
+class TestSupervise:
+    def test_faulted_run_recovers_with_report_and_quarantine(
+        self, tmp_path, capsys
+    ):
+        qpath = str(tmp_path / "q.jsonl")
+        code = main(
+            [
+                "supervise",
+                "--dataset",
+                "HDFS",
+                "--size",
+                "300",
+                "--seed",
+                "7",
+                "--chain",
+                "IPLoM,SLCT",
+                "--faults",
+                "11",
+                "--fault-every",
+                "20",
+                "--fault-parser",
+                "IPLoM",
+                "--fault-parser-fails",
+                "2",
+                "--retries",
+                "2",
+                "--retry-delay",
+                "0.001",
+                "--quarantine-path",
+                qpath,
+                "--verify",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # FailureReport: the flaky IPLoM burned its retries, SLCT won.
+        assert "IPLoM attempt 1: error" in out
+        assert "winner: SLCT" in out
+        # Quarantine file exists and is non-empty.
+        assert os.path.exists(qpath)
+        assert os.path.getsize(qpath) > 0
+        # The fallback output passed equivalence on the clean subset.
+        assert "streaming == batch" in out or "==" in out
+
+    def test_clean_run_first_parser_wins(self, capsys):
+        code = main(
+            [
+                "supervise",
+                "--dataset",
+                "Proxifier",
+                "--size",
+                "200",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "winner: IPLoM" in out
+        assert "quarantine: empty" in out
+
+    def test_exhausted_chain_exits_4(self, capsys):
+        code = main(
+            [
+                "supervise",
+                "--dataset",
+                "HDFS",
+                "--size",
+                "100",
+                "--seed",
+                "1",
+                "--chain",
+                "IPLoM",
+                "--fault-parser",
+                "IPLoM",
+                "--fault-parser-fails",
+                "99",
+                "--retries",
+                "2",
+                "--retry-delay",
+                "0.001",
+            ]
+        )
+        assert code == 4
+        assert "fallback chain failed" in capsys.readouterr().err
+
+    def test_unknown_chain_parser_exits_2(self, capsys):
+        assert main(["supervise", "--chain", "NoSuch", "--dataset", "HDFS"]) == 2
+        assert "unknown parser" in capsys.readouterr().err
+
+    def test_requires_exactly_one_input(self, capsys):
+        assert main(["supervise"]) == 2
+        capsys.readouterr()
+
+
+class TestStreamResilience:
+    def test_quarantine_path_flag(self, tmp_path, capsys):
+        qpath = str(tmp_path / "q.jsonl")
+        code = main(
+            [
+                "stream",
+                "IPLoM",
+                "--dataset",
+                "HDFS",
+                "--size",
+                "300",
+                "--seed",
+                "5",
+                "--faults",
+                "9",
+                "--fault-every",
+                "25",
+                "--quarantine-path",
+                qpath,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rejected" in out
+        assert os.path.exists(qpath)
+
+    def test_checkpoint_resume_round_trip(self, tmp_path, capsys):
+        raw = str(tmp_path / "hdfs.log")
+        main(["generate", "HDFS", raw, "--size", "600", "--seed", "4"])
+        base_args = ["stream", "IPLoM", raw, "--flush-policy", "prefix"]
+        full_stem = str(tmp_path / "full")
+        assert main(base_args + ["--output-stem", full_stem]) == 0
+        # Checkpointed run (checkpoints every 200 records, finalizes).
+        cp = str(tmp_path / "cp.json")
+        part_stem = str(tmp_path / "part")
+        assert main(
+            base_args
+            + [
+                "--checkpoint",
+                cp,
+                "--checkpoint-every",
+                "200",
+                "--output-stem",
+                part_stem,
+            ]
+        ) == 0
+        assert os.path.exists(cp)
+        assert (
+            open(part_stem + ".events").read()
+            == open(full_stem + ".events").read()
+        )
+        capsys.readouterr()
+
+    def test_resume_requires_checkpoint(self, capsys):
+        assert main(["stream", "IPLoM", "--dataset", "HDFS", "--resume"]) == 2
+        assert "--resume requires" in capsys.readouterr().err

@@ -13,6 +13,7 @@ from repro.datasets import (
     write_raw_log,
 )
 from repro.parsers import Iplom
+from repro.resilience import QuarantineSink
 
 
 class TestRawLogRoundTrip:
@@ -64,6 +65,75 @@ class TestRawLogRoundTrip:
         write_raw_log(dataset.records, str(path))
         loaded = read_raw_log(str(path))
         assert [r.content for r in loaded] == dataset.contents()
+
+
+class TestHardenedLoading:
+    """Per-record error policies on the byte-level read path."""
+
+    def _dirty_file(self, tmp_path):
+        # Three lines; the middle one is invalid UTF-8.  Byte offsets
+        # of the line starts are 0, 11, and 11 + 9 = 20.
+        path = tmp_path / "dirty.log"
+        path.write_bytes(b"first line\n" + b"bad \xff\xfe ln\n" + b"third line\n")
+        return str(path)
+
+    def test_default_policy_raises_with_provenance(self, tmp_path):
+        path = self._dirty_file(tmp_path)
+        with pytest.raises(DatasetError) as excinfo:
+            read_raw_log(path)
+        message = str(excinfo.value)
+        assert "undecodable" in message
+        assert ":1" in message  # line number
+        assert "byte offset 11" in message
+
+    def test_skip_policy_drops_and_continues(self, tmp_path):
+        loaded = read_raw_log(self._dirty_file(tmp_path), policy="skip")
+        assert [r.content for r in loaded] == ["first line", "third line"]
+
+    def test_quarantine_policy_records_byte_offsets(self, tmp_path):
+        sink = QuarantineSink()
+        loaded = read_raw_log(
+            self._dirty_file(tmp_path), policy="quarantine", quarantine=sink
+        )
+        assert len(loaded) == 2
+        assert len(sink) == 1
+        record = sink.records[0]
+        assert record.line_no == 1
+        assert record.byte_offset == 11
+        assert record.reason == "undecodable"
+        assert "bad" in record.preview  # errors="replace" preview
+
+    def test_replace_decoding_is_lossy_but_total(self, tmp_path):
+        loaded = read_raw_log(
+            self._dirty_file(tmp_path), encoding_errors="replace"
+        )
+        assert len(loaded) == 3
+        assert "�" in loaded[1].content
+
+    def test_max_line_bytes_caps_record_size(self, tmp_path):
+        path = tmp_path / "long.log"
+        path.write_text("short\n" + "x" * 500 + "\nalso short\n")
+        sink = QuarantineSink()
+        loaded = read_raw_log(
+            str(path),
+            policy="quarantine",
+            quarantine=sink,
+            max_line_bytes=100,
+        )
+        assert [r.content for r in loaded] == ["short", "also short"]
+        assert sink.records[0].reason == "oversized"
+        assert sink.records[0].byte_offset == 6
+
+    def test_quarantine_file_is_written(self, tmp_path):
+        qpath = tmp_path / "q.jsonl"
+        sink = QuarantineSink(str(qpath))
+        read_raw_log(
+            self._dirty_file(tmp_path), policy="quarantine", quarantine=sink
+        )
+        sink.close()
+        reloaded = QuarantineSink.read(str(qpath))
+        assert len(reloaded) == 1
+        assert reloaded[0].source.endswith("dirty.log")
 
 
 class TestWriteParseResult:

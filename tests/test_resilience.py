@@ -1,0 +1,315 @@
+"""Tests for the supervision runtime: retries, breakers, fallbacks, screening."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import (
+    FallbackExhaustedError,
+    ParserTimeoutError,
+    ValidationError,
+)
+from repro.common.types import LogRecord
+from repro.parsers import make_parser
+from repro.resilience import (
+    CircuitBreaker,
+    ErrorPolicy,
+    ParserSupervisor,
+    QuarantineSink,
+    RetryPolicy,
+    is_clean_content,
+    run_with_deadline,
+    screen_records,
+)
+from repro.resilience.faults import FlakyFactory, InjectedFault
+from repro.resilience.supervisor import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_SKIPPED,
+    STATUS_TIMEOUT,
+)
+
+
+class FakeClock:
+    """Manually advanced monotonic clock for breaker/backoff tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.sleeps: list[float] = []
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+def _iplom_factory():
+    return make_parser("IPLoM")
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy
+# ----------------------------------------------------------------------
+
+
+def test_retry_policy_schedule_is_deterministic():
+    policy = RetryPolicy(attempts=4, base_delay=0.1, backoff=2.0, max_delay=0.3)
+    assert [policy.delay(n) for n in (1, 2, 3)] == [0.1, 0.2, 0.3]
+
+
+def test_retry_policy_rejects_bad_parameters():
+    with pytest.raises(ValidationError):
+        RetryPolicy(attempts=0)
+    with pytest.raises(ValidationError):
+        RetryPolicy(backoff=0.5)
+
+
+# ----------------------------------------------------------------------
+# CircuitBreaker state machine
+# ----------------------------------------------------------------------
+
+
+def test_breaker_closed_to_open_to_half_open_to_closed():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=2, reset_timeout=10.0, clock=clock)
+    assert breaker.state == CircuitBreaker.CLOSED
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.CLOSED  # below threshold
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.OPEN
+    assert not breaker.allow()
+    clock.now += 10.0  # cooldown elapses
+    assert breaker.state == CircuitBreaker.HALF_OPEN
+    assert breaker.allow()  # one probe admitted
+    breaker.record_success()
+    assert breaker.state == CircuitBreaker.CLOSED
+
+
+def test_breaker_half_open_probe_failure_reopens_immediately():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=3, reset_timeout=5.0, clock=clock)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.now += 5.0
+    assert breaker.state == CircuitBreaker.HALF_OPEN
+    breaker.record_failure()  # single probe failure, not threshold-many
+    assert breaker.state == CircuitBreaker.OPEN
+    assert not breaker.allow()
+    clock.now += 5.0
+    assert breaker.state == CircuitBreaker.HALF_OPEN  # cooldown restarted
+
+
+def test_breaker_success_resets_failure_count():
+    breaker = CircuitBreaker(failure_threshold=2)
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.CLOSED
+
+
+# ----------------------------------------------------------------------
+# run_with_deadline
+# ----------------------------------------------------------------------
+
+
+def test_deadline_passes_through_fast_results(toy_records):
+    result = run_with_deadline(
+        lambda: make_parser("IPLoM").parse(toy_records), timeout=30.0
+    )
+    assert result.assignments
+
+
+def test_deadline_raises_on_overrun():
+    import time
+
+    with pytest.raises(ParserTimeoutError):
+        run_with_deadline(lambda: time.sleep(5), timeout=0.05)
+
+
+def test_deadline_propagates_worker_exceptions():
+    def boom():
+        raise InjectedFault("kaboom")
+
+    with pytest.raises(InjectedFault):
+        run_with_deadline(boom, timeout=5.0)
+
+
+# ----------------------------------------------------------------------
+# ParserSupervisor
+# ----------------------------------------------------------------------
+
+
+def test_supervisor_first_parser_succeeds(toy_records):
+    supervisor = ParserSupervisor([("IPLoM", _iplom_factory)])
+    outcome = supervisor.parse(toy_records)
+    assert outcome.parser == "IPLoM"
+    assert outcome.report.winner == "IPLoM"
+    assert [a.status for a in outcome.report.attempts] == [STATUS_OK]
+    assert outcome.result.assignments
+
+
+def test_supervisor_retries_with_backoff_then_succeeds(toy_records):
+    clock = FakeClock()
+    flaky = FlakyFactory(_iplom_factory, fail_times=2)
+    supervisor = ParserSupervisor(
+        [("IPLoM", flaky)],
+        retry=RetryPolicy(attempts=3, base_delay=0.1, backoff=2.0),
+        sleep=clock.sleep,
+        clock=clock,
+    )
+    outcome = supervisor.parse(toy_records)
+    assert [a.status for a in outcome.report.attempts] == [
+        STATUS_ERROR,
+        STATUS_ERROR,
+        STATUS_OK,
+    ]
+    # Deterministic backoff schedule: 0.1 then 0.2.
+    assert clock.sleeps == [0.1, 0.2]
+
+
+def test_supervisor_falls_back_down_the_chain(toy_records):
+    clock = FakeClock()
+    always_broken = FlakyFactory(_iplom_factory, fail_times=99, name="LKE")
+    supervisor = ParserSupervisor(
+        [("LKE", always_broken), ("SLCT", lambda: make_parser("SLCT"))],
+        retry=RetryPolicy(attempts=2, base_delay=0.01),
+        sleep=clock.sleep,
+        clock=clock,
+    )
+    outcome = supervisor.parse(toy_records)
+    assert outcome.parser == "SLCT"
+    statuses = [(a.parser, a.status) for a in outcome.report.attempts]
+    assert statuses == [
+        ("LKE", STATUS_ERROR),
+        ("LKE", STATUS_ERROR),
+        ("SLCT", STATUS_OK),
+    ]
+    assert len(outcome.report.failures) == 2
+
+
+def test_supervisor_timeout_registers_and_falls_back(toy_records):
+    stall = FlakyFactory(_iplom_factory, fail_times=99, hang_seconds=2.0)
+    supervisor = ParserSupervisor(
+        [("slow", stall), ("IPLoM", _iplom_factory)],
+        timeout=0.05,
+        retry=RetryPolicy(attempts=1),
+    )
+    outcome = supervisor.parse(toy_records)
+    assert outcome.parser == "IPLoM"
+    assert [a.status for a in outcome.report.timed_out] == [STATUS_TIMEOUT]
+
+
+def test_supervisor_exhaustion_raises_with_report(toy_records):
+    clock = FakeClock()
+    supervisor = ParserSupervisor(
+        [("A", FlakyFactory(_iplom_factory, fail_times=99, name="A"))],
+        retry=RetryPolicy(attempts=2, base_delay=0.01),
+        sleep=clock.sleep,
+        clock=clock,
+    )
+    with pytest.raises(FallbackExhaustedError) as excinfo:
+        supervisor.parse(toy_records)
+    report = excinfo.value.report
+    assert report is not None
+    assert report.winner is None
+    assert len(report.failures) == 2
+    assert "no parser succeeded" in report.describe()
+
+
+def test_supervisor_breaker_skips_known_bad_parser(toy_records):
+    clock = FakeClock()
+    broken = FlakyFactory(_iplom_factory, fail_times=99, name="bad")
+    supervisor = ParserSupervisor(
+        [("bad", broken), ("IPLoM", _iplom_factory)],
+        retry=RetryPolicy(attempts=3, base_delay=0.01),
+        breaker_threshold=3,
+        breaker_reset=60.0,
+        sleep=clock.sleep,
+        clock=clock,
+    )
+    first = supervisor.parse(toy_records)
+    assert first.parser == "IPLoM"
+    assert len([a for a in first.report.attempts if a.parser == "bad"]) == 3
+    # Second call: the breaker is open, "bad" is skipped without running.
+    second = supervisor.parse(toy_records)
+    skipped = second.report.skipped
+    assert [a.parser for a in skipped] == ["bad"]
+    assert skipped[0].status == STATUS_SKIPPED
+    # After the cooldown the probe runs again.
+    clock.now += 60.0
+    third = supervisor.parse(toy_records)
+    assert any(
+        a.parser == "bad" and a.status == STATUS_ERROR
+        for a in third.report.attempts
+    )
+
+
+def test_supervisor_rejects_empty_chain():
+    with pytest.raises(ValidationError):
+        ParserSupervisor([])
+    with pytest.raises(ValidationError):
+        ParserSupervisor([("IPLoM", _iplom_factory)], timeout=0)
+
+
+# ----------------------------------------------------------------------
+# Record screening
+# ----------------------------------------------------------------------
+
+
+def test_is_clean_content_flags_control_chars_and_length():
+    assert is_clean_content("plain message") is None
+    assert is_clean_content("tab\tand spaces ok") is None
+    assert is_clean_content("null\x00byte") == "unprintable"
+    assert is_clean_content("ansi \x1b[31m red") == "unprintable"
+    assert is_clean_content("lossy � decode") == "unprintable"
+    assert is_clean_content("x" * 11, max_len=10) == "oversized"
+
+
+def test_screen_records_quarantines_with_provenance():
+    records = [
+        LogRecord(content="good line one"),
+        LogRecord(content="bad\x00line"),
+        LogRecord(content="good line two"),
+    ]
+    sink = QuarantineSink()
+    policy = ErrorPolicy("quarantine", sink=sink)
+    clean = list(screen_records(records, policy, source="<test>"))
+    assert [r.content for r in clean] == ["good line one", "good line two"]
+    assert policy.skipped == 1
+    assert len(sink) == 1
+    record = sink.records[0]
+    assert record.source == "<test>"
+    assert record.line_no == 1
+    assert record.byte_offset == -1
+    assert record.reason == "unprintable"
+    assert "bad" in record.preview
+
+
+def test_screen_records_raise_mode_names_the_line():
+    from repro.common.errors import DatasetError
+
+    records = [LogRecord(content="fine"), LogRecord(content="bad\x07")]
+    with pytest.raises(DatasetError, match="<test>:1"):
+        list(screen_records(records, "raise", source="<test>"))
+
+
+def test_quarantine_sink_round_trips_jsonl(tmp_path):
+    path = str(tmp_path / "q.jsonl")
+    with QuarantineSink(path) as sink:
+        list(
+            screen_records(
+                [LogRecord(content="ok"), LogRecord(content="\x00")],
+                "quarantine",
+                sink=sink,
+            )
+        )
+    loaded = QuarantineSink.read(path)
+    assert len(loaded) == 1
+    assert loaded[0].reason == "unprintable"
+
+
+def test_error_policy_rejects_unknown_mode():
+    with pytest.raises(ValidationError):
+        ErrorPolicy("explode")
