@@ -18,6 +18,15 @@ Subcommands:
   a fallback chain of parsers with deadlines, retries, and circuit
   breakers, input screening into a quarantine file, and optional
   injected faults to demonstrate the recovery paths.
+* ``soak`` — replay a deterministic chaos-soak scenario (memory
+  pressure, slow consumer, deadline squeeze) against the
+  resource-budgeted degradation runtime and audit the graceful-
+  degradation contract.
+
+``stream`` additionally accepts resource budgets (``--budget-mem``,
+``--budget-wall``, ``--budget-queue``): when any is given the run goes
+through the degradation ladder (``--ladder``), stepping down to
+cheaper parsers instead of dying when a soft limit is breached.
 
 Exit codes: 0 success, 1 verification failure, 2 configuration error,
 3 data error, 4 runtime failure.
@@ -27,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from functools import partial
 
 from repro.common.errors import (
@@ -47,6 +57,16 @@ from repro.datasets import (
     read_raw_log,
     write_parse_result,
     write_raw_log,
+)
+from repro.degradation import (
+    SCENARIO_KINDS,
+    BudgetMonitor,
+    DegradationLadder,
+    DegradedSession,
+    ResourceBudget,
+    SoakScenario,
+    default_ladder,
+    run_soak,
 )
 from repro.evaluation import evaluate_accuracy, evaluate_mining_impact
 from repro.evaluation.mining_impact import table3_parser_factory
@@ -250,6 +270,55 @@ def _add_stream(subparsers) -> None:
     )
     cmd.add_argument("--support", type=float, default=0.005, help="SLCT only")
     cmd.add_argument("--seed", type=int, default=None)
+    cmd.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        help="backpressure: bound the miss buffer at this many records",
+    )
+    cmd.add_argument(
+        "--overflow",
+        choices=["block", "shed", "sample"],
+        default="block",
+        help="with --max-pending: block (flush synchronously), shed "
+        "(drop overflowing misses), or sample (keep every k-th)",
+    )
+    cmd.add_argument(
+        "--budget-mem",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="hard memory budget in MB (soft limit at half); enables "
+        "the degradation ladder",
+    )
+    cmd.add_argument(
+        "--budget-wall",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="hard wall-clock budget (soft limit at half); enables "
+        "the degradation ladder",
+    )
+    cmd.add_argument(
+        "--budget-queue",
+        type=float,
+        default=None,
+        metavar="DEPTH",
+        help="hard miss-queue budget (soft limit at half); enables "
+        "the degradation ladder",
+    )
+    cmd.add_argument(
+        "--ladder",
+        default=None,
+        help="comma-separated degradation rungs, most faithful first "
+        "(default: from PARSER down the standard ladder)",
+    )
+    cmd.add_argument(
+        "--check-every",
+        type=int,
+        default=500,
+        help="records between budget checks under a budget",
+    )
     _add_hardening_flags(cmd)
     cmd.add_argument(
         "--checkpoint",
@@ -407,6 +476,27 @@ def _add_supervise(subparsers) -> None:
     cmd.add_argument("--seed", type=int, default=None)
 
 
+def _add_soak(subparsers) -> None:
+    cmd = subparsers.add_parser(
+        "soak",
+        help="replay a deterministic chaos-soak scenario against the "
+        "degradation runtime and audit the contract",
+    )
+    cmd.add_argument("scenario", choices=SCENARIO_KINDS)
+    cmd.add_argument("--seed", type=int, default=7)
+    cmd.add_argument("--blocks", type=int, default=40)
+    cmd.add_argument(
+        "--check-every", type=int, default=20,
+        help="records between budget checks",
+    )
+    cmd.add_argument(
+        "--min-transitions",
+        type=int,
+        default=2,
+        help="ladder transitions the audit requires",
+    )
+
+
 def build_arg_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-logparse",
@@ -422,6 +512,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     _add_mine(subparsers)
     _add_stream(subparsers)
     _add_supervise(subparsers)
+    _add_soak(subparsers)
     return parser
 
 
@@ -579,6 +670,25 @@ def _cmd_stream(args) -> int:
     if args.resume and not args.checkpoint:
         print("error: --resume requires --checkpoint", file=sys.stderr)
         return 2
+    budgeted = (
+        args.budget_mem is not None
+        or args.budget_wall is not None
+        or args.budget_queue is not None
+        or args.ladder is not None
+    )
+    if budgeted and (
+        args.checkpoint
+        or args.resume
+        or args.verify
+        or args.flush_policy == "prefix"
+    ):
+        print(
+            "error: resource budgets cannot be combined with "
+            "--checkpoint/--resume/--verify/--flush-policy prefix "
+            "(the flush parser may change mid-stream)",
+            file=sys.stderr,
+        )
+        return 2
     params = _parser_params(args.parser, args)
     factory = partial(make_parser, args.parser, **params)
     preprocessor = (
@@ -587,6 +697,38 @@ def _cmd_stream(args) -> int:
         else None
     )
     policy_mode, sink = _resolve_policy(args)
+    if args.dataset is not None:
+        source = f"dataset:{args.dataset}"
+        records = iter_dataset(
+            get_dataset_spec(args.dataset), args.size, seed=args.seed
+        )
+    else:
+        source = args.input
+        records = iter_raw_log(
+            args.input,
+            policy=policy_mode or "raise",
+            quarantine=sink,
+        )
+    if args.faults is not None:
+        records = corrupt_records(
+            records, seed=args.faults, every=args.fault_every
+        )
+    # The sink is a context manager: flushed and closed even when the
+    # stream dies mid-run, so quarantined records are never lost.
+    with sink if sink is not None else nullcontext():
+        if budgeted:
+            return _run_budgeted_stream(
+                args, preprocessor, policy_mode, sink, records
+            )
+        return _run_plain_stream(
+            args, factory, preprocessor, policy_mode, sink, records, source
+        )
+
+
+def _run_plain_stream(
+    args, factory, preprocessor, policy_mode, sink, records, source
+) -> int:
+    """The historical ``stream`` path: one parser, optional checkpoints."""
     if args.resume:
         checkpoint = load_checkpoint(args.checkpoint)
         engine = restore_streaming_parser(
@@ -614,6 +756,8 @@ def _cmd_stream(args) -> int:
             error_policy=policy_mode,
             quarantine=sink,
             max_record_len=args.max_record_len,
+            max_pending=args.max_pending,
+            overflow=args.overflow,
         )
         skip = 0
     session = ParseSession(engine, track_matrix=args.mine)
@@ -621,22 +765,6 @@ def _cmd_stream(args) -> int:
         restored = restore_accumulator(checkpoint)
         if restored is not None:
             session.accumulator = restored
-    if args.dataset is not None:
-        source = f"dataset:{args.dataset}"
-        records = iter_dataset(
-            get_dataset_spec(args.dataset), args.size, seed=args.seed
-        )
-    else:
-        source = args.input
-        records = iter_raw_log(
-            args.input,
-            policy=policy_mode or "raise",
-            quarantine=sink,
-        )
-    if args.faults is not None:
-        records = corrupt_records(
-            records, seed=args.faults, every=args.fault_every
-        )
     consumed = skip
     for index, record in enumerate(records):
         if index < skip:
@@ -665,31 +793,20 @@ def _cmd_stream(args) -> int:
             accumulator=session.accumulator,
         )
     print(session.counters().describe())
-    if sink is not None:
-        sink.close()
-        if len(sink):
-            print(sink.describe())
+    if sink is not None and len(sink):
+        print(sink.describe())
     if args.output_stem and result is not None:
         events_path, structured_path = write_parse_result(
             result, args.output_stem
         )
         print(f"wrote {events_path}, {structured_path}")
     if args.mine:
-        from repro.mining import tf_idf_transform
-        from repro.mining.pca import PcaAnomalyModel
-
-        counts = session.matrix()
-        weighted = tf_idf_transform(counts.matrix)
-        model = PcaAnomalyModel()
-        model.fit(weighted)
-        flagged = (model.spe(weighted) > model.threshold).sum()
-        print(
-            f"live PCA mining: {counts.matrix.shape[0]} sessions x "
-            f"{counts.matrix.shape[1]} events, {flagged} flagged anomalous"
-        )
+        _mine_matrix(session.matrix())
     if args.verify and result is not None:
         batch_parser = make_parser(
-            args.parser, preprocessor=preprocessor, **params
+            args.parser,
+            preprocessor=preprocessor,
+            **_parser_params(args.parser, args),
         )
         report = diff_results(
             batch_parser.name,
@@ -699,6 +816,88 @@ def _cmd_stream(args) -> int:
         print(report.describe())
         if args.flush_policy == "prefix" and not report.equivalent:
             return 1
+    return 0
+
+
+def _mine_matrix(counts) -> None:
+    """Run live PCA anomaly detection over a session-by-event matrix."""
+    from repro.mining import tf_idf_transform
+    from repro.mining.pca import PcaAnomalyModel
+
+    weighted = tf_idf_transform(counts.matrix)
+    model = PcaAnomalyModel()
+    model.fit(weighted)
+    flagged = (model.spe(weighted) > model.threshold).sum()
+    print(
+        f"live PCA mining: {counts.matrix.shape[0]} sessions x "
+        f"{counts.matrix.shape[1]} events, {flagged} flagged anomalous"
+    )
+
+
+def _build_stream_ladder(args) -> DegradationLadder:
+    """Resolve --ladder (or the chosen parser) into a DegradationLadder."""
+    rungs = default_ladder()
+    by_name = {rung.parser: rung for rung in rungs}
+    if args.ladder:
+        names = [name.strip() for name in args.ladder.split(",") if name.strip()]
+        unknown = [name for name in names if name not in by_name]
+        if unknown or not names:
+            raise ParserConfigurationError(
+                f"unknown ladder rung(s) {unknown or args.ladder!r}; "
+                f"choose from {', '.join(by_name)}"
+            )
+        return DegradationLadder([by_name[name] for name in names])
+    start = next(
+        (
+            index
+            for index, rung in enumerate(rungs)
+            if rung.parser == args.parser
+        ),
+        0,
+    )
+    return DegradationLadder(rungs[start:])
+
+
+def _run_budgeted_stream(
+    args, preprocessor, policy_mode, sink, records
+) -> int:
+    """``stream`` under a resource budget: the degradation runtime."""
+    ladder = _build_stream_ladder(args)
+    budget = ResourceBudget.of(
+        wall_seconds=args.budget_wall,
+        memory_mb=args.budget_mem,
+        queue_depth=args.budget_queue,
+    )
+    print(budget.describe())
+    print(ladder.describe())
+    session = DegradedSession(
+        ladder,
+        BudgetMonitor(budget),
+        check_every=args.check_every,
+        track_matrix=args.mine,
+        error_policy=policy_mode,
+        quarantine=sink,
+        retain=not args.no_retain,
+        preprocessor=preprocessor,
+        max_record_len=args.max_record_len,
+        max_pending=args.max_pending,
+        overflow=args.overflow,
+    )
+    for index, record in enumerate(records):
+        session.feed(record)
+        if args.report_every and (index + 1) % args.report_every == 0:
+            print(session.session.counters().describe())
+    report = session.finalize()
+    print(report.describe())
+    if sink is not None and len(sink):
+        print(sink.describe())
+    if args.output_stem and report.result is not None:
+        events_path, structured_path = write_parse_result(
+            report.result, args.output_stem
+        )
+        print(f"wrote {events_path}, {structured_path}")
+    if args.mine and report.matrix is not None:
+        _mine_matrix(report.matrix)
     return 0
 
 
@@ -785,10 +984,10 @@ def _cmd_supervise(args) -> int:
             attempts=args.retries, base_delay=args.retry_delay
         ),
     )
-    try:
+    # Context-managed: the sink flushes and closes even when the whole
+    # chain fails and FallbackExhaustedError propagates.
+    with sink:
         outcome = supervisor.parse(clean)
-    finally:
-        sink.close()
     print(outcome.report.describe())
     print(
         f"{outcome.parser}: {len(outcome.result.events)} events from "
@@ -817,6 +1016,20 @@ def _cmd_supervise(args) -> int:
     return 0
 
 
+def _cmd_soak(args) -> int:
+    report = run_soak(
+        SoakScenario(
+            kind=args.scenario,
+            seed=args.seed,
+            n_blocks=args.blocks,
+            check_every=args.check_every,
+            min_transitions=args.min_transitions,
+        )
+    )
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "parse": _cmd_parse,
@@ -826,6 +1039,7 @@ _COMMANDS = {
     "mine": _cmd_mine,
     "stream": _cmd_stream,
     "supervise": _cmd_supervise,
+    "soak": _cmd_soak,
 }
 
 

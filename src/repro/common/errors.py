@@ -38,7 +38,16 @@ class MiningError(ReproError):
 
 
 class ParserTimeoutError(ReproError):
-    """A supervised parse exceeded its wall-clock deadline."""
+    """A supervised parse exceeded its wall-clock deadline.
+
+    ``leaked_thread`` is True when the deadline-expired worker thread
+    survived its grace-period join and was abandoned still running —
+    the supervisor totals these in ``FailureReport.leaked_threads``.
+    """
+
+    def __init__(self, message: str, *, leaked_thread: bool = False) -> None:
+        super().__init__(message)
+        self.leaked_thread = leaked_thread
 
 
 class WorkerCrashError(ReproError):
@@ -47,6 +56,20 @@ class WorkerCrashError(ReproError):
 
 class CheckpointError(ReproError):
     """A streaming checkpoint could not be written, read, or applied."""
+
+
+class BudgetExceededError(ReproError):
+    """A resource budget's hard limit was breached during a parse.
+
+    Carries the :class:`~repro.degradation.budget.BudgetBreach` list
+    that triggered it as the ``breaches`` attribute, so supervisors and
+    degradation runtimes can report *which* dimension (wall clock,
+    memory, cache, queue depth) blew the budget and by how much.
+    """
+
+    def __init__(self, message: str, breaches=()) -> None:
+        super().__init__(message)
+        self.breaches = tuple(breaches)
 
 
 class FallbackExhaustedError(ReproError):

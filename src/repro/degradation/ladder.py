@@ -1,0 +1,271 @@
+"""The degradation ladder: ordered fidelity rungs and the step-down policy.
+
+Table III orders the four parsers by accuracy — LKE and LogSig at the
+top, then IPLoM, then SLCT — while Finding 3 orders them (roughly the
+other way) by cost: the clustering parsers LKE and LogSig blow up with
+log size, IPLoM and SLCT scale linearly.  A
+:class:`DegradationLadder` encodes that trade as an ordered list of
+:class:`LadderRung` entries, most faithful first, each rung naming a
+parser plus the streaming-engine parameters (template-cache capacity,
+flush batch size, admission sampling) appropriate to its cost class.
+
+The policy is deliberately simple and auditable:
+
+* a **soft** budget breach steps down exactly one rung, never more,
+  and only after the breach has persisted for ``cooldown_checks``
+  consecutive checks (so a single noisy sample cannot shed fidelity);
+* a **hard** breach steps down immediately, ignoring the cooldown;
+* the ladder never skips a rung and never steps back up mid-run —
+  recovery is a restart decision, not a flapping one;
+* every transition emits a :class:`DegradationEvent` carrying the
+  budget evidence (sample + breaches) that justified it and the
+  engine parameter changes actually applied.
+
+When the bottom rung (the passthrough tagger) is itself insufficient,
+the ladder is *exhausted* and the runtime escalates to the supervisor
+layer (:class:`~repro.common.errors.BudgetExceededError`, then
+:class:`~repro.common.errors.FallbackExhaustedError` if nothing in the
+chain survives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ValidationError
+from repro.degradation.budget import BudgetBreach, BudgetSample
+from repro.parsers.base import LogParser
+from repro.parsers.registry import make_parser
+
+#: Transition trigger tags recorded on :class:`DegradationEvent`.
+TRIGGER_SOFT = "soft-breach"
+TRIGGER_HARD = "hard-breach"
+TRIGGER_SUPERVISED = "supervised-fallback"
+
+
+@dataclass(frozen=True)
+class LadderRung:
+    """One fidelity level: a parser plus the engine shape it runs under.
+
+    Args:
+        parser: registry name (``LKE``, ``LogSig``, ``IPLoM``, ``SLCT``,
+            ``Passthrough``) used to build the flush parser.
+        cache_capacity: template-cache size while on this rung (lower
+            rungs shrink the cache to relieve memory).
+        flush_size: miss-batch size handed to the parser per flush
+            (lower rungs flush smaller batches, bounding latency and
+            per-flush memory).
+        sample_keep: admission sampling — keep 1 of every
+            ``sample_keep`` records (1 = keep everything; lower rungs
+            may shed input volume outright).
+        params: extra keyword arguments for the parser constructor.
+    """
+
+    parser: str
+    cache_capacity: int = 512
+    flush_size: int = 200
+    sample_keep: int = 1
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cache_capacity < 1:
+            raise ValidationError(
+                f"rung cache_capacity must be >= 1, got {self.cache_capacity}"
+            )
+        if self.flush_size < 1:
+            raise ValidationError(
+                f"rung flush_size must be >= 1, got {self.flush_size}"
+            )
+        if self.sample_keep < 1:
+            raise ValidationError(
+                f"rung sample_keep must be >= 1, got {self.sample_keep}"
+            )
+
+    def build_parser(self) -> LogParser:
+        return make_parser(self.parser, **self.params)
+
+    def describe(self) -> str:
+        bits = [
+            f"cache={self.cache_capacity}",
+            f"flush={self.flush_size}",
+        ]
+        if self.sample_keep > 1:
+            bits.append(f"sample=1/{self.sample_keep}")
+        return f"{self.parser} ({', '.join(bits)})"
+
+
+def default_ladder() -> list[LadderRung]:
+    """The standard five-rung ladder, most faithful first.
+
+    LKE → LogSig → IPLoM → SLCT → Passthrough: descending Table III
+    fidelity, descending cost.  Engine parameters tighten with each
+    step: the cache shrinks (memory relief), flush batches shrink
+    (latency/heap relief), and the bottom rungs shed input volume.
+    """
+    return [
+        LadderRung("LKE", cache_capacity=1024, flush_size=400),
+        LadderRung("LogSig", cache_capacity=512, flush_size=200),
+        LadderRung("IPLoM", cache_capacity=256, flush_size=100),
+        LadderRung("SLCT", cache_capacity=128, flush_size=50, sample_keep=2),
+        LadderRung(
+            "Passthrough", cache_capacity=64, flush_size=25, sample_keep=4
+        ),
+    ]
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One audited fidelity transition, with the evidence behind it."""
+
+    sequence: int
+    from_rung: str
+    to_rung: str
+    trigger: str
+    at_line: int
+    sample: BudgetSample | None
+    breaches: tuple[BudgetBreach, ...]
+    actions: dict
+    mining_impact: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "sequence": self.sequence,
+            "from": self.from_rung,
+            "to": self.to_rung,
+            "trigger": self.trigger,
+            "at_line": self.at_line,
+            "sample": self.sample.to_dict() if self.sample else None,
+            "breaches": [breach.describe() for breach in self.breaches],
+            "actions": dict(self.actions),
+            "mining_impact": self.mining_impact,
+        }
+
+    def describe(self) -> str:
+        evidence = (
+            "; ".join(breach.describe() for breach in self.breaches)
+            or "no budget evidence (supervised fallback)"
+        )
+        lines = [
+            f"#{self.sequence} {self.from_rung} -> {self.to_rung} "
+            f"[{self.trigger}] at line {self.at_line}",
+            f"    evidence: {evidence}",
+        ]
+        if self.sample is not None:
+            lines.append(f"    sample:   {self.sample.describe()}")
+        if self.actions:
+            applied = ", ".join(
+                f"{key}={value}" for key, value in sorted(self.actions.items())
+            )
+            lines.append(f"    applied:  {applied}")
+        if self.mining_impact:
+            lines.append(f"    impact:   {self.mining_impact}")
+        return "\n".join(lines)
+
+
+class DegradationLadder:
+    """Position tracking and step-down policy over an ordered rung list.
+
+    The ladder owns *policy only* — which rung is current, whether a
+    step is allowed, and the audit trail of
+    :class:`DegradationEvent` records.  Applying a rung to a live
+    engine is the runtime's job
+    (:class:`~repro.degradation.runtime.DegradedSession`).
+
+    Args:
+        rungs: ordered rungs, most faithful first (defaults to
+            :func:`default_ladder`).
+        cooldown_checks: consecutive breached checks required before a
+            *soft* breach may step down, and again between successive
+            soft steps.  Hard breaches ignore the cooldown.
+    """
+
+    def __init__(
+        self,
+        rungs: list[LadderRung] | None = None,
+        *,
+        cooldown_checks: int = 2,
+    ) -> None:
+        self.rungs = list(rungs) if rungs is not None else default_ladder()
+        if not self.rungs:
+            raise ValidationError("a degradation ladder needs >= 1 rung")
+        if cooldown_checks < 1:
+            raise ValidationError(
+                f"cooldown_checks must be >= 1, got {cooldown_checks}"
+            )
+        self.cooldown_checks = cooldown_checks
+        self.position = 0
+        self.events: list[DegradationEvent] = []
+        self._pressure_streak = 0
+
+    @property
+    def current(self) -> LadderRung:
+        return self.rungs[self.position]
+
+    @property
+    def exhausted(self) -> bool:
+        """True when there is no rung left below the current one."""
+        return self.position >= len(self.rungs) - 1
+
+    def peek_next(self) -> LadderRung | None:
+        if self.exhausted:
+            return None
+        return self.rungs[self.position + 1]
+
+    def note_check(self, breached: bool) -> None:
+        """Record one budget check's outcome for the soft cooldown."""
+        if breached:
+            self._pressure_streak += 1
+        else:
+            self._pressure_streak = 0
+
+    def ready(self) -> bool:
+        """Whether sustained pressure has earned a soft step-down."""
+        return self._pressure_streak >= self.cooldown_checks
+
+    def step_down(
+        self,
+        *,
+        trigger: str,
+        at_line: int,
+        sample: BudgetSample | None = None,
+        breaches: tuple[BudgetBreach, ...] = (),
+        actions: dict | None = None,
+        mining_impact: str = "",
+    ) -> DegradationEvent:
+        """Advance exactly one rung and record the transition.
+
+        Raises :class:`~repro.common.errors.ValidationError` when the
+        ladder is already exhausted — callers must check
+        :attr:`exhausted` and escalate instead.
+        """
+        if self.exhausted:
+            raise ValidationError(
+                "degradation ladder exhausted: already on "
+                f"{self.current.parser}, nothing below it"
+            )
+        from_rung = self.current.parser
+        self.position += 1
+        self._pressure_streak = 0
+        event = DegradationEvent(
+            sequence=len(self.events) + 1,
+            from_rung=from_rung,
+            to_rung=self.current.parser,
+            trigger=trigger,
+            at_line=at_line,
+            sample=sample,
+            breaches=tuple(breaches),
+            actions=dict(actions or {}),
+            mining_impact=mining_impact,
+        )
+        self.events.append(event)
+        return event
+
+    def describe(self) -> str:
+        path = " -> ".join(
+            (f"[{rung.parser}]" if i == self.position else rung.parser)
+            for i, rung in enumerate(self.rungs)
+        )
+        return (
+            f"ladder: {path} | {len(self.events)} transition(s), "
+            f"cooldown={self.cooldown_checks} check(s)"
+        )

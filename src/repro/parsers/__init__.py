@@ -29,7 +29,12 @@ from repro.parsers.iplom import Iplom
 from repro.parsers.lke import Lke
 from repro.parsers.logsig import LogSig
 from repro.parsers.oracle import OracleParser
-from repro.parsers.registry import PARSER_NAMES, make_parser
+from repro.parsers.passthrough import PassthroughParser
+from repro.parsers.registry import (
+    LADDER_PARSER_NAMES,
+    PARSER_NAMES,
+    make_parser,
+)
 from repro.parsers.parallel import ChunkedParallelParser
 from repro.parsers.tagged import TaggedLogParser, tag_records
 
@@ -43,6 +48,8 @@ __all__ = [
     "Lke",
     "LogSig",
     "OracleParser",
+    "PassthroughParser",
+    "LADDER_PARSER_NAMES",
     "PARSER_NAMES",
     "make_parser",
     "ChunkedParallelParser",

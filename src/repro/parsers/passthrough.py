@@ -1,0 +1,49 @@
+"""Passthrough tagger — the terminal rung of a degradation ladder.
+
+When every clustering parser has been shed for survival (the
+graceful-degradation runtime of :mod:`repro.degradation`), the pipeline
+still has to emit *valid* structured logs: every line assigned to an
+event, every event carrying a template.  The passthrough tagger is the
+cheapest parser that honors that contract — it clusters lines by their
+exact token signature in a single O(n) pass, so each distinct message
+becomes its own event and its own template (no wildcards, no
+abstraction).
+
+That output is deliberately honest about its cost: exact-signature
+"templates" fragment parameterized events into one event per parameter
+value, which is precisely the error shape Finding 6 shows is most
+destructive to PCA mining (near-unique high-IDF columns).  The
+:class:`~repro.degradation.ledger.MiningImpactLedger` accounts for that
+when a ladder lands here; the point of the rung is that the *stream
+survives* with full provenance, and the structured output can be
+re-parsed properly once pressure subsides.
+"""
+
+from __future__ import annotations
+
+from repro.parsers.base import Clustering, LogParser
+
+
+class PassthroughParser(LogParser):
+    """Exact-signature dedup parser: one event per distinct message.
+
+    Never fails, never blocks, allocates one template per distinct
+    token signature — the guaranteed-feasible floor of any parser
+    fallback chain or degradation ladder.
+    """
+
+    name = "Passthrough"
+
+    def _cluster(self, token_lists: list[list[str]]) -> Clustering:
+        labels: list[int] = []
+        templates: list[list[str]] = []
+        signature_to_label: dict[tuple[str, ...], int] = {}
+        for tokens in token_lists:
+            signature = tuple(tokens)
+            label = signature_to_label.get(signature)
+            if label is None:
+                label = len(templates)
+                signature_to_label[signature] = label
+                templates.append(list(tokens))
+            labels.append(label)
+        return Clustering(labels=labels, templates=templates)

@@ -8,6 +8,7 @@ from repro.parsers.iplom import Iplom
 from repro.parsers.lke import Lke
 from repro.parsers.logsig import LogSig
 from repro.parsers.oracle import OracleParser
+from repro.parsers.passthrough import PassthroughParser
 from repro.parsers.slct import Slct
 
 _PARSERS: dict[str, type[LogParser]] = {
@@ -16,10 +17,14 @@ _PARSERS: dict[str, type[LogParser]] = {
     "LKE": Lke,
     "LogSig": LogSig,
     "GroundTruth": OracleParser,
+    "Passthrough": PassthroughParser,
 }
 
 #: Parser names in the paper's presentation order.
 PARSER_NAMES = ["SLCT", "IPLoM", "LKE", "LogSig"]
+
+#: Names admissible on a degradation ladder (cheapest rung last).
+LADDER_PARSER_NAMES = [*PARSER_NAMES, "Passthrough"]
 
 
 def make_parser(name: str, **params) -> LogParser:

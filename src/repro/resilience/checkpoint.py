@@ -35,7 +35,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.streaming.engine import StreamingParser
 
 #: Bump when the checkpoint schema changes incompatibly.
-CHECKPOINT_VERSION = 1
+#: v2: engine config gained backpressure fields (max_pending/overflow).
+CHECKPOINT_VERSION = 2
 
 
 @dataclass
@@ -180,6 +181,8 @@ def restore_streaming_parser(
             exact_capacity=config["exact_capacity"],
             max_flush_retries=config["max_flush_retries"],
             retain=config["retain"],
+            max_pending=config.get("max_pending"),
+            overflow=config.get("overflow", "block"),
             workers=workers,
             chunk_size=chunk_size,
             preprocessor=preprocessor,

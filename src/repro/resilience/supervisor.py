@@ -33,7 +33,10 @@ import time
 from dataclasses import dataclass, field
 from collections.abc import Callable, Sequence
 
+from random import Random
+
 from repro.common.errors import (
+    BudgetExceededError,
     FallbackExhaustedError,
     ParserTimeoutError,
     ValidationError,
@@ -46,21 +49,29 @@ STATUS_OK = "ok"
 STATUS_ERROR = "error"
 STATUS_TIMEOUT = "timeout"
 STATUS_SKIPPED = "skipped"
+STATUS_BUDGET = "budget"
 
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Deterministic exponential backoff schedule.
+    """Exponential backoff schedule, deterministic by default.
 
     ``delay(1)`` is the wait after the first failure:
     ``base_delay * backoff**(attempt-1)``, capped at ``max_delay``.
     ``attempts`` is the total number of tries (1 = no retries).
+
+    ``jitter`` spreads delays uniformly over
+    ``[d * (1 - jitter), d * (1 + jitter)]`` (still capped at
+    ``max_delay``) to decorrelate retry storms across concurrent
+    sessions; it only applies when :meth:`delay` is given an *rng*, so
+    the default schedule stays exactly assertable in tests.
     """
 
     attempts: int = 3
     base_delay: float = 0.05
     backoff: float = 2.0
     max_delay: float = 2.0
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.attempts < 1:
@@ -71,10 +82,26 @@ class RetryPolicy:
             raise ValidationError(
                 "retry delays must be >= 0 and backoff >= 1"
             )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValidationError(
+                f"jitter must be in [0, 1), got {self.jitter}"
+            )
 
-    def delay(self, attempt: int) -> float:
-        """Seconds to wait after failed attempt number *attempt* (1-based)."""
-        return min(self.max_delay, self.base_delay * self.backoff ** (attempt - 1))
+    def delay(self, attempt: int, rng: Random | None = None) -> float:
+        """Seconds to wait after failed attempt number *attempt* (1-based).
+
+        With ``jitter > 0`` and an *rng*, the returned delay is drawn
+        uniformly from ``[d*(1-jitter), d*(1+jitter)]`` where ``d`` is
+        the deterministic exponential delay; the result never exceeds
+        ``max_delay`` and never drops below 0.
+        """
+        base = min(
+            self.max_delay, self.base_delay * self.backoff ** (attempt - 1)
+        )
+        if self.jitter == 0.0 or rng is None:
+            return base
+        spread = base * self.jitter
+        return max(0.0, min(self.max_delay, base + (2 * rng.random() - 1) * spread))
 
 
 class CircuitBreaker:
@@ -165,10 +192,18 @@ class Attempt:
 
 @dataclass
 class FailureReport:
-    """Structured record of every attempt a supervised parse made."""
+    """Structured record of every attempt a supervised parse made.
+
+    ``leaked_threads`` counts deadline-expired parses whose worker
+    thread was still running after the grace-period join — abandoned
+    daemon threads that keep burning CPU until their parse returns.
+    Callers sizing thread pools or diagnosing runaway load need this
+    number; before it existed, abandoned threads were invisible.
+    """
 
     attempts: list[Attempt] = field(default_factory=list)
     winner: str | None = None
+    leaked_threads: int = 0
 
     @property
     def failures(self) -> list[Attempt]:
@@ -182,11 +217,17 @@ class FailureReport:
     def skipped(self) -> list[Attempt]:
         return [a for a in self.attempts if a.status == STATUS_SKIPPED]
 
+    @property
+    def budget_breached(self) -> list[Attempt]:
+        return [a for a in self.attempts if a.status == STATUS_BUDGET]
+
     def describe(self) -> str:
         lines = [a.describe() for a in self.attempts]
         outcome = (
             f"winner: {self.winner}" if self.winner else "no parser succeeded"
         )
+        if self.leaked_threads:
+            outcome += f" ({self.leaked_threads} abandoned worker thread(s))"
         return "\n".join([*lines, outcome])
 
 
@@ -200,7 +241,10 @@ class SupervisedResult:
 
 
 def run_with_deadline(
-    fn: Callable[[], ParseResult], timeout: float | None
+    fn: Callable[[], ParseResult],
+    timeout: float | None,
+    *,
+    grace: float = 0.1,
 ) -> ParseResult:
     """Run *fn*, raising :class:`ParserTimeoutError` past *timeout*.
 
@@ -210,6 +254,15 @@ def run_with_deadline(
     waits for it.  That is the honest best available in-process —
     Python offers no safe preemptive cancellation — and mirrors how
     the chunked parallel backend abandons hung worker processes.
+
+    A deadline-expired worker gets one more ``grace``-second join
+    before being abandoned (many "overruns" are parses finishing just
+    past the line; the grace join reaps them instead of leaking a
+    thread).  When the thread survives the grace join too, the raised
+    :class:`ParserTimeoutError` carries ``leaked_thread=True`` so
+    callers — foremost :class:`ParserSupervisor`, which totals them in
+    :attr:`FailureReport.leaked_threads` — can account for the CPU
+    still burning in the background.
     """
     if timeout is None:
         return fn()
@@ -224,9 +277,13 @@ def run_with_deadline(
     thread = threading.Thread(target=target, daemon=True)
     thread.start()
     thread.join(timeout)
+    if thread.is_alive() and grace > 0:
+        thread.join(grace)
     if thread.is_alive():
         raise ParserTimeoutError(
-            f"parse exceeded its {timeout:.3f}s deadline"
+            f"parse exceeded its {timeout:.3f}s deadline "
+            f"(worker thread abandoned after {grace:.3f}s grace)",
+            leaked_thread=True,
         )
     if "error" in box:
         raise box["error"]  # type: ignore[misc]
@@ -245,6 +302,16 @@ class ParserSupervisor:
             one breaker per chain entry, persistent across
             :meth:`parse` calls.
         sleep / clock: injectable time sources for tests.
+        rng: random source for retry jitter; ``None`` (default) keeps
+            the backoff schedule fully deterministic even when the
+            retry policy declares a nonzero ``jitter``.
+
+    A parse attempt that raises
+    :class:`~repro.common.errors.BudgetExceededError` (a hard resource
+    budget breached mid-parse — see :mod:`repro.degradation`) is
+    recorded with status ``budget`` and moves straight to the next
+    chain entry without retrying: a blown budget does not heal by
+    running the same parser again.
 
     :meth:`parse` returns a :class:`SupervisedResult` from the first
     chain entry that succeeds, or raises
@@ -262,6 +329,7 @@ class ParserSupervisor:
         breaker_reset: float = 30.0,
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
+        rng: Random | None = None,
     ) -> None:
         if not chain:
             raise ValidationError("supervision chain must not be empty")
@@ -272,6 +340,7 @@ class ParserSupervisor:
         self.retry = retry if retry is not None else RetryPolicy()
         self._sleep = sleep
         self._clock = clock
+        self._rng = rng
         self.breakers = {
             name: CircuitBreaker(
                 failure_threshold=breaker_threshold,
@@ -307,6 +376,10 @@ class ParserSupervisor:
                     )
                 except ParserTimeoutError as error:
                     status, detail = STATUS_TIMEOUT, str(error)
+                    if getattr(error, "leaked_thread", False):
+                        report.leaked_threads += 1
+                except BudgetExceededError as error:
+                    status, detail = STATUS_BUDGET, str(error)
                 except Exception as error:  # noqa: BLE001 - recorded
                     status, detail = STATUS_ERROR, f"{type(error).__name__}: {error}"
                 else:
@@ -333,9 +406,13 @@ class ParserSupervisor:
                         error=detail,
                     )
                 )
-                if not breaker.allow() or attempt == self.retry.attempts:
+                if (
+                    status == STATUS_BUDGET
+                    or not breaker.allow()
+                    or attempt == self.retry.attempts
+                ):
                     break
-                self._sleep(self.retry.delay(attempt))
+                self._sleep(self.retry.delay(attempt, self._rng))
         raise FallbackExhaustedError(
             "every parser in the fallback chain failed:\n" + report.describe(),
             report=report,

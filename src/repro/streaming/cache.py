@@ -198,6 +198,24 @@ class TemplateCache:
             self._unindex(victim)
             self.evictions += 1
 
+    def resize(self, capacity: int) -> None:
+        """Change the template capacity, evicting LRU entries if needed.
+
+        Shrinking is the degradation runtime's cheapest relief valve:
+        the evicted templates remain valid events in the engine's
+        permanent table, so a resize can never corrupt assignments —
+        it only trades hit rate for memory.
+        """
+        if capacity < 1:
+            raise ParserConfigurationError(
+                f"cache capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        while len(self._templates) > self.capacity:
+            victim, _ = self._templates.popitem(last=False)
+            self._unindex(victim)
+            self.evictions += 1
+
     def remove(self, slot: int) -> None:
         """Drop a template without counting an eviction (merges)."""
         if self._templates.pop(slot, None) is not None:

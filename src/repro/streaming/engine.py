@@ -71,6 +71,9 @@ PENDING_SLOT = -2
 #: Event id reported in snapshots for lines still awaiting a flush.
 PENDING_EVENT_ID = "PENDING"
 
+#: Overflow modes for bounded ingest (``max_pending``).
+OVERFLOW_MODES = ("block", "shed", "sample")
+
 
 @dataclass
 class _Pending:
@@ -97,6 +100,7 @@ class StreamingCounters:
     pending: int
     events: int
     rejected: int = 0
+    shed: int = 0
 
     @property
     def hits(self) -> int:
@@ -148,6 +152,22 @@ class StreamingParser(LogParser):
             ``quarantine`` policy (in-memory sink by default).
         max_record_len: content length cap enforced by the screen
             (``None`` = no cap).
+        max_pending: backpressure bound on the miss buffer.  ``None``
+            (default) keeps the historical unbounded-producer behavior;
+            otherwise a cache miss arriving while ``max_pending``
+            misses are already buffered is handled per *overflow*, so a
+            producer can never outrun the flush parser without the
+            engine noticing.
+        overflow: what to do with a miss that hits the ``max_pending``
+            bound — ``"block"`` flushes the buffer synchronously before
+            admitting the line (the producer pays the flush latency,
+            memory stays bounded); ``"shed"`` drops the line (counted
+            in ``counters.shed``, ``feed`` returns -1); ``"sample"``
+            admits every ``overflow_sample_keep``-th overflowing miss
+            and sheds the rest, preserving a census of novel lines
+            under sustained overload.
+        overflow_sample_keep: with ``overflow="sample"``, admit one of
+            every this-many overflowing misses.
         on_assign: callback ``(line_no, record, slot)`` fired when a
             line first receives an event slot (``OUTLIER_SLOT`` for
             permanent outliers).
@@ -173,6 +193,9 @@ class StreamingParser(LogParser):
         error_policy: ErrorPolicy | str | None = None,
         quarantine: QuarantineSink | None = None,
         max_record_len: int | None = None,
+        max_pending: int | None = None,
+        overflow: str = "block",
+        overflow_sample_keep: int = 2,
         on_assign: Callable[[int, LogRecord, int], None] | None = None,
         on_remap: Callable[[int, int], None] | None = None,
     ) -> None:
@@ -194,6 +217,18 @@ class StreamingParser(LogParser):
                 "flush_policy='prefix' re-parses the retained prefix and "
                 "therefore requires retain=True"
             )
+        if overflow not in OVERFLOW_MODES:
+            raise ParserConfigurationError(
+                f"overflow must be one of {OVERFLOW_MODES}, got {overflow!r}"
+            )
+        if max_pending is not None and max_pending < 1:
+            raise ParserConfigurationError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
+        if overflow_sample_keep < 1:
+            raise ParserConfigurationError(
+                f"overflow_sample_keep must be >= 1, got {overflow_sample_keep}"
+            )
         self.factory = factory
         self.flush_policy = flush_policy
         self.flush_size = flush_size
@@ -209,6 +244,9 @@ class StreamingParser(LogParser):
             else None
         )
         self.max_record_len = max_record_len
+        self.max_pending = max_pending
+        self.overflow = overflow
+        self.overflow_sample_keep = overflow_sample_keep
         self.on_assign = on_assign
         self.on_remap = on_remap
         if workers > 1:
@@ -247,6 +285,8 @@ class StreamingParser(LogParser):
         self._lines_since_flush = 0
         self._fed = 0
         self._rejected = 0
+        self._shed = 0
+        self._overflowed = 0
 
     @property
     def counters(self) -> StreamingCounters:
@@ -261,6 +301,7 @@ class StreamingParser(LogParser):
             pending=len(self._pending),
             events=self.n_events,
             rejected=self._rejected,
+            shed=self._shed,
         )
 
     @property
@@ -287,7 +328,10 @@ class StreamingParser(LogParser):
         ``error_policy`` configured, records failing the screen
         (unprintable/oversized content, crashing preprocessor) are
         handled per the policy and never enter the stream: ``feed``
-        returns ``-1`` for them instead of a line number.
+        returns ``-1`` for them instead of a line number.  Likewise a
+        miss shed by backpressure (``max_pending`` reached under the
+        ``shed``/``sample`` overflow modes) returns ``-1`` and is
+        counted in ``counters.shed``.
         """
         stream_index = self._fed
         self._fed += 1
@@ -315,6 +359,28 @@ class StreamingParser(LogParser):
                 return -1
         else:
             content, flush_record = self._prepare(record)
+        tokens = tuple(tokenize(content))
+        slot = self.cache.match(tokens)
+        if (
+            slot is None
+            and self.max_pending is not None
+            and len(self._pending) >= self.max_pending
+        ):
+            # Backpressure: the miss buffer is full, so the producer has
+            # outrun the flush parser.  Block drains synchronously (the
+            # producer pays the latency); shed/sample drop the line
+            # before it enters any per-line state.
+            if self.overflow == "block":
+                self.flush()
+            else:
+                self._overflowed += 1
+                admit = (
+                    self.overflow == "sample"
+                    and self._overflowed % self.overflow_sample_keep == 0
+                )
+                if not admit:
+                    self._shed += 1
+                    return -1
         line_no = self._n_lines
         self._n_lines += 1
         if self.retain:
@@ -323,8 +389,6 @@ class StreamingParser(LogParser):
         if self.flush_policy == "prefix":
             self._flush_records.append(flush_record)
         self._lines_since_flush += 1
-        tokens = tuple(tokenize(content))
-        slot = self.cache.match(tokens)
         if slot is not None:
             self._assign(line_no, record, self._resolve(slot))
         else:
@@ -442,6 +506,72 @@ class StreamingParser(LogParser):
             return
         while self._pending:
             self.flush()
+
+    # ------------------------------------------------------------------
+    # Live reconfiguration (graceful degradation)
+    # ------------------------------------------------------------------
+
+    def reconfigure(
+        self,
+        factory: ParserFactory | None = None,
+        *,
+        flush_size: int | None = None,
+        cache_capacity: int | None = None,
+        max_pending: int | None = None,
+        overflow: str | None = None,
+    ) -> dict:
+        """Swap the flush parser and/or shrink parameters mid-stream.
+
+        The degradation runtime's step-down hook: the slot table,
+        per-line assignments, and already-cached templates all survive
+        untouched — only the machinery for *future* flushes changes, so
+        a downgrade can never corrupt what was already parsed.  Returns
+        a dict of the changes applied (old -> new), which the ladder
+        records as the :class:`DegradationEvent`'s actions.
+        """
+        applied: dict = {}
+        if factory is not None:
+            self.factory = factory
+            if self.workers > 1:
+                self._flush_parser = ChunkedParallelParser(
+                    factory, chunk_size=self.chunk_size, workers=self.workers
+                )
+            else:
+                self._flush_parser = factory()
+            applied["flush_parser"] = getattr(
+                self._flush_parser, "name", type(self._flush_parser).__name__
+            )
+        if flush_size is not None:
+            if flush_size < 1:
+                raise ParserConfigurationError(
+                    f"flush_size must be >= 1, got {flush_size}"
+                )
+            applied["flush_size"] = (self.flush_size, flush_size)
+            self.flush_size = flush_size
+            if (
+                self.flush_policy == "delta"
+                and len(self._pending) >= self.flush_size
+            ):
+                self.flush()
+        if cache_capacity is not None:
+            applied["cache_capacity"] = (self.cache_capacity, cache_capacity)
+            self.cache_capacity = cache_capacity
+            self.cache.resize(cache_capacity)
+        if max_pending is not None:
+            if max_pending < 1:
+                raise ParserConfigurationError(
+                    f"max_pending must be >= 1, got {max_pending}"
+                )
+            applied["max_pending"] = (self.max_pending, max_pending)
+            self.max_pending = max_pending
+        if overflow is not None:
+            if overflow not in OVERFLOW_MODES:
+                raise ParserConfigurationError(
+                    f"overflow must be one of {OVERFLOW_MODES}, got {overflow!r}"
+                )
+            applied["overflow"] = (self.overflow, overflow)
+            self.overflow = overflow
+        return applied
 
     # ------------------------------------------------------------------
     # Batch-contract interface
@@ -580,6 +710,8 @@ class StreamingParser(LogParser):
             "exact_capacity": self.exact_capacity,
             "max_flush_retries": self.max_flush_retries,
             "retain": self.retain,
+            "max_pending": self.max_pending,
+            "overflow": self.overflow,
         }
 
     def checkpoint_state(self) -> dict:
@@ -611,6 +743,8 @@ class StreamingParser(LogParser):
             "outliers": self._outliers,
             "fed": self._fed,
             "rejected": self._rejected,
+            "shed": self._shed,
+            "overflowed": self._overflowed,
             "records": [record.to_dict() for record in self._records],
             "assignments": list(self._assignments),
             "slot_counts": [
@@ -672,6 +806,8 @@ class StreamingParser(LogParser):
         self._outliers = state["outliers"]
         self._fed = state["fed"]
         self._rejected = state["rejected"]
+        self._shed = state.get("shed", 0)
+        self._overflowed = state.get("overflowed", 0)
         self._records = [
             LogRecord.from_dict(record) for record in state["records"]
         ]

@@ -46,6 +46,8 @@ class SessionCounters:
         )
         if s.rejected:
             line += f" | {s.rejected} rejected"
+        if s.shed:
+            line += f" | {s.shed} shed"
         return line
 
 

@@ -320,3 +320,96 @@ class TestStreamResilience:
     def test_resume_requires_checkpoint(self, capsys):
         assert main(["stream", "IPLoM", "--dataset", "HDFS", "--resume"]) == 2
         assert "--resume requires" in capsys.readouterr().err
+
+
+class TestBudgetedStream:
+    def test_budgeted_stream_downgrades_and_reports(self, capsys):
+        code = main(
+            [
+                "stream",
+                "IPLoM",
+                "--dataset",
+                "HDFS",
+                "--size",
+                "400",
+                "--seed",
+                "5",
+                "--budget-queue",
+                "20",
+                "--check-every",
+                "25",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "finished on rung" in out
+        assert "anomaly-detection change" in out
+
+    def test_budgeted_stream_writes_outputs(self, tmp_path, capsys):
+        stem = str(tmp_path / "budgeted")
+        code = main(
+            [
+                "stream",
+                "IPLoM",
+                "--dataset",
+                "HDFS",
+                "--size",
+                "200",
+                "--budget-queue",
+                "100000",
+                "--output-stem",
+                stem,
+            ]
+        )
+        assert code == 0
+        assert os.path.exists(stem + ".events")
+        assert os.path.exists(stem + ".structured")
+        capsys.readouterr()
+
+    def test_ladder_flag_validates_names(self, capsys):
+        code = main(
+            [
+                "stream",
+                "IPLoM",
+                "--dataset",
+                "HDFS",
+                "--ladder",
+                "IPLoM,NoSuchRung",
+            ]
+        )
+        assert code == 2
+        assert "unknown" in capsys.readouterr().err.lower()
+
+    def test_budget_flags_reject_checkpointing(self, tmp_path, capsys):
+        code = main(
+            [
+                "stream",
+                "IPLoM",
+                "--dataset",
+                "HDFS",
+                "--budget-mem",
+                "64",
+                "--checkpoint",
+                str(tmp_path / "cp.json"),
+            ]
+        )
+        assert code == 2
+        assert "budget" in capsys.readouterr().err.lower()
+
+    def test_backpressure_shed_flags(self, capsys):
+        code = main(
+            [
+                "stream",
+                "IPLoM",
+                "--dataset",
+                "HDFS",
+                "--size",
+                "300",
+                "--max-pending",
+                "50",
+                "--overflow",
+                "shed",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()

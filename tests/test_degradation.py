@@ -1,0 +1,481 @@
+"""Tests for the resource-budgeted degradation runtime."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.common.errors import (
+    BudgetExceededError,
+    FallbackExhaustedError,
+    ParserConfigurationError,
+    ValidationError,
+)
+from repro.common.types import LogRecord
+from repro.datasets.hdfs import generate_hdfs_sessions
+from repro.degradation import (
+    BudgetLimit,
+    BudgetMonitor,
+    BudgetedParser,
+    DegradationLadder,
+    DegradedSession,
+    LadderRung,
+    MiningImpactLedger,
+    ResourceBudget,
+    default_ladder,
+    ladder_chain,
+)
+from repro.degradation.budget import (
+    DIM_MEMORY,
+    DIM_QUEUE,
+    LEVEL_HARD,
+    LEVEL_SOFT,
+)
+from repro.degradation.ladder import TRIGGER_HARD, TRIGGER_SOFT
+from repro.parsers import make_parser
+from repro.resilience.supervisor import (
+    STATUS_BUDGET,
+    ParserSupervisor,
+    RetryPolicy,
+)
+from repro.streaming import StreamingParser
+
+
+def distinct_records(n: int) -> list[LogRecord]:
+    """n records that are all cache misses (every content distinct)."""
+    return [
+        LogRecord(content=f"event kind{i} happened on node{i} port {i}")
+        for i in range(n)
+    ]
+
+
+def ramp_probe(values):
+    """Memory probe replaying *values*, then holding the last one."""
+    state = {"i": 0}
+
+    def probe() -> float:
+        value = values[min(state["i"], len(values) - 1)]
+        state["i"] += 1
+        return value
+
+    return probe
+
+
+# ----------------------------------------------------------------------
+# Budgets and the monitor
+# ----------------------------------------------------------------------
+
+
+def test_budget_limit_grades_soft_and_hard():
+    limit = BudgetLimit(soft=10, hard=20)
+    assert limit.grade(5) is None
+    assert limit.grade(10) == LEVEL_SOFT
+    assert limit.grade(20) == LEVEL_HARD
+
+
+def test_budget_limit_validation():
+    with pytest.raises(ValidationError):
+        BudgetLimit(soft=-1)
+    with pytest.raises(ValidationError):
+        BudgetLimit(soft=5, hard=2)
+
+
+def test_resource_budget_of_derives_soft_limits():
+    budget = ResourceBudget.of(memory_mb=64, wall_seconds=10)
+    limits = budget.limits()
+    assert limits[DIM_MEMORY].hard == 64 * 1024 * 1024
+    assert limits[DIM_MEMORY].soft == 32 * 1024 * 1024
+    assert "wall" in budget.describe()
+    assert ResourceBudget().describe() == "budget: unlimited"
+    with pytest.raises(ValidationError):
+        ResourceBudget.of(memory_mb=1, soft_fraction=0.0)
+
+
+def test_monitor_uses_injected_probes_and_sorts_hard_first():
+    budget = ResourceBudget(
+        memory_bytes=BudgetLimit(soft=100, hard=200),
+        queue_depth=BudgetLimit(soft=5, hard=10),
+    )
+    monitor = BudgetMonitor(budget, memory_probe=lambda: 150.0)
+    sample, breaches = monitor.evaluate(queue_depth=50)
+    assert sample.memory_bytes == 150.0
+    assert sample.queue_depth == 50.0
+    # queue is a hard breach, memory only soft: hard must sort first.
+    assert [b.level for b in breaches] == [LEVEL_HARD, LEVEL_SOFT]
+    assert breaches[0].dimension == DIM_QUEUE
+    assert "breach" in breaches[0].describe()
+
+
+def test_monitor_enforce_raises_on_hard_breach_only():
+    budget = ResourceBudget(memory_bytes=BudgetLimit(soft=10, hard=100))
+    soft_monitor = BudgetMonitor(budget, memory_probe=lambda: 50.0)
+    _sample, breaches = soft_monitor.enforce()
+    assert [b.level for b in breaches] == [LEVEL_SOFT]
+    hard_monitor = BudgetMonitor(budget, memory_probe=lambda: 100.0)
+    with pytest.raises(BudgetExceededError) as excinfo:
+        hard_monitor.enforce(context="test parse")
+    assert excinfo.value.breaches
+    assert excinfo.value.breaches[0].level == LEVEL_HARD
+    assert "test parse" in str(excinfo.value)
+
+
+def test_monitor_wall_clock_uses_injected_clock():
+    clock_state = {"now": 100.0}
+    budget = ResourceBudget(wall_seconds=BudgetLimit(soft=1, hard=5))
+    monitor = BudgetMonitor(
+        budget, clock=lambda: clock_state["now"], memory_probe=lambda: 0.0
+    )
+    monitor.start()
+    clock_state["now"] = 102.0
+    sample = monitor.sample()
+    assert sample.wall_seconds == pytest.approx(2.0)
+    assert [b.level for b in monitor.check(sample)] == [LEVEL_SOFT]
+
+
+# ----------------------------------------------------------------------
+# The ladder
+# ----------------------------------------------------------------------
+
+
+def test_default_ladder_orders_fidelity_down():
+    names = [rung.parser for rung in default_ladder()]
+    assert names == ["LKE", "LogSig", "IPLoM", "SLCT", "Passthrough"]
+
+
+def test_ladder_soft_steps_need_sustained_pressure():
+    ladder = DegradationLadder(cooldown_checks=3)
+    ladder.note_check(True)
+    ladder.note_check(True)
+    assert not ladder.ready()  # two breached checks < cooldown of 3
+    ladder.note_check(False)  # relief resets the streak
+    ladder.note_check(True)
+    ladder.note_check(True)
+    ladder.note_check(True)
+    assert ladder.ready()
+
+
+def test_ladder_steps_one_rung_at_a_time_with_audit_trail():
+    ladder = DegradationLadder(cooldown_checks=1)
+    first = ladder.step_down(trigger=TRIGGER_SOFT, at_line=10)
+    second = ladder.step_down(trigger=TRIGGER_HARD, at_line=20)
+    assert (first.from_rung, first.to_rung) == ("LKE", "LogSig")
+    assert (second.from_rung, second.to_rung) == ("LogSig", "IPLoM")
+    assert [event.sequence for event in ladder.events] == [1, 2]
+    assert ladder.current.parser == "IPLoM"
+    assert "[IPLoM]" in ladder.describe()
+
+
+def test_ladder_exhaustion_refuses_further_steps():
+    ladder = DegradationLadder([LadderRung("Passthrough")])
+    assert ladder.exhausted
+    assert ladder.peek_next() is None
+    with pytest.raises(ValidationError):
+        ladder.step_down(trigger=TRIGGER_SOFT, at_line=0)
+
+
+def test_ladder_rung_validation():
+    with pytest.raises(ValidationError):
+        LadderRung("IPLoM", cache_capacity=0)
+    with pytest.raises(ValidationError):
+        DegradationLadder([])
+    with pytest.raises(ValidationError):
+        DegradationLadder(cooldown_checks=0)
+
+
+# ----------------------------------------------------------------------
+# The mining-impact ledger
+# ----------------------------------------------------------------------
+
+
+def test_ledger_prices_a_downgrade():
+    ledger = MiningImpactLedger()
+    cost = ledger.record(1, "IPLoM", "SLCT")
+    assert cost.detection_delta < 0  # Table III: IPLoM 64% -> SLCT 11%
+    assert cost.false_alarm_delta > 0
+    assert "IPLoM -> SLCT" in cost.describe()
+    assert "ledger" in ledger.describe()
+    assert ledger.total_detection_delta == pytest.approx(cost.detection_delta)
+
+
+def test_ledger_rejects_unknown_parser():
+    with pytest.raises(ValidationError):
+        MiningImpactLedger().estimate_for("NoSuchParser")
+
+
+# ----------------------------------------------------------------------
+# The passthrough rung
+# ----------------------------------------------------------------------
+
+
+def test_passthrough_gives_each_signature_its_own_event():
+    parser = make_parser("passthrough")
+    records = [
+        LogRecord(content="open file a"),
+        LogRecord(content="open file b"),
+        LogRecord(content="open file a"),
+    ]
+    result = parser.parse(records)
+    assert len(result.events) == 2
+    assert result.assignments[0] == result.assignments[2]
+    assert result.assignments[0] != result.assignments[1]
+
+
+# ----------------------------------------------------------------------
+# Engine backpressure (bounded ingest)
+# ----------------------------------------------------------------------
+
+
+def engine_with(overflow: str, **kwargs) -> StreamingParser:
+    return StreamingParser(
+        lambda: make_parser("IPLoM"),
+        flush_size=1000,
+        max_pending=5,
+        overflow=overflow,
+        **kwargs,
+    )
+
+
+def test_backpressure_shed_drops_overflowing_misses():
+    engine = engine_with("shed")
+    results = [engine.feed(record) for record in distinct_records(12)]
+    assert results[:5] == [0, 1, 2, 3, 4]
+    assert results[5:] == [-1] * 7
+    assert engine.counters.shed == 7
+    assert engine.counters.lines == 5
+
+
+def test_backpressure_sample_keeps_a_census():
+    engine = engine_with("sample", overflow_sample_keep=2)
+    results = [engine.feed(record) for record in distinct_records(11)]
+    admitted = [r for r in results if r >= 0]
+    # 5 fill the buffer; of the 6 overflowing, every 2nd is admitted.
+    assert len(admitted) == 8
+    assert engine.counters.shed == 3
+
+
+def test_backpressure_block_flushes_synchronously():
+    engine = engine_with("block")
+    for record in distinct_records(12):
+        assert engine.feed(record) >= 0
+    assert engine.counters.shed == 0
+    assert engine.counters.lines == 12
+    assert engine.counters.flushes >= 1
+
+
+def test_backpressure_validation():
+    with pytest.raises(ParserConfigurationError):
+        engine_with("explode")
+    with pytest.raises(ParserConfigurationError):
+        StreamingParser(lambda: make_parser("IPLoM"), max_pending=0)
+
+
+def test_shed_returns_minus_one_without_corrupting_state():
+    engine = engine_with("shed")
+    for record in distinct_records(8):
+        engine.feed(record)
+    engine.finalize()
+    result = engine.result()
+    assert len(result.assignments) == 5  # only admitted lines retained
+    assert all(a != "PENDING" for a in result.assignments)
+
+
+# ----------------------------------------------------------------------
+# Live reconfiguration
+# ----------------------------------------------------------------------
+
+
+def test_reconfigure_swaps_parser_and_shrinks_cache():
+    engine = StreamingParser(
+        lambda: make_parser("IPLoM"), flush_size=100, cache_capacity=64
+    )
+    for record in distinct_records(10):
+        engine.feed(record)
+    applied = engine.reconfigure(
+        lambda: make_parser("SLCT"), flush_size=50, cache_capacity=8
+    )
+    assert applied["flush_parser"] == "SLCT"
+    assert applied["flush_size"] == (100, 50)
+    assert applied["cache_capacity"] == (64, 8)
+    assert engine.cache.capacity == 8
+
+
+def test_reconfigure_smaller_flush_size_drains_backlog():
+    engine = StreamingParser(lambda: make_parser("IPLoM"), flush_size=1000)
+    for record in distinct_records(20):
+        engine.feed(record)
+    assert engine.pending_count == 20
+    engine.reconfigure(flush_size=10)
+    assert engine.pending_count < 20  # shrinking triggered the flush
+    assert engine.counters.flushes >= 1
+
+
+def test_cache_resize_validation_via_reconfigure():
+    engine = StreamingParser(lambda: make_parser("IPLoM"))
+    with pytest.raises(ParserConfigurationError):
+        engine.reconfigure(cache_capacity=0)
+    with pytest.raises(ParserConfigurationError):
+        engine.reconfigure(overflow="explode")
+
+
+# ----------------------------------------------------------------------
+# DegradedSession: budget checks drive the ladder
+# ----------------------------------------------------------------------
+
+
+def fast_ladder(cooldown: int = 1) -> DegradationLadder:
+    return DegradationLadder(
+        [
+            LadderRung("IPLoM", cache_capacity=64, flush_size=5000),
+            LadderRung("SLCT", cache_capacity=8, flush_size=5000),
+            LadderRung("Passthrough", cache_capacity=4, flush_size=5000),
+        ],
+        cooldown_checks=cooldown,
+    )
+
+
+def test_degraded_session_steps_down_under_soft_pressure():
+    mb = 1024 * 1024
+    budget = ResourceBudget(memory_bytes=BudgetLimit(soft=32 * mb, hard=64 * mb))
+    monitor = BudgetMonitor(
+        budget, memory_probe=ramp_probe([10 * mb, 40 * mb, 40 * mb, 40 * mb])
+    )
+    session = DegradedSession(
+        fast_ladder(cooldown=2), monitor, check_every=10, track_matrix=False
+    )
+    session.consume(distinct_records(60))
+    report = session.finalize()
+    assert report.degraded
+    assert report.events[0].from_rung == "IPLoM"
+    assert report.events[0].to_rung == "SLCT"
+    assert report.events[0].trigger == TRIGGER_SOFT
+    assert report.events[0].breaches and report.events[0].sample is not None
+    assert report.events[0].mining_impact  # non-empty estimate
+    assert report.final_rung in ("SLCT", "Passthrough")
+    assert "degradation" in report.describe()
+
+
+def test_degraded_session_hard_breach_steps_without_cooldown():
+    budget = ResourceBudget(memory_bytes=BudgetLimit(soft=10, hard=20))
+    monitor = BudgetMonitor(budget, memory_probe=ramp_probe([5, 25]))
+    session = DegradedSession(
+        fast_ladder(cooldown=99), monitor, check_every=5, track_matrix=False
+    )
+    session.consume(distinct_records(10))
+    assert [event.trigger for event in session.ladder.events] == [TRIGGER_HARD]
+
+
+def test_degraded_session_raises_when_hard_breach_meets_exhausted_ladder():
+    budget = ResourceBudget(memory_bytes=BudgetLimit(soft=10, hard=20))
+    monitor = BudgetMonitor(budget, memory_probe=lambda: 100.0)
+    ladder = DegradationLadder([LadderRung("Passthrough")])
+    session = DegradedSession(ladder, monitor, check_every=5, track_matrix=False)
+    with pytest.raises(BudgetExceededError) as excinfo:
+        session.consume(distinct_records(10))
+    assert excinfo.value.breaches
+
+
+def test_degraded_session_applies_rung_sampling():
+    budget = ResourceBudget()  # unlimited: stay on the entry rung
+    monitor = BudgetMonitor(budget, memory_probe=lambda: 0.0)
+    ladder = DegradationLadder([LadderRung("Passthrough", sample_keep=2)])
+    session = DegradedSession(ladder, monitor, check_every=100, track_matrix=False)
+    session.consume(distinct_records(10))
+    assert session.sampled_out == 5
+    assert session.engine.counters.lines == 5
+
+
+def test_degraded_session_rejects_bad_check_every():
+    monitor = BudgetMonitor(ResourceBudget(), memory_probe=lambda: 0.0)
+    with pytest.raises(ValidationError):
+        DegradedSession(fast_ladder(), monitor, check_every=0)
+
+
+# ----------------------------------------------------------------------
+# Budgets inside supervised fallback chains
+# ----------------------------------------------------------------------
+
+
+def test_budgeted_parser_raises_on_hard_breach(toy_records):
+    budget = ResourceBudget(memory_bytes=BudgetLimit(soft=10, hard=20))
+    monitor = BudgetMonitor(budget, memory_probe=lambda: 100.0)
+    wrapped = BudgetedParser(make_parser("IPLoM"), monitor)
+    assert wrapped.name == "Budgeted(IPLoM)"
+    with pytest.raises(BudgetExceededError):
+        wrapped.parse(toy_records)
+
+
+def test_supervised_ladder_completes_on_lower_rung():
+    records = generate_hdfs_sessions(8, seed=3).records
+    budget = ResourceBudget(memory_bytes=BudgetLimit(soft=10, hard=50))
+    # Over the hard limit for the first two admission checks (IPLoM and
+    # SLCT), relieved before Passthrough runs.
+    monitor = BudgetMonitor(budget, memory_probe=ramp_probe([100, 100, 1]))
+    supervisor = ParserSupervisor(
+        ladder_chain(fast_ladder(), monitor),
+        retry=RetryPolicy(attempts=3, base_delay=0),
+        sleep=lambda _s: None,
+    )
+    outcome = supervisor.parse(records)
+    assert outcome.parser == "Passthrough"  # the report says which rung won
+    budget_attempts = outcome.report.budget_breached
+    # One budget attempt per breached rung, no retries of a blown budget.
+    assert [a.parser for a in budget_attempts] == ["IPLoM", "SLCT"]
+    assert all(a.status == STATUS_BUDGET for a in budget_attempts)
+
+
+def test_supervised_ladder_exhausts_only_after_every_rung():
+    records = generate_hdfs_sessions(5, seed=3).records
+    budget = ResourceBudget(memory_bytes=BudgetLimit(soft=10, hard=50))
+    monitor = BudgetMonitor(budget, memory_probe=lambda: 100.0)
+    ladder = fast_ladder()
+    supervisor = ParserSupervisor(
+        ladder_chain(ladder, monitor),
+        retry=RetryPolicy(attempts=2, base_delay=0),
+        sleep=lambda _s: None,
+    )
+    with pytest.raises(FallbackExhaustedError) as excinfo:
+        supervisor.parse(records)
+    tried = [attempt.parser for attempt in excinfo.value.report.attempts]
+    # Every rung — passthrough included — was tried before giving up.
+    assert tried == [rung.parser for rung in ladder.rungs]
+
+
+def test_supervisor_budget_status_skips_retries(toy_records):
+    sleeps: list[float] = []
+    budget = ResourceBudget(memory_bytes=BudgetLimit(soft=10, hard=20))
+    monitor = BudgetMonitor(budget, memory_probe=ramp_probe([100, 1]))
+
+    def budgeted_factory():
+        return BudgetedParser(make_parser("IPLoM"), monitor)
+
+    supervisor = ParserSupervisor(
+        [("A", budgeted_factory), ("B", budgeted_factory)],
+        retry=RetryPolicy(attempts=3, base_delay=0.5),
+        sleep=sleeps.append,
+    )
+    outcome = supervisor.parse(toy_records)
+    assert outcome.parser == "B"
+    assert [a.status for a in outcome.report.attempts][0] == STATUS_BUDGET
+    assert sleeps == []  # a blown budget is never retried, so no backoff
+
+
+def test_random_jitter_rng_is_plumbed_through(toy_records):
+    # With an rng and a jittered policy, the supervisor still succeeds
+    # and the jittered delays stay within the policy's bounds.
+    from repro.resilience.faults import FlakyFactory
+
+    sleeps: list[float] = []
+    flaky = FlakyFactory(lambda: make_parser("IPLoM"), fail_times=2)
+    policy = RetryPolicy(attempts=3, base_delay=0.1, backoff=2.0, jitter=0.5)
+    supervisor = ParserSupervisor(
+        [("IPLoM", flaky)],
+        retry=policy,
+        sleep=sleeps.append,
+        rng=Random(42),
+    )
+    supervisor.parse(toy_records)
+    assert len(sleeps) == 2
+    for attempt, actual in enumerate(sleeps, start=1):
+        base = min(policy.max_delay, policy.base_delay * policy.backoff ** (attempt - 1))
+        assert base * 0.5 <= actual <= base * 1.5

@@ -19,6 +19,7 @@ FAST_EXAMPLES = [
     "fig1_overview.py",
     "tagged_logging.py",
     "streaming_parse.py",
+    "degraded_stream.py",
 ]
 
 

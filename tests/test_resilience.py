@@ -313,3 +313,95 @@ def test_quarantine_sink_round_trips_jsonl(tmp_path):
 def test_error_policy_rejects_unknown_mode():
     with pytest.raises(ValidationError):
         ErrorPolicy("explode")
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy jitter bounds
+# ----------------------------------------------------------------------
+
+
+def test_retry_delay_without_rng_stays_deterministic():
+    policy = RetryPolicy(attempts=3, base_delay=0.1, backoff=2.0, jitter=0.5)
+    # No rng -> the jitter declaration is inert; schedules stay exact.
+    assert [policy.delay(n) for n in (1, 2)] == [0.1, 0.2]
+
+
+def test_retry_delay_jitter_stays_within_declared_bounds():
+    from random import Random
+
+    policy = RetryPolicy(
+        attempts=5, base_delay=0.1, backoff=2.0, max_delay=10.0, jitter=0.25
+    )
+    rng = Random(1234)
+    for attempt in (1, 2, 3, 4):
+        base = policy.base_delay * policy.backoff ** (attempt - 1)
+        draws = [policy.delay(attempt, rng) for _ in range(200)]
+        assert all(base * 0.75 <= d <= base * 1.25 for d in draws)
+        # The spread is actually used, not collapsed to the midpoint.
+        assert max(draws) - min(draws) > base * 0.25
+
+
+def test_retry_delay_jitter_never_exceeds_max_delay():
+    from random import Random
+
+    policy = RetryPolicy(
+        attempts=3, base_delay=1.0, backoff=4.0, max_delay=1.5, jitter=0.9
+    )
+    rng = Random(7)
+    draws = [policy.delay(3, rng) for _ in range(200)]
+    assert all(0.0 <= d <= 1.5 for d in draws)
+
+
+def test_retry_policy_rejects_bad_jitter():
+    with pytest.raises(ValidationError):
+        RetryPolicy(jitter=1.0)
+    with pytest.raises(ValidationError):
+        RetryPolicy(jitter=-0.1)
+
+
+# ----------------------------------------------------------------------
+# run_with_deadline grace period and thread accounting
+# ----------------------------------------------------------------------
+
+
+def test_deadline_grace_join_reaps_just_late_workers():
+    import time
+
+    # Finishes ~50ms past the deadline but well inside the 2s grace:
+    # the grace join reaps it and we get the result, not a timeout.
+    result = run_with_deadline(
+        lambda: (time.sleep(0.1), "late-but-fine")[1],
+        timeout=0.05,
+        grace=2.0,
+    )
+    assert result == "late-but-fine"
+
+
+def test_deadline_flags_leaked_thread_when_grace_expires():
+    import time
+
+    with pytest.raises(ParserTimeoutError) as excinfo:
+        run_with_deadline(lambda: time.sleep(5), timeout=0.02, grace=0.02)
+    assert excinfo.value.leaked_thread is True
+    assert "abandoned" in str(excinfo.value)
+
+
+def test_deadline_zero_grace_abandons_immediately():
+    import time
+
+    with pytest.raises(ParserTimeoutError) as excinfo:
+        run_with_deadline(lambda: time.sleep(5), timeout=0.02, grace=0.0)
+    assert excinfo.value.leaked_thread is True
+
+
+def test_supervisor_totals_leaked_threads(toy_records):
+    stall = FlakyFactory(_iplom_factory, fail_times=99, hang_seconds=5.0)
+    supervisor = ParserSupervisor(
+        [("slow", stall), ("IPLoM", _iplom_factory)],
+        timeout=0.05,
+        retry=RetryPolicy(attempts=1),
+    )
+    outcome = supervisor.parse(toy_records)
+    assert outcome.parser == "IPLoM"
+    assert outcome.report.leaked_threads == 1
+    assert "abandoned worker thread" in outcome.report.describe()
