@@ -1,0 +1,80 @@
+"""Streaming-engine throughput benchmark with a machine-readable artifact.
+
+One instrumented HDFS stream through :class:`StreamingParser` produces
+``benchmarks/results/BENCH_stream.json`` — lines/s, cache hit rate,
+and flush-latency quantiles, all read back from the telemetry registry
+(the same source of truth the CLI reports from), so the perf artifact
+and the human summary can never disagree.  CI uploads the JSON so
+throughput is trendable across commits.
+"""
+
+import json
+import os
+
+from repro.datasets import generate_dataset, get_dataset_spec
+from repro.observability import Telemetry, summary_from_registry
+from repro.parsers import make_parser
+from repro.streaming import ParseSession, StreamingParser
+
+from .conftest import RESULTS_DIR, emit
+
+LINES = 50_000
+FLUSH_SIZE = 2_048
+QUANTILES = (0.5, 0.9, 0.99)
+
+
+def _stream_run():
+    telemetry = Telemetry.create(trace_id="bench")
+    dataset = generate_dataset(get_dataset_spec("HDFS"), LINES, seed=1)
+    engine = StreamingParser(
+        lambda: make_parser("SLCT"),
+        flush_size=FLUSH_SIZE,
+        cache_capacity=4096,
+        telemetry=telemetry,
+    )
+    session = ParseSession(engine)
+    session.consume(dataset.records)
+    session.finalize()
+    return telemetry, session
+
+
+def test_bench_stream_throughput(once):
+    telemetry, session = once(_stream_run)
+    metrics = telemetry.metrics
+    lines = metrics.value("repro_stream_lines_total")
+    elapsed = metrics.value("repro_run_elapsed_seconds")
+    exact = metrics.value("repro_cache_hits_total", kind="exact")
+    template = metrics.value("repro_cache_hits_total", kind="template")
+    misses = metrics.value("repro_cache_misses_total")
+    lookups = exact + template + misses
+    flush_hist = metrics.get("repro_stream_flush_seconds")
+    payload = {
+        "benchmark": "stream",
+        "dataset": "HDFS",
+        "parser": "SLCT",
+        "lines": int(lines),
+        "flush_size": FLUSH_SIZE,
+        "elapsed_seconds": round(elapsed, 4),
+        "lines_per_second": round(lines / elapsed) if elapsed > 0 else 0,
+        "cache_hit_rate": round(
+            (exact + template) / lookups if lookups else 0.0, 4
+        ),
+        "flushes": int(metrics.value("repro_stream_flushes_total")),
+        "flush_latency_seconds": {
+            f"p{int(q * 100)}": round(flush_hist.quantile(q), 6)
+            for q in QUANTILES
+        },
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    artifact = os.path.join(RESULTS_DIR, "BENCH_stream.json")
+    with open(artifact, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    emit("BENCH_stream", summary_from_registry(metrics))
+
+    assert payload["lines"] == LINES
+    assert payload["lines_per_second"] > 0
+    assert 0.0 < payload["cache_hit_rate"] <= 1.0
+    # Quantiles are ordered by construction of the bucket CDF.
+    latencies = payload["flush_latency_seconds"]
+    assert latencies["p50"] <= latencies["p90"] <= latencies["p99"]

@@ -17,9 +17,16 @@ is deterministic and instant: you watch a parse start on IPLoM,
 degrade twice, finish on Passthrough, and print the ledger of what
 those downgrades are expected to cost downstream.
 
+The run streams its structured event timeline (every ladder step with
+its budget evidence) to ``degraded_stream.events.jsonl`` and exports
+the metrics registry to ``degraded_stream.metrics.json`` in the
+working directory, so the audit trail is machine-checkable — tests
+read those artifacts instead of scraping this script's stdout.
+
 Run:  python examples/degraded_stream.py
 """
 
+from repro import Telemetry, export_metrics
 from repro.datasets.hdfs import generate_hdfs_sessions
 from repro.degradation import (
     BudgetLimit,
@@ -31,6 +38,9 @@ from repro.degradation import (
 )
 
 MB = 1024 * 1024
+
+METRICS_PATH = "degraded_stream.metrics.json"
+EVENTS_PATH = "degraded_stream.events.jsonl"
 
 
 def scripted_memory_ramp():
@@ -73,9 +83,16 @@ def main() -> None:
     )
     print(ladder.describe())
 
-    # 3. Stream ~2k HDFS session lines, checking the budget every 100.
+    # 3. Stream ~2k HDFS session lines, checking the budget every 100,
+    #    with telemetry attached: breaches and ladder steps land in the
+    #    registry, and the structured timeline streams to disk as JSONL.
+    telemetry = Telemetry.create(
+        trace_id="degraded-stream", events_path=EVENTS_PATH
+    )
     monitor = BudgetMonitor(budget, memory_probe=scripted_memory_ramp())
-    session = DegradedSession(ladder, monitor, check_every=100)
+    session = DegradedSession(
+        ladder, monitor, check_every=100, telemetry=telemetry
+    )
     records = generate_hdfs_sessions(60, seed=7).records
     print(f"\nstreaming {len(records)} HDFS lines under the budget...\n")
     session.consume(records)
@@ -92,6 +109,10 @@ def main() -> None:
         f"final rung {report.final_rung} after "
         f"{len(report.events)} downgrade(s)"
     )
+    export_metrics(telemetry.metrics, METRICS_PATH)
+    telemetry.close()
+    print(f"\n{telemetry.events.describe()}")
+    print(f"telemetry artifacts: {METRICS_PATH}, {EVENTS_PATH}")
 
 
 if __name__ == "__main__":

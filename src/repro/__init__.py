@@ -50,6 +50,16 @@ from repro.mining import (
     detect_anomalies,
     mine_invariants,
 )
+from repro.observability import (
+    EventLog,
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+    export_metrics,
+    render_prometheus,
+    render_run_report,
+    summary_from_registry,
+)
 from repro.parsers import (
     ChunkedParallelParser,
     Iplom,
@@ -90,6 +100,14 @@ __all__ = [
     "compare_deployments",
     "detect_anomalies",
     "mine_invariants",
+    "EventLog",
+    "MetricsRegistry",
+    "Telemetry",
+    "Tracer",
+    "export_metrics",
+    "render_prometheus",
+    "render_run_report",
+    "summary_from_registry",
     "ChunkedParallelParser",
     "Iplom",
     "Lke",

@@ -22,6 +22,16 @@ Subcommands:
   pressure, slow consumer, deadline squeeze) against the
   resource-budgeted degradation runtime and audit the graceful-
   degradation contract.
+* ``report`` — render a human-readable post-mortem from the telemetry
+  artifacts (``--metrics-out`` / ``--trace-out`` / ``--events-out``)
+  a previous run exported.
+
+``stream``, ``supervise``, and ``soak`` all run with the unified
+telemetry layer attached: every summary they print is read back from
+the metrics registry (one source of truth, no private arithmetic),
+and ``--metrics-out`` / ``--trace-out`` / ``--events-out`` export the
+registry (Prometheus text or JSON), the span trace (JSONL or Chrome
+``trace_event``), and the structured event timeline.
 
 ``stream`` additionally accepts resource budgets (``--budget-mem``,
 ``--budget-wall``, ``--budget-queue``): when any is given the run goes
@@ -35,6 +45,7 @@ Exit codes: 0 success, 1 verification failure, 2 configuration error,
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from contextlib import nullcontext
 from functools import partial
@@ -69,6 +80,12 @@ from repro.degradation import (
     run_soak,
 )
 from repro.evaluation import evaluate_accuracy, evaluate_mining_impact
+from repro.observability import (
+    Telemetry,
+    export_metrics,
+    render_run_report,
+    summary_from_registry,
+)
 from repro.evaluation.mining_impact import table3_parser_factory
 from repro.parsers import PARSER_NAMES, default_preprocessor, make_parser
 from repro.resilience import (
@@ -320,6 +337,7 @@ def _add_stream(subparsers) -> None:
         help="records between budget checks under a budget",
     )
     _add_hardening_flags(cmd)
+    _add_telemetry_flags(cmd)
     cmd.add_argument(
         "--checkpoint",
         default=None,
@@ -376,7 +394,9 @@ def _add_hardening_flags(cmd) -> None:
     )
 
 
-def _resolve_policy(args) -> tuple[str | None, "QuarantineSink | None"]:
+def _resolve_policy(
+    args, telemetry=None
+) -> tuple[str | None, "QuarantineSink | None"]:
     """Resolve the hardening flags into (policy mode, sink)."""
     mode = args.error_policy
     if mode is None and (
@@ -385,8 +405,73 @@ def _resolve_policy(args) -> tuple[str | None, "QuarantineSink | None"]:
         mode = "quarantine"
     sink = None
     if mode is not None:
-        sink = QuarantineSink(args.quarantine_path)
+        sink = QuarantineSink(args.quarantine_path, telemetry=telemetry)
     return mode, sink
+
+
+def _add_telemetry_flags(cmd) -> None:
+    """Telemetry-export flags shared by stream/supervise/soak."""
+    cmd.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="export the metrics registry on exit (.json for a JSON "
+        "snapshot with the time-series ring, anything else for "
+        "Prometheus text exposition)",
+    )
+    cmd.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="export the span trace on exit (see --trace-format)",
+    )
+    cmd.add_argument(
+        "--trace-format",
+        choices=["jsonl", "chrome"],
+        default="jsonl",
+        help="trace export format: one JSON span per line, or a Chrome "
+        "trace_event file for chrome://tracing / Perfetto",
+    )
+    cmd.add_argument(
+        "--events-out",
+        default=None,
+        metavar="PATH",
+        help="stream the structured event timeline (quarantine records, "
+        "ladder steps, fallback reports, ...) to this JSONL file",
+    )
+
+
+def _make_telemetry(args, trace_id: str) -> Telemetry:
+    """One telemetry handle per command invocation.
+
+    Always built — the registry is the single source of truth behind
+    every summary line — but files are only written when the export
+    flags ask for them.
+    """
+    return Telemetry.create(
+        trace_id=trace_id, events_path=getattr(args, "events_out", None)
+    )
+
+
+def _export_telemetry(args, telemetry: Telemetry) -> None:
+    """Write whichever artifacts the export flags requested."""
+    telemetry.metrics.snapshot()
+    written = []
+    if args.metrics_out:
+        export_metrics(telemetry.metrics, args.metrics_out)
+        written.append(args.metrics_out)
+    if args.trace_out:
+        telemetry.tracer.export(args.trace_out, fmt=args.trace_format)
+        written.append(args.trace_out)
+    if args.events_out:
+        # The event log appends lazily; an uneventful run should still
+        # leave a (valid, empty) artifact where the flag pointed.
+        if not os.path.exists(args.events_out):
+            open(args.events_out, "w", encoding="utf-8").close()
+        written.append(args.events_out)
+    telemetry.close()
+    if written:
+        print(f"telemetry: wrote {', '.join(written)}")
 
 
 def _add_supervise(subparsers) -> None:
@@ -435,6 +520,7 @@ def _add_supervise(subparsers) -> None:
         help="base backoff delay between retries (seconds)",
     )
     _add_hardening_flags(cmd)
+    _add_telemetry_flags(cmd)
     cmd.add_argument(
         "--fault-parser",
         default=None,
@@ -495,6 +581,32 @@ def _add_soak(subparsers) -> None:
         default=2,
         help="ladder transitions the audit requires",
     )
+    _add_telemetry_flags(cmd)
+
+
+def _add_report(subparsers) -> None:
+    cmd = subparsers.add_parser(
+        "report",
+        help="render a post-mortem from exported telemetry artifacts",
+    )
+    cmd.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="metrics file a run exported with --metrics-out",
+    )
+    cmd.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="JSONL trace a run exported with --trace-out",
+    )
+    cmd.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="event timeline a run exported with --events-out",
+    )
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -513,6 +625,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     _add_stream(subparsers)
     _add_supervise(subparsers)
     _add_soak(subparsers)
+    _add_report(subparsers)
     return parser
 
 
@@ -696,7 +809,8 @@ def _cmd_stream(args) -> int:
         if args.preprocess_dataset
         else None
     )
-    policy_mode, sink = _resolve_policy(args)
+    telemetry = _make_telemetry(args, trace_id="stream")
+    policy_mode, sink = _resolve_policy(args, telemetry=telemetry)
     if args.dataset is not None:
         source = f"dataset:{args.dataset}"
         records = iter_dataset(
@@ -714,23 +828,35 @@ def _cmd_stream(args) -> int:
             records, seed=args.faults, every=args.fault_every
         )
     # The sink is a context manager: flushed and closed even when the
-    # stream dies mid-run, so quarantined records are never lost.
-    with sink if sink is not None else nullcontext():
-        if budgeted:
-            return _run_budgeted_stream(
-                args, preprocessor, policy_mode, sink, records
+    # stream dies mid-run, so quarantined records are never lost — and
+    # the telemetry export in the finally gives a failed run the same
+    # post-mortem artifacts as a clean one.
+    try:
+        with sink if sink is not None else nullcontext():
+            if budgeted:
+                return _run_budgeted_stream(
+                    args, preprocessor, policy_mode, sink, records, telemetry
+                )
+            return _run_plain_stream(
+                args,
+                factory,
+                preprocessor,
+                policy_mode,
+                sink,
+                records,
+                source,
+                telemetry,
             )
-        return _run_plain_stream(
-            args, factory, preprocessor, policy_mode, sink, records, source
-        )
+    finally:
+        _export_telemetry(args, telemetry)
 
 
 def _run_plain_stream(
-    args, factory, preprocessor, policy_mode, sink, records, source
+    args, factory, preprocessor, policy_mode, sink, records, source, telemetry
 ) -> int:
     """The historical ``stream`` path: one parser, optional checkpoints."""
     if args.resume:
-        checkpoint = load_checkpoint(args.checkpoint)
+        checkpoint = load_checkpoint(args.checkpoint, telemetry=telemetry)
         engine = restore_streaming_parser(
             checkpoint,
             factory,
@@ -740,6 +866,7 @@ def _run_plain_stream(
             error_policy=policy_mode,
             quarantine=sink,
             max_record_len=args.max_record_len,
+            telemetry=telemetry,
         )
         skip = checkpoint.records_consumed
     else:
@@ -758,6 +885,7 @@ def _run_plain_stream(
             max_record_len=args.max_record_len,
             max_pending=args.max_pending,
             overflow=args.overflow,
+            telemetry=telemetry,
         )
         skip = 0
     session = ParseSession(engine, track_matrix=args.mine)
@@ -779,9 +907,11 @@ def _run_plain_stream(
                 parser=args.parser,
                 source=source,
                 accumulator=session.accumulator,
+                telemetry=telemetry,
             )
         if args.report_every and consumed % args.report_every == 0:
-            print(session.counters().describe())
+            telemetry.metrics.snapshot()
+            print(summary_from_registry(telemetry.metrics))
     result = session.finalize()
     if args.checkpoint:
         save_checkpoint(
@@ -791,8 +921,9 @@ def _run_plain_stream(
             parser=args.parser,
             source=source,
             accumulator=session.accumulator,
+            telemetry=telemetry,
         )
-    print(session.counters().describe())
+    print(summary_from_registry(telemetry.metrics))
     if sink is not None and len(sink):
         print(sink.describe())
     if args.output_stem and result is not None:
@@ -859,7 +990,7 @@ def _build_stream_ladder(args) -> DegradationLadder:
 
 
 def _run_budgeted_stream(
-    args, preprocessor, policy_mode, sink, records
+    args, preprocessor, policy_mode, sink, records, telemetry
 ) -> int:
     """``stream`` under a resource budget: the degradation runtime."""
     ladder = _build_stream_ladder(args)
@@ -882,11 +1013,13 @@ def _run_budgeted_stream(
         max_record_len=args.max_record_len,
         max_pending=args.max_pending,
         overflow=args.overflow,
+        telemetry=telemetry,
     )
     for index, record in enumerate(records):
         session.feed(record)
         if args.report_every and (index + 1) % args.report_every == 0:
-            print(session.session.counters().describe())
+            telemetry.metrics.snapshot()
+            print(summary_from_registry(telemetry.metrics))
     report = session.finalize()
     print(report.describe())
     if sink is not None and len(sink):
@@ -928,10 +1061,11 @@ def _cmd_supervise(args) -> int:
             file=sys.stderr,
         )
         return 2
-    policy_mode, sink = _resolve_policy(args)
+    telemetry = _make_telemetry(args, trace_id="supervise")
+    policy_mode, sink = _resolve_policy(args, telemetry=telemetry)
     policy_mode = policy_mode or "quarantine"
     if sink is None:
-        sink = QuarantineSink(args.quarantine_path)
+        sink = QuarantineSink(args.quarantine_path, telemetry=telemetry)
     preprocessor = (
         default_preprocessor(args.preprocess_dataset)
         if args.preprocess_dataset
@@ -983,51 +1117,73 @@ def _cmd_supervise(args) -> int:
         retry=RetryPolicy(
             attempts=args.retries, base_delay=args.retry_delay
         ),
+        telemetry=telemetry,
     )
     # Context-managed: the sink flushes and closes even when the whole
-    # chain fails and FallbackExhaustedError propagates.
-    with sink:
-        outcome = supervisor.parse(clean)
-    print(outcome.report.describe())
-    print(
-        f"{outcome.parser}: {len(outcome.result.events)} events from "
-        f"{len(clean)} clean lines ({policy.skipped} rejected)"
-    )
-    print(sink.describe())
-    if args.output_stem:
-        events_path, structured_path = write_parse_result(
-            outcome.result, args.output_stem
+    # chain fails and FallbackExhaustedError propagates — and the
+    # telemetry export in the finally captures the failed attempts too.
+    try:
+        with sink:
+            outcome = supervisor.parse(clean)
+        print(outcome.report.describe())
+        print(
+            f"{outcome.parser}: {len(outcome.result.events)} events from "
+            f"{len(clean)} clean lines ({policy.skipped} rejected)"
         )
-        print(f"wrote {events_path}, {structured_path}")
-    if args.verify:
-        batch_parser = make_parser(
-            outcome.parser,
-            preprocessor=preprocessor,
-            **_parser_params(outcome.parser, args),
-        )
-        report = diff_results(
-            batch_parser.name,
-            batch_parser.parse(clean),
-            outcome.result,
-        )
-        print(report.describe())
-        if not report.equivalent:
-            return 1
-    return 0
+        print(sink.describe())
+        if args.output_stem:
+            events_path, structured_path = write_parse_result(
+                outcome.result, args.output_stem
+            )
+            print(f"wrote {events_path}, {structured_path}")
+        if args.verify:
+            batch_parser = make_parser(
+                outcome.parser,
+                preprocessor=preprocessor,
+                **_parser_params(outcome.parser, args),
+            )
+            report = diff_results(
+                batch_parser.name,
+                batch_parser.parse(clean),
+                outcome.result,
+            )
+            print(report.describe())
+            if not report.equivalent:
+                return 1
+        return 0
+    finally:
+        _export_telemetry(args, telemetry)
 
 
 def _cmd_soak(args) -> int:
-    report = run_soak(
-        SoakScenario(
-            kind=args.scenario,
-            seed=args.seed,
-            n_blocks=args.blocks,
-            check_every=args.check_every,
-            min_transitions=args.min_transitions,
+    telemetry = _make_telemetry(args, trace_id="soak")
+    try:
+        report = run_soak(
+            SoakScenario(
+                kind=args.scenario,
+                seed=args.seed,
+                n_blocks=args.blocks,
+                check_every=args.check_every,
+                min_transitions=args.min_transitions,
+            ),
+            telemetry=telemetry,
         )
-    )
+    finally:
+        _export_telemetry(args, telemetry)
     print(report.describe())
     return 0 if report.ok else 1
+
+
+def _cmd_report(args) -> int:
+    print(
+        render_run_report(
+            metrics_path=args.metrics,
+            trace_path=args.trace,
+            events_path=args.events,
+        ),
+        end="",
+    )
+    return 0
 
 
 _COMMANDS = {
@@ -1040,6 +1196,7 @@ _COMMANDS = {
     "stream": _cmd_stream,
     "supervise": _cmd_supervise,
     "soak": _cmd_soak,
+    "report": _cmd_report,
 }
 
 

@@ -140,6 +140,15 @@ class DegradationEvent:
             "mining_impact": self.mining_impact,
         }
 
+    def to_record(self) -> dict:
+        """Structured-event-log shape (common ``kind`` envelope).
+
+        The same contract as ``FailureReport.to_record`` and
+        ``QuarantineRecord.to_record``, so ladder steps interleave with
+        fallback reports and quarantined records in one timeline.
+        """
+        return {"kind": "ladder_step", **self.to_dict()}
+
     def describe(self) -> str:
         evidence = (
             "; ".join(breach.describe() for breach in self.breaches)

@@ -97,6 +97,14 @@ class DegradedSession:
             ``retain``, ``error_policy``, ``quarantine``,
             ``preprocessor``, ``max_pending``, ``overflow``).
         track_matrix: maintain the live session-by-event matrix.
+        telemetry: optional
+            :class:`~repro.observability.telemetry.Telemetry` handle,
+            threaded into the engine (and from there the cache and any
+            parallel flush backend).  Budget breaches are counted by
+            dimension and level, ladder steps by trigger, the current
+            rung index is exported as a gauge, and every
+            :class:`DegradationEvent` lands on the event timeline plus
+            a ``rung_change`` instant marker in the trace.
     """
 
     def __init__(
@@ -109,6 +117,7 @@ class DegradedSession:
         track_matrix: bool = True,
         error_policy: ErrorPolicy | str | None = None,
         quarantine: QuarantineSink | None = None,
+        telemetry=None,
         **engine_kwargs,
     ) -> None:
         self.ladder = ladder
@@ -119,6 +128,7 @@ class DegradedSession:
                 f"check_every must be >= 1, got {check_every}"
             )
         self.check_every = check_every
+        self.telemetry = telemetry
         rung = ladder.current
         self.engine = StreamingParser(
             rung.build_parser,
@@ -126,6 +136,7 @@ class DegradedSession:
             flush_size=rung.flush_size,
             error_policy=error_policy,
             quarantine=quarantine,
+            telemetry=telemetry,
             **engine_kwargs,
         )
         self.session = ParseSession(self.engine, track_matrix=track_matrix)
@@ -133,6 +144,13 @@ class DegradedSession:
         self.sampled_out = 0
         self._fed = 0
         self._finalized: ParseResult | None = None
+        if telemetry is not None:
+            telemetry.metrics.register_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> None:
+        self.telemetry.metrics.get("repro_ladder_position").set(
+            self.ladder.position
+        )
 
     # ------------------------------------------------------------------
 
@@ -171,6 +189,12 @@ class DegradedSession:
             cache_entries=len(self.engine.cache),
             queue_depth=self.engine.pending_count,
         )
+        if self.telemetry is not None:
+            family = self.telemetry.metrics.get("repro_budget_breaches_total")
+            for breach in breaches:
+                family.labels(
+                    dimension=breach.dimension, level=breach.level
+                ).inc()
         if not breaches:
             self.ladder.note_check(False)
             return []
@@ -209,7 +233,7 @@ class DegradedSession:
                 from_rung.sample_keep,
                 to_rung.sample_keep,
             )
-        return self.ladder.step_down(
+        event = self.ladder.step_down(
             trigger=trigger,
             at_line=self.engine.counters.lines,
             sample=sample,
@@ -217,6 +241,19 @@ class DegradedSession:
             actions=actions,
             mining_impact=cost.describe(),
         )
+        if self.telemetry is not None:
+            self.telemetry.metrics.get("repro_ladder_steps_total").labels(
+                trigger=trigger
+            ).inc()
+            self.telemetry.events.record(event)
+            self.telemetry.tracer.instant(
+                "rung_change",
+                from_rung=event.from_rung,
+                to_rung=event.to_rung,
+                trigger=trigger,
+                at_line=event.at_line,
+            )
+        return event
 
     # ------------------------------------------------------------------
 

@@ -143,11 +143,16 @@ def _scripted_clock(seed: int):
 
 def build_session(
     scenario: SoakScenario,
+    telemetry=None,
 ) -> tuple[list, DegradedSession, QuarantineSink]:
-    """Materialize a scenario: records + budgeted session + sink."""
+    """Materialize a scenario: records + budgeted session + sink.
+
+    With *telemetry*, the sink and session report into its registry,
+    trace, and event timeline like any other instrumented run.
+    """
     dataset = generate_hdfs_sessions(scenario.n_blocks, seed=scenario.seed)
     ladder = soak_ladder(scenario.cooldown_checks)
-    sink = QuarantineSink()
+    sink = QuarantineSink(telemetry=telemetry)
     mb = 1024 * 1024
     if scenario.kind == KIND_MEMORY:
         budget = ResourceBudget(
@@ -182,6 +187,7 @@ def build_session(
         check_every=scenario.check_every,
         error_policy="quarantine",
         quarantine=sink,
+        telemetry=telemetry,
     )
     return list(dataset.records), session, sink
 
@@ -289,9 +295,9 @@ def _audit(
     return violations
 
 
-def run_soak(scenario: SoakScenario) -> SoakReport:
+def run_soak(scenario: SoakScenario, telemetry=None) -> SoakReport:
     """Replay *scenario* end to end and audit the outcome."""
-    records, session, sink = build_session(scenario)
+    records, session, sink = build_session(scenario, telemetry=telemetry)
     session.consume(records)
     report = session.finalize()
     quarantined = len(sink.records)

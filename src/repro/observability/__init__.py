@@ -1,0 +1,63 @@
+"""Unified telemetry: metrics registry, pipeline tracing, run reports.
+
+The cross-cutting measurement layer of ISSUE 4.  See DESIGN.md §8 for
+the observability model (metric naming scheme, span taxonomy, exporter
+formats).
+"""
+
+from repro.observability.events import EventLog, load_events
+from repro.observability.exporters import (
+    export_metrics,
+    parse_prometheus,
+    render_json_snapshot,
+    render_prometheus,
+)
+from repro.observability.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.observability.report import (
+    format_stream_summary,
+    render_run_report,
+    summary_from_registry,
+)
+from repro.observability.telemetry import Telemetry
+from repro.observability.tracing import (
+    SPAN_CHUNK,
+    SPAN_PARSE_RUN,
+    SPAN_PARSER_CALL,
+    Span,
+    Tracer,
+    load_jsonl_spans,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "SPAN_CHUNK",
+    "SPAN_PARSE_RUN",
+    "SPAN_PARSER_CALL",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "export_metrics",
+    "format_stream_summary",
+    "load_events",
+    "load_jsonl_spans",
+    "parse_prometheus",
+    "render_json_snapshot",
+    "render_prometheus",
+    "render_run_report",
+    "summary_from_registry",
+]

@@ -1,0 +1,125 @@
+"""A structured event log: one interleaved timeline per run.
+
+Quarantine records, degradation ladder steps, fallback attempts,
+checkpoint saves — before this layer each subsystem kept its own audit
+trail in its own shape.  :class:`EventLog` gives them one append-only
+sequence of dicts with a shared envelope::
+
+    {"seq": 12, "t": 3.81, "kind": "ladder_step", ...payload}
+
+Any object exposing ``to_record() -> dict`` (``DegradationEvent``,
+``FailureReport``, ``QuarantineRecord``) can be emitted directly with
+:meth:`EventLog.record`; ad-hoc events go through :meth:`EventLog.emit`.
+The log persists as JSONL so the ``report`` subcommand — or plain
+``grep`` — can reconstruct what happened in order.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections.abc import Callable
+
+from repro.common.errors import ValidationError
+
+
+class EventLog:
+    """Append-only, sequence-numbered timeline of structured events.
+
+    Args:
+        clock: relative-seconds time source (injectable for tests).
+            Timestamps are seconds since the log's creation.
+        path: optional JSONL file; events are appended as they arrive
+            so a crashed run still leaves its timeline behind.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.monotonic,
+        path: str | None = None,
+    ) -> None:
+        self._clock = clock
+        self._epoch = clock()
+        self._path = path
+        self._handle = None
+        self._seq = 0
+        self.events: list[dict] = []
+
+    def emit(self, kind: str, **fields) -> dict:
+        """Append one event; returns the enveloped dict."""
+        if not kind:
+            raise ValidationError("event kind must be non-empty")
+        for reserved in ("seq", "t", "kind"):
+            if reserved in fields:
+                raise ValidationError(
+                    f"field {reserved!r} is part of the event envelope"
+                )
+        self._seq += 1
+        event = {
+            "seq": self._seq,
+            "t": round(self._clock() - self._epoch, 6),
+            "kind": kind,
+        }
+        event.update(fields)
+        self.events.append(event)
+        self._persist(event)
+        return event
+
+    def record(self, obj) -> dict:
+        """Emit an object carrying its own ``to_record()`` shape.
+
+        The record must provide a ``kind`` key — that is the common
+        contract ``DegradationEvent.to_record()`` and
+        ``FailureReport.to_record()`` satisfy.
+        """
+        payload = obj.to_record()
+        kind = payload.pop("kind", None)
+        if kind is None:
+            raise ValidationError(
+                f"{type(obj).__name__}.to_record() must include 'kind'"
+            )
+        return self.emit(kind, **payload)
+
+    def _persist(self, event: dict) -> None:
+        if self._path is None:
+            return
+        if self._handle is None:
+            self._handle = open(self._path, "a", encoding="utf-8")
+        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def of_kind(self, kind: str) -> list[dict]:
+        return [event for event in self.events if event["kind"] == kind]
+
+    def describe(self) -> str:
+        if not self.events:
+            return "event log: empty"
+        kinds: dict[str, int] = {}
+        for event in self.events:
+            kinds[event["kind"]] = kinds.get(event["kind"], 0) + 1
+        parts = ", ".join(
+            f"{count} {kind}" for kind, count in sorted(kinds.items())
+        )
+        return f"event log: {len(self.events)} events ({parts})"
+
+
+def load_events(path: str) -> list[dict]:
+    """Read back a JSONL event log (used by ``repro report``)."""
+    events = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

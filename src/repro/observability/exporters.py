@@ -1,0 +1,189 @@
+"""Registry exporters: Prometheus text exposition and JSON snapshot.
+
+``render_prometheus`` emits the standard text format (``# HELP`` /
+``# TYPE`` headers, ``_bucket{le=...}`` / ``_sum`` / ``_count``
+histogram series) so the artifact drops straight into any Prometheus
+tooling.  ``parse_prometheus`` is the matching strict reader — CI's
+telemetry smoke job round-trips the exposition through it to prove the
+artifact is well-formed, and tests use it for exact sample assertions.
+``render_json_snapshot`` is the machine-readable run artifact: flat
+samples plus the in-memory ring-buffer time series.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+
+from repro.common.errors import ValidationError
+from repro.observability.metrics import (
+    Histogram,
+    MetricsRegistry,
+    _format_value,
+    _label_suffix,
+)
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition format."""
+    registry.collect()
+    lines: list[str] = []
+    for family in registry.families():
+        lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for key, child in sorted(family.children()):
+            suffix = _label_suffix(family.labelnames, key)
+            if isinstance(child, Histogram):
+                for bound, cumulative in child.cumulative():
+                    le = "+Inf" if math.isinf(bound) else _format_value(bound)
+                    bucket_suffix = _label_suffix(
+                        family.labelnames + ("le",), key + (le,)
+                    )
+                    lines.append(
+                        f"{family.name}_bucket{bucket_suffix} {cumulative}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{suffix} {_format_value(child.sum)}"
+                )
+                lines.append(f"{family.name}_count{suffix} {child.count}")
+            else:
+                lines.append(
+                    f"{family.name}{suffix} {_format_value(child.value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict:
+    """Strictly parse a text exposition back into structured form.
+
+    Returns ``{"types": {name: kind}, "help": {name: text},
+    "samples": {sample_string: value}}`` where ``sample_string`` is the
+    raw ``name{labels}`` form.  Raises :class:`ValidationError` on any
+    malformed line, unknown sample prefix, or histogram whose bucket
+    counts are not monotonically non-decreasing — this is the CI
+    validity check for the exported artifact.
+    """
+    types: dict[str, str] = {}
+    help_texts: dict[str, str] = {}
+    samples: dict[str, float] = {}
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP "):]
+            name, _, help_text = rest.partition(" ")
+            help_texts[name] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            rest = line[len("# TYPE "):]
+            name, _, kind = rest.partition(" ")
+            if kind not in ("counter", "gauge", "histogram"):
+                raise ValidationError(
+                    f"line {line_no}: unknown metric type {kind!r}"
+                )
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            raise ValidationError(
+                f"line {line_no}: unknown comment directive: {line!r}"
+            )
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValidationError(f"line {line_no}: malformed sample: {line!r}")
+        name = match.group("name")
+        labels_text = match.group("labels")
+        if labels_text:
+            consumed = _LABEL_PAIR_RE.sub("", labels_text).replace(",", "")
+            if consumed.strip():
+                raise ValidationError(
+                    f"line {line_no}: malformed labels: {{{labels_text}}}"
+                )
+        try:
+            value = float(match.group("value"))
+        except ValueError as exc:
+            raise ValidationError(
+                f"line {line_no}: non-numeric value: {line!r}"
+            ) from exc
+        base = _base_name(name)
+        if base not in types:
+            raise ValidationError(
+                f"line {line_no}: sample {name!r} has no # TYPE header"
+            )
+        key = f"{name}{{{labels_text}}}" if labels_text else name
+        samples[key] = value
+    _check_histograms(types, samples)
+    return {"types": types, "help": help_texts, "samples": samples}
+
+
+def _base_name(sample_name: str) -> str:
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            trimmed = sample_name[: -len(suffix)]
+            if trimmed:
+                return trimmed
+    return sample_name
+
+
+def _check_histograms(types: dict[str, str], samples: dict[str, float]) -> None:
+    """Bucket counts must be cumulative and capped by ``_count``."""
+    for name, kind in types.items():
+        if kind != "histogram":
+            continue
+        by_series: dict[str, list[tuple[float, float]]] = {}
+        prefix = f"{name}_bucket"
+        for sample, value in samples.items():
+            if not sample.startswith(prefix):
+                continue
+            labels_text = sample[len(prefix):].strip("{}")
+            pairs = dict(
+                (m.group("name"), m.group("value"))
+                for m in _LABEL_PAIR_RE.finditer(labels_text)
+            )
+            le_text = pairs.pop("le", None)
+            if le_text is None:
+                raise ValidationError(f"bucket sample missing le: {sample}")
+            le = math.inf if le_text == "+Inf" else float(le_text)
+            series_key = json.dumps(sorted(pairs.items()))
+            by_series.setdefault(series_key, []).append((le, value))
+        for series_key, buckets in by_series.items():
+            buckets.sort(key=lambda pair: pair[0])
+            counts = [count for _, count in buckets]
+            if any(b < a for a, b in zip(counts, counts[1:])):
+                raise ValidationError(
+                    f"histogram {name} buckets not cumulative: {counts}"
+                )
+            if not buckets or not math.isinf(buckets[-1][0]):
+                raise ValidationError(
+                    f"histogram {name} is missing its +Inf bucket"
+                )
+
+
+def render_json_snapshot(registry: MetricsRegistry) -> str:
+    """Flat samples plus the retained time-series ring, as JSON."""
+    snapshot = {
+        "samples": registry.samples(),
+        "series": registry.ring(),
+    }
+    return json.dumps(snapshot, indent=2, sort_keys=True)
+
+
+def export_metrics(registry: MetricsRegistry, path: str) -> None:
+    """Write the registry to ``path``; ``.json`` selects the JSON
+    snapshot, anything else the Prometheus exposition."""
+    if path.endswith(".json"):
+        text = render_json_snapshot(registry)
+    else:
+        text = render_prometheus(registry)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)

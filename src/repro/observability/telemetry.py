@@ -1,0 +1,171 @@
+"""The `Telemetry` facade: one handle threaded through the runtime.
+
+Every instrumented constructor takes ``telemetry=None``; the default
+keeps the uninstrumented fast path at a single ``is None`` guard (the
+< 3 % regression budget of ISSUE 4).  When a run wants measurement it
+builds one :class:`Telemetry` and passes it everywhere — the CLI does
+this for ``stream`` / ``supervise`` / ``soak``:
+
+    telemetry = Telemetry.create()
+    parser = StreamingParser(factory, telemetry=telemetry)
+    ...
+    export_metrics(telemetry.metrics, "run.prom")
+    telemetry.tracer.export("run.jsonl")
+
+The facade also pre-registers the runtime's metric schema (see
+DESIGN.md §8 for the naming scheme) so exporters always emit the full
+family list with ``# HELP`` text, even for families that never fired.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+from repro.observability.events import EventLog
+from repro.observability.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    MetricsRegistry,
+)
+from repro.observability.tracing import Tracer
+
+
+class Telemetry:
+    """Bundles the three telemetry surfaces of one run."""
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        tracer: Tracer,
+        events: EventLog,
+    ) -> None:
+        self.metrics = metrics
+        self.tracer = tracer
+        self.events = events
+        _register_schema(metrics)
+
+    @classmethod
+    def create(
+        cls,
+        trace_id: str = "run",
+        clock: Callable[[], float] = time.monotonic,
+        clock_us: Callable[[], int] | None = None,
+        events_path: str | None = None,
+    ) -> "Telemetry":
+        """A fully-wired telemetry handle with shared defaults."""
+        tracer = (
+            Tracer(trace_id=trace_id)
+            if clock_us is None
+            else Tracer(trace_id=trace_id, clock_us=clock_us)
+        )
+        return cls(
+            metrics=MetricsRegistry(clock=clock),
+            tracer=tracer,
+            events=EventLog(clock=clock, path=events_path),
+        )
+
+    def close(self) -> None:
+        self.events.close()
+
+
+def _register_schema(metrics: MetricsRegistry) -> None:
+    """Declare the runtime's metric families up front.
+
+    Registration is idempotent (same kind + labels returns the
+    existing family), so instrumented components may re-declare the
+    families they touch without conflict.
+    """
+    # Streaming engine ---------------------------------------------------
+    metrics.counter(
+        "repro_stream_lines_total", "Records accepted by the engine"
+    )
+    metrics.counter(
+        "repro_stream_flushes_total", "Pending-buffer flushes (chunks parsed)"
+    )
+    metrics.counter(
+        "repro_stream_outliers_total", "Lines the flush parser left unmatched"
+    )
+    metrics.counter(
+        "repro_stream_rejected_total", "Records rejected by screening"
+    )
+    metrics.counter(
+        "repro_stream_shed_total", "Records dropped by overflow backpressure"
+    )
+    metrics.gauge("repro_stream_events", "Distinct event templates discovered")
+    metrics.gauge("repro_stream_pending", "Records buffered awaiting a flush")
+    metrics.histogram(
+        "repro_stream_flush_seconds",
+        "Per-chunk flush latency",
+        buckets=DEFAULT_LATENCY_BUCKETS,
+    )
+    metrics.histogram(
+        "repro_stream_flush_size_records",
+        "Records handed to the flush parser per chunk",
+        buckets=DEFAULT_SIZE_BUCKETS,
+    )
+    metrics.gauge(
+        "repro_run_elapsed_seconds", "Wall-clock duration of the session"
+    )
+    # Template cache -----------------------------------------------------
+    metrics.counter(
+        "repro_cache_hits_total",
+        "Cache hits by kind (exact memo vs template probe)",
+        labelnames=("kind",),
+    )
+    metrics.counter("repro_cache_misses_total", "Cache misses")
+    metrics.counter("repro_cache_evictions_total", "LRU template evictions")
+    metrics.counter(
+        "repro_cache_resizes_total", "Live capacity changes", ("direction",)
+    )
+    # Resilience ---------------------------------------------------------
+    metrics.counter(
+        "repro_quarantine_records_total",
+        "Records quarantined, by reason",
+        labelnames=("reason",),
+    )
+    metrics.counter(
+        "repro_checkpoint_ops_total",
+        "Checkpoint saves and loads",
+        labelnames=("op",),
+    )
+    metrics.histogram(
+        "repro_checkpoint_seconds",
+        "Checkpoint save/load latency",
+        labelnames=("op",),
+        buckets=DEFAULT_LATENCY_BUCKETS,
+    )
+    metrics.counter(
+        "repro_supervisor_attempts_total",
+        "Supervised parser attempts by outcome",
+        labelnames=("parser", "status"),
+    )
+    metrics.counter(
+        "repro_supervisor_retries_total",
+        "Retries scheduled after failed attempts",
+        labelnames=("parser",),
+    )
+    metrics.counter(
+        "repro_breaker_transitions_total",
+        "Circuit-breaker state entries",
+        labelnames=("parser", "state"),
+    )
+    metrics.counter(
+        "repro_parallel_chunk_attempts_total",
+        "Parallel chunk dispatches by outcome",
+        labelnames=("status",),
+    )
+    # Degradation --------------------------------------------------------
+    metrics.counter(
+        "repro_budget_breaches_total",
+        "Budget breaches observed",
+        labelnames=("dimension", "level"),
+    )
+    metrics.counter(
+        "repro_ladder_steps_total",
+        "Degradation ladder steps by trigger",
+        labelnames=("trigger",),
+    )
+    metrics.gauge(
+        "repro_ladder_position", "Current ladder rung index (0 = top)"
+    )

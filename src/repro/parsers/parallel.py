@@ -32,6 +32,7 @@ from collections.abc import Callable, Sequence
 
 from repro.common.errors import ParserConfigurationError, WorkerCrashError
 from repro.common.types import EventTemplate, LogRecord, ParseResult
+from repro.observability.tracing import SPAN_PARSER_CALL, Tracer
 from repro.parsers.base import LogParser
 
 #: A zero-argument callable building a fresh parser (must be picklable
@@ -65,6 +66,48 @@ def _parse_chunk(
     if fault is not None and fault.should_fire(chunk_index, attempt, in_process):
         fault.fire(chunk_index, attempt)
     return factory().parse(records)
+
+
+def _parse_chunk_traced(
+    factory: ParserFactory,
+    records: list[LogRecord],
+    chunk_index: int,
+    attempt: int,
+    fault,
+    in_process: bool,
+    trace_context: dict,
+) -> tuple[ParseResult, list[dict]]:
+    """Worker-side traced chunk parse: spans cross the process boundary.
+
+    The worker builds a throwaway tracer from the parent's serialized
+    context (same trace id, parent span id, collision-free id prefix),
+    times the actual ``parser_call`` where it runs, and ships the
+    finished spans home as plain dicts alongside the result — the
+    parent :meth:`~repro.observability.tracing.Tracer.adopt`\\ s them.
+    Must stay module-level (picklable) like :func:`_parse_chunk`.
+    """
+    tracer = Tracer.from_worker_context(trace_context)
+    parser = factory()
+    span = tracer.start_root(
+        SPAN_PARSER_CALL,
+        parser=getattr(parser, "name", type(parser).__name__),
+        chunk=chunk_index,
+        attempt=attempt,
+        records=len(records),
+    )
+    try:
+        if fault is not None and fault.should_fire(
+            chunk_index, attempt, in_process
+        ):
+            fault.fire(chunk_index, attempt)
+        result = parser.parse(records)
+    except BaseException as error:
+        span.attrs["status"] = "error"
+        span.attrs["error"] = type(error).__name__
+        tracer.finish(span)
+        raise
+    tracer.finish(span)
+    return result, tracer.serialize()
 
 
 @dataclass(frozen=True)
@@ -140,6 +183,12 @@ class ChunkedParallelParser(LogParser):
             n-th failed wave is ``min(backoff_max, backoff_base *
             2**(n-1))`` seconds.
         sleep: injectable sleep for tests.
+        telemetry: optional
+            :class:`~repro.observability.telemetry.Telemetry` handle.
+            When set, every chunk dispatch is counted by outcome and
+            every chunk parse gets a ``parser_call`` span — recorded
+            worker-side and serialized back across the process
+            boundary for pool dispatches, locally for in-process ones.
     """
 
     name = "Chunked"
@@ -156,6 +205,7 @@ class ChunkedParallelParser(LogParser):
         backoff_base: float = 0.05,
         backoff_max: float = 2.0,
         sleep: Callable[[float], None] = time.sleep,
+        telemetry=None,
     ) -> None:
         super().__init__(preprocessor=None)
         if chunk_size < 1:
@@ -183,8 +233,20 @@ class ChunkedParallelParser(LogParser):
         self.backoff_base = backoff_base
         self.backoff_max = backoff_max
         self._sleep = sleep
+        self.telemetry = telemetry
+        #: Monotonic dispatch counter — worker tracer id prefixes are
+        #: derived from it so span ids never collide across flushes.
+        self._dispatches = 0
         #: Recovery report of the most recent :meth:`parse` call.
         self.last_recovery: ChunkRecoveryReport | None = None
+
+    def _record_attempt(self, report: ChunkRecoveryReport, attempt: ChunkAttempt) -> None:
+        """Append to the recovery report and count the outcome."""
+        report.attempts.append(attempt)
+        if self.telemetry is not None:
+            self.telemetry.metrics.get(
+                "repro_parallel_chunk_attempts_total"
+            ).labels(status=attempt.status).inc()
 
     def parse(self, records: Sequence[LogRecord]) -> ParseResult:
         records = list(records)
@@ -242,31 +304,47 @@ class ChunkedParallelParser(LogParser):
         failed = []
         for index in ordered:
             try:
-                results[index] = _parse_chunk(
-                    self.factory,
-                    chunks[index],
-                    index,
-                    attempts[index],
-                    self.fault,
-                    True,
+                results[index] = self._parse_in_process(
+                    chunks[index], index, attempts[index]
                 )
             except Exception as error:  # noqa: BLE001 - retried
                 failed.append(index)
-                report.attempts.append(
+                self._record_attempt(
+                    report,
                     ChunkAttempt(
                         chunk=index,
                         attempt=attempts[index],
                         status=CHUNK_ERROR,
                         error=f"{type(error).__name__}: {error}",
-                    )
+                    ),
                 )
             else:
-                report.attempts.append(
+                self._record_attempt(
+                    report,
                     ChunkAttempt(
                         chunk=index, attempt=attempts[index], status=CHUNK_OK
-                    )
+                    ),
                 )
         return failed
+
+    def _parse_in_process(
+        self, chunk: list[LogRecord], index: int, attempt: int
+    ) -> ParseResult:
+        """One in-process chunk parse, with a local span when traced."""
+        if self.telemetry is None:
+            return _parse_chunk(
+                self.factory, chunk, index, attempt, self.fault, True
+            )
+        with self.telemetry.tracer.span(
+            SPAN_PARSER_CALL,
+            chunk=index,
+            attempt=attempt,
+            records=len(chunk),
+            in_process=True,
+        ):
+            return _parse_chunk(
+                self.factory, chunk, index, attempt, self.fault, True
+            )
 
     def _run_wave_in_pool(
         self, ordered, chunks, attempts, results, report
@@ -281,28 +359,50 @@ class ChunkedParallelParser(LogParser):
         abandons an overrunning thread.
         """
         failed = []
+        traced = self.telemetry is not None
         pool = ProcessPoolExecutor(max_workers=self.workers)
         try:
-            futures = {
-                index: pool.submit(
-                    _parse_chunk,
-                    self.factory,
-                    chunks[index],
-                    index,
-                    attempts[index],
-                    self.fault,
-                    False,
-                )
-                for index in ordered
-            }
+            futures = {}
+            for index in ordered:
+                if traced:
+                    self._dispatches += 1
+                    context = self.telemetry.tracer.worker_context(
+                        prefix=f"w{self._dispatches}-"
+                    )
+                    futures[index] = pool.submit(
+                        _parse_chunk_traced,
+                        self.factory,
+                        chunks[index],
+                        index,
+                        attempts[index],
+                        self.fault,
+                        False,
+                        context,
+                    )
+                else:
+                    futures[index] = pool.submit(
+                        _parse_chunk,
+                        self.factory,
+                        chunks[index],
+                        index,
+                        attempts[index],
+                        self.fault,
+                        False,
+                    )
             for index in ordered:
                 try:
-                    results[index] = futures[index].result(
+                    outcome = futures[index].result(
                         timeout=self.chunk_timeout
                     )
+                    if traced:
+                        results[index], worker_spans = outcome
+                        self.telemetry.tracer.adopt(worker_spans)
+                    else:
+                        results[index] = outcome
                 except FuturesTimeoutError:
                     failed.append(index)
-                    report.attempts.append(
+                    self._record_attempt(
+                        report,
                         ChunkAttempt(
                             chunk=index,
                             attempt=attempts[index],
@@ -311,25 +411,27 @@ class ChunkedParallelParser(LogParser):
                                 f"no result within {self.chunk_timeout}s; "
                                 "worker abandoned"
                             ),
-                        )
+                        ),
                     )
                 except Exception as error:  # noqa: BLE001 - retried
                     failed.append(index)
-                    report.attempts.append(
+                    self._record_attempt(
+                        report,
                         ChunkAttempt(
                             chunk=index,
                             attempt=attempts[index],
                             status=CHUNK_ERROR,
                             error=f"{type(error).__name__}: {error}",
-                        )
+                        ),
                     )
                 else:
-                    report.attempts.append(
+                    self._record_attempt(
+                        report,
                         ChunkAttempt(
                             chunk=index,
                             attempt=attempts[index],
                             status=CHUNK_OK,
-                        )
+                        ),
                     )
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
@@ -346,31 +448,28 @@ class ChunkedParallelParser(LogParser):
         """
         attempts[index] += 1
         try:
-            results[index] = _parse_chunk(
-                self.factory,
-                chunks[index],
-                index,
-                attempts[index],
-                self.fault,
-                True,
+            results[index] = self._parse_in_process(
+                chunks[index], index, attempts[index]
             )
         except Exception as error:  # noqa: BLE001 - rethrown
-            report.attempts.append(
+            self._record_attempt(
+                report,
                 ChunkAttempt(
                     chunk=index,
                     attempt=attempts[index],
                     status=CHUNK_ERROR,
                     error=f"{type(error).__name__}: {error}",
-                )
+                ),
             )
             raise WorkerCrashError(
                 f"chunk {index} failed its in-process fallback after "
                 f"{attempts[index]} attempts:\n{report.describe()}"
             ) from error
-        report.attempts.append(
+        self._record_attempt(
+            report,
             ChunkAttempt(
                 chunk=index, attempt=attempts[index], status=CHUNK_FALLBACK
-            )
+            ),
         )
 
     @staticmethod

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -75,6 +76,19 @@ class StreamCheckpoint:
         }
 
 
+def _note_checkpoint_op(
+    telemetry, op: str, path: str, seconds: float, **fields
+) -> None:
+    """Count one checkpoint save/load and put it on the timeline."""
+    telemetry.metrics.get("repro_checkpoint_ops_total").labels(op=op).inc()
+    telemetry.metrics.get("repro_checkpoint_seconds").labels(op=op).observe(
+        seconds
+    )
+    telemetry.events.emit(
+        "checkpoint", op=op, path=path, seconds=round(seconds, 6), **fields
+    )
+
+
 def save_checkpoint(
     path: str,
     engine: "StreamingParser",
@@ -83,11 +97,15 @@ def save_checkpoint(
     parser: str | None = None,
     source: str | None = None,
     accumulator: "EventMatrixAccumulator | None" = None,
+    telemetry=None,
 ) -> StreamCheckpoint:
     """Snapshot *engine* (and optional accumulator) to *path* atomically.
 
     Returns the in-memory :class:`StreamCheckpoint` that was written.
+    With *telemetry*, the save is counted, its latency observed, and a
+    ``checkpoint`` event lands on the timeline.
     """
+    started = time.perf_counter()
     checkpoint = StreamCheckpoint(
         version=CHECKPOINT_VERSION,
         parser=parser,
@@ -105,16 +123,25 @@ def save_checkpoint(
         raise CheckpointError(
             f"could not write checkpoint to {path}: {error}"
         ) from error
+    if telemetry is not None:
+        _note_checkpoint_op(
+            telemetry,
+            "save",
+            path,
+            time.perf_counter() - started,
+            records_consumed=records_consumed,
+        )
     return checkpoint
 
 
-def load_checkpoint(path: str) -> StreamCheckpoint:
+def load_checkpoint(path: str, telemetry=None) -> StreamCheckpoint:
     """Read and validate a checkpoint file.
 
     Raises :class:`~repro.common.errors.CheckpointError` when the file
     is missing, is not valid JSON, lacks required fields, or was
     written by an incompatible schema version.
     """
+    started = time.perf_counter()
     if not os.path.exists(path):
         raise CheckpointError(f"checkpoint file not found: {path}")
     try:
@@ -135,7 +162,7 @@ def load_checkpoint(path: str) -> StreamCheckpoint:
             f"this runtime reads version {CHECKPOINT_VERSION}"
         )
     try:
-        return StreamCheckpoint(
+        checkpoint = StreamCheckpoint(
             version=version,
             parser=data.get("parser"),
             source=data.get("source"),
@@ -147,6 +174,15 @@ def load_checkpoint(path: str) -> StreamCheckpoint:
         raise CheckpointError(
             f"checkpoint {path} is missing required field {error}"
         ) from error
+    if telemetry is not None:
+        _note_checkpoint_op(
+            telemetry,
+            "load",
+            path,
+            time.perf_counter() - started,
+            records_consumed=checkpoint.records_consumed,
+        )
+    return checkpoint
 
 
 def restore_streaming_parser(
@@ -159,6 +195,7 @@ def restore_streaming_parser(
     error_policy=None,
     quarantine=None,
     max_record_len: int | None = None,
+    telemetry=None,
 ) -> "StreamingParser":
     """Build a fresh engine positioned exactly at *checkpoint*.
 
@@ -189,6 +226,7 @@ def restore_streaming_parser(
             error_policy=error_policy,
             quarantine=quarantine,
             max_record_len=max_record_len,
+            telemetry=telemetry,
         )
     except KeyError as error:
         raise CheckpointError(

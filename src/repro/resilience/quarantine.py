@@ -66,6 +66,12 @@ class QuarantineRecord:
     detail: str
     preview: str
 
+    def to_record(self) -> dict:
+        """Structured-event-log shape (common ``kind`` envelope), the
+        same contract as ``FailureReport.to_record`` and
+        ``DegradationEvent.to_record``."""
+        return {"kind": "quarantine", **asdict(self)}
+
 
 def preview_text(payload: bytes | str) -> str:
     """Best-effort printable preview of a rejected payload."""
@@ -83,11 +89,15 @@ class QuarantineSink:
             the first record, so an untouched sink leaves no file).
 
     The sink always keeps records in memory too, so tests and the CLI
-    can report counts without re-reading the file.
+    can report counts without re-reading the file.  With a *telemetry*
+    handle attached, every addition is counted by reason in the metrics
+    registry and emitted onto the structured event timeline, where it
+    interleaves with ladder steps and fallback reports.
     """
 
-    def __init__(self, path: str | None = None) -> None:
+    def __init__(self, path: str | None = None, telemetry=None) -> None:
         self.path = path
+        self.telemetry = telemetry
         self.records: list[QuarantineRecord] = []
         self._handle = None
 
@@ -104,6 +114,11 @@ class QuarantineSink:
                 self._handle = open(self.path, "a", encoding="utf-8")
             self._handle.write(json.dumps(asdict(record)) + "\n")
             self._handle.flush()
+        if self.telemetry is not None:
+            self.telemetry.metrics.get(
+                "repro_quarantine_records_total"
+            ).labels(reason=record.reason).inc()
+            self.telemetry.events.record(record)
 
     def close(self) -> None:
         if self._handle is not None:

@@ -42,6 +42,7 @@ from repro.common.errors import (
     ValidationError,
 )
 from repro.common.types import LogRecord, ParseResult
+from repro.observability.tracing import SPAN_PARSER_CALL
 from repro.parsers.parallel import ParserFactory
 
 #: Attempt status tags.
@@ -112,6 +113,10 @@ class CircuitBreaker:
         reset_timeout: seconds the breaker stays open before allowing
             one half-open probe.
         clock: monotonic time source (injectable for tests).
+        on_transition: optional callback ``(old_state, new_state)``
+            fired whenever the stored state changes (trip, re-open,
+            close).  The supervisor uses it to count transitions and
+            put them on the event timeline.
 
     State machine: ``closed`` admits every call; *failure_threshold*
     consecutive failures move to ``open``, which rejects calls until
@@ -129,6 +134,7 @@ class CircuitBreaker:
         failure_threshold: int = 3,
         reset_timeout: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
+        on_transition: Callable[[str, str], None] | None = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValidationError(
@@ -141,9 +147,16 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.reset_timeout = reset_timeout
         self._clock = clock
+        self.on_transition = on_transition
         self._failures = 0
         self._state = self.CLOSED
         self._opened_at: float | None = None
+
+    def _set_state(self, new_state: str) -> None:
+        old_state = self._state
+        self._state = new_state
+        if old_state != new_state and self.on_transition is not None:
+            self.on_transition(old_state, new_state)
 
     @property
     def state(self) -> str:
@@ -161,14 +174,16 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         self._failures = 0
-        self._state = self.CLOSED
+        self._set_state(self.CLOSED)
         self._opened_at = None
 
     def record_failure(self) -> None:
         self._failures += 1
         if self._state == self.OPEN or self._failures >= self.failure_threshold:
-            # A half-open probe failing re-opens immediately.
-            self._state = self.OPEN
+            # A half-open probe failing re-opens immediately (the
+            # cooldown restarts, so _opened_at moves even when the
+            # stored state was already OPEN).
+            self._set_state(self.OPEN)
             self._opened_at = self._clock()
 
 
@@ -188,6 +203,17 @@ class Attempt:
             f"{self.parser} attempt {self.attempt}: {self.status} "
             f"({self.seconds:.3f}s){tail}"
         )
+
+    def to_record(self) -> dict:
+        """Structured-event-log shape (common ``kind`` envelope)."""
+        return {
+            "kind": "supervisor_attempt",
+            "parser": self.parser,
+            "attempt": self.attempt,
+            "status": self.status,
+            "seconds": round(self.seconds, 6),
+            "error": self.error,
+        }
 
 
 @dataclass
@@ -229,6 +255,21 @@ class FailureReport:
         if self.leaked_threads:
             outcome += f" ({self.leaked_threads} abandoned worker thread(s))"
         return "\n".join([*lines, outcome])
+
+    def to_record(self) -> dict:
+        """Structured-event-log shape (common ``kind`` envelope).
+
+        The same contract :meth:`DegradationEvent.to_record` follows,
+        so fallback outcomes, ladder steps, and quarantine records
+        interleave in one timeline file.
+        """
+        return {
+            "kind": "fallback_report",
+            "winner": self.winner,
+            "failures": len(self.failures),
+            "leaked_threads": self.leaked_threads,
+            "attempts": [a.to_record() for a in self.attempts],
+        }
 
 
 @dataclass(frozen=True)
@@ -305,6 +346,13 @@ class ParserSupervisor:
         rng: random source for retry jitter; ``None`` (default) keeps
             the backoff schedule fully deterministic even when the
             retry policy declares a nonzero ``jitter``.
+        telemetry: optional
+            :class:`~repro.observability.telemetry.Telemetry` handle.
+            When set, every attempt is counted by parser and status,
+            runs inside a ``parser_call`` span, breaker state changes
+            are counted and land on the event timeline, and each
+            :meth:`parse` emits its :class:`FailureReport` as a
+            ``fallback_report`` timeline event.
 
     A parse attempt that raises
     :class:`~repro.common.errors.BudgetExceededError` (a hard resource
@@ -330,6 +378,7 @@ class ParserSupervisor:
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
         rng: Random | None = None,
+        telemetry=None,
     ) -> None:
         if not chain:
             raise ValidationError("supervision chain must not be empty")
@@ -341,16 +390,44 @@ class ParserSupervisor:
         self._sleep = sleep
         self._clock = clock
         self._rng = rng
+        self.telemetry = telemetry
         self.breakers = {
             name: CircuitBreaker(
                 failure_threshold=breaker_threshold,
                 reset_timeout=breaker_reset,
                 clock=clock,
+                on_transition=(
+                    self._breaker_observer(name)
+                    if telemetry is not None
+                    else None
+                ),
             )
             for name, _ in self.chain
         }
         #: Report of the most recent :meth:`parse` call.
         self.last_report: FailureReport | None = None
+
+    def _breaker_observer(self, name: str) -> Callable[[str, str], None]:
+        def observe(old_state: str, new_state: str) -> None:
+            self.telemetry.metrics.get(
+                "repro_breaker_transitions_total"
+            ).labels(parser=name, state=new_state).inc()
+            self.telemetry.events.emit(
+                "breaker_transition",
+                parser=name,
+                old_state=old_state,
+                new_state=new_state,
+            )
+
+        return observe
+
+    def _note_attempt(self, report: FailureReport, attempt: Attempt) -> None:
+        """Append to the report and mirror into telemetry."""
+        report.attempts.append(attempt)
+        if self.telemetry is not None:
+            self.telemetry.metrics.get(
+                "repro_supervisor_attempts_total"
+            ).labels(parser=attempt.parser, status=attempt.status).inc()
 
     def parse(self, records: Sequence[LogRecord]) -> SupervisedResult:
         records = list(records)
@@ -359,17 +436,25 @@ class ParserSupervisor:
         for name, factory in self.chain:
             breaker = self.breakers[name]
             if not breaker.allow():
-                report.attempts.append(
+                self._note_attempt(
+                    report,
                     Attempt(
                         parser=name,
                         attempt=0,
                         status=STATUS_SKIPPED,
                         error="circuit breaker open",
-                    )
+                    ),
                 )
                 continue
             for attempt in range(1, self.retry.attempts + 1):
                 started = self._clock()
+                span = (
+                    self.telemetry.tracer.start(
+                        SPAN_PARSER_CALL, parser=name, attempt=attempt
+                    )
+                    if self.telemetry is not None
+                    else None
+                )
                 try:
                     result = run_with_deadline(
                         lambda: factory().parse(records), self.timeout
@@ -383,28 +468,38 @@ class ParserSupervisor:
                 except Exception as error:  # noqa: BLE001 - recorded
                     status, detail = STATUS_ERROR, f"{type(error).__name__}: {error}"
                 else:
+                    if span is not None:
+                        span.attrs["status"] = STATUS_OK
+                        self.telemetry.tracer.finish(span)
                     breaker.record_success()
-                    report.attempts.append(
+                    self._note_attempt(
+                        report,
                         Attempt(
                             parser=name,
                             attempt=attempt,
                             status=STATUS_OK,
                             seconds=self._clock() - started,
-                        )
+                        ),
                     )
                     report.winner = name
+                    if self.telemetry is not None:
+                        self.telemetry.events.record(report)
                     return SupervisedResult(
                         result=result, parser=name, report=report
                     )
+                if span is not None:
+                    span.attrs["status"] = status
+                    self.telemetry.tracer.finish(span)
                 breaker.record_failure()
-                report.attempts.append(
+                self._note_attempt(
+                    report,
                     Attempt(
                         parser=name,
                         attempt=attempt,
                         status=status,
                         seconds=self._clock() - started,
                         error=detail,
-                    )
+                    ),
                 )
                 if (
                     status == STATUS_BUDGET
@@ -412,7 +507,13 @@ class ParserSupervisor:
                     or attempt == self.retry.attempts
                 ):
                     break
+                if self.telemetry is not None:
+                    self.telemetry.metrics.get(
+                        "repro_supervisor_retries_total"
+                    ).labels(parser=name).inc()
                 self._sleep(self.retry.delay(attempt, self._rng))
+        if self.telemetry is not None:
+            self.telemetry.events.record(report)
         raise FallbackExhaustedError(
             "every parser in the fallback chain failed:\n" + report.describe(),
             report=report,

@@ -62,11 +62,18 @@ class TemplateCache:
 
     Counters ``exact_hits``, ``template_hits``, ``misses`` and
     ``evictions`` are plain attributes; :attr:`hit_rate` derives from
-    them.
+    them.  They stay the source of truth even when *telemetry* is set:
+    the engine's metrics collector syncs them into the registry at
+    read time, so the per-lookup fast path carries no instrumentation.
+    The telemetry handle itself is used only on the rare structural
+    transitions (capacity resizes), which land on the event timeline.
     """
 
     def __init__(
-        self, capacity: int = 4096, exact_capacity: int = 8192
+        self,
+        capacity: int = 4096,
+        exact_capacity: int = 8192,
+        telemetry=None,
     ) -> None:
         if capacity < 1:
             raise ParserConfigurationError(
@@ -78,6 +85,7 @@ class TemplateCache:
             )
         self.capacity = capacity
         self.exact_capacity = exact_capacity
+        self.telemetry = telemetry
         #: slot -> template tokens, in LRU order (least recent first).
         self._templates: OrderedDict[int, tuple[str, ...]] = OrderedDict()
         #: (length, anchor token) -> slots; anchor is ``_ANY`` for
@@ -210,11 +218,25 @@ class TemplateCache:
             raise ParserConfigurationError(
                 f"cache capacity must be >= 1, got {capacity}"
             )
+        previous = self.capacity
         self.capacity = capacity
+        evicted = 0
         while len(self._templates) > self.capacity:
             victim, _ = self._templates.popitem(last=False)
             self._unindex(victim)
             self.evictions += 1
+            evicted += 1
+        if self.telemetry is not None and capacity != previous:
+            direction = "shrink" if capacity < previous else "grow"
+            self.telemetry.metrics.get("repro_cache_resizes_total").labels(
+                direction=direction
+            ).inc()
+            self.telemetry.events.emit(
+                "cache_resize",
+                previous=previous,
+                capacity=capacity,
+                evicted=evicted,
+            )
 
     def remove(self, slot: int) -> None:
         """Drop a template without counting an eviction (merges)."""

@@ -46,6 +46,7 @@ template re-learned later maps back to its original slot and event.
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from dataclasses import dataclass
 from collections.abc import Callable, Iterable, Sequence
@@ -53,6 +54,7 @@ from collections.abc import Callable, Iterable, Sequence
 from repro.common.errors import CheckpointError, ParserConfigurationError
 from repro.common.tokenize import render_template, tokenize
 from repro.common.types import EventTemplate, LogRecord, ParseResult
+from repro.observability.tracing import SPAN_CHUNK, SPAN_PARSER_CALL
 from repro.parsers.base import LogParser
 from repro.parsers.parallel import ChunkedParallelParser, ParserFactory
 from repro.parsers.preprocess import Preprocessor
@@ -173,6 +175,15 @@ class StreamingParser(LogParser):
             permanent outliers).
         on_remap: callback ``(old_slot, new_slot)`` fired when a
             subsumption merge folds one event into another.
+        telemetry: optional
+            :class:`~repro.observability.telemetry.Telemetry` handle.
+            When set, the engine registers a metrics collector syncing
+            its counters (lines, flushes, cache hits/misses/evictions,
+            outliers, backpressure) into the registry, records a
+            ``chunk`` span plus latency/size histograms per flush, and
+            threads the handle into the cache and any parallel flush
+            backend.  The default ``None`` keeps the per-line fast
+            path untouched — flushes pay one ``is None`` check.
     """
 
     name = "Streaming"
@@ -198,6 +209,7 @@ class StreamingParser(LogParser):
         overflow_sample_keep: int = 2,
         on_assign: Callable[[int, LogRecord, int], None] | None = None,
         on_remap: Callable[[int, int], None] | None = None,
+        telemetry=None,
     ) -> None:
         super().__init__(preprocessor=preprocessor)
         if flush_size < 1:
@@ -249,12 +261,18 @@ class StreamingParser(LogParser):
         self.overflow_sample_keep = overflow_sample_keep
         self.on_assign = on_assign
         self.on_remap = on_remap
+        self.telemetry = telemetry
         if workers > 1:
             self._flush_parser: LogParser = ChunkedParallelParser(
-                factory, chunk_size=chunk_size, workers=workers
+                factory,
+                chunk_size=chunk_size,
+                workers=workers,
+                telemetry=telemetry,
             )
         else:
             self._flush_parser = factory()
+        if telemetry is not None:
+            telemetry.metrics.register_collector(self._collect_metrics)
         self.reset()
 
     # ------------------------------------------------------------------
@@ -266,6 +284,7 @@ class StreamingParser(LogParser):
         self.cache = TemplateCache(
             capacity=self.cache_capacity,
             exact_capacity=self.exact_capacity,
+            telemetry=self.telemetry,
         )
         self._slot_templates: list[str] = []
         self._template_to_slot: dict[str, int] = {}
@@ -423,8 +442,8 @@ class StreamingParser(LogParser):
             return
         batch = self._pending
         self._pending = []
-        result = self._flush_parser.parse(
-            [entry.flush_record for entry in batch]
+        result = self._parse_flush(
+            [entry.flush_record for entry in batch], scope="delta"
         )
         self._flushes += 1
         slot_of = {
@@ -458,7 +477,7 @@ class StreamingParser(LogParser):
         numbering exactly.  The cache is rebuilt to hold precisely the
         authoritative template set.
         """
-        result = self._flush_parser.parse(list(self._flush_records))
+        result = self._parse_flush(list(self._flush_records), scope="prefix")
         self._flushes += 1
         self._pending = []
         self._lines_since_flush = 0
@@ -534,7 +553,10 @@ class StreamingParser(LogParser):
             self.factory = factory
             if self.workers > 1:
                 self._flush_parser = ChunkedParallelParser(
-                    factory, chunk_size=self.chunk_size, workers=self.workers
+                    factory,
+                    chunk_size=self.chunk_size,
+                    workers=self.workers,
+                    telemetry=self.telemetry,
                 )
             else:
                 self._flush_parser = factory()
@@ -829,6 +851,63 @@ class StreamingParser(LogParser):
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _parse_flush(self, records: list[LogRecord], scope: str) -> ParseResult:
+        """Run the flush parser, recording the chunk when instrumented.
+
+        Each flush is one ``chunk`` span; the parser invocation inside
+        is a ``parser_call`` span — except when the flush backend is a
+        telemetry-carrying :class:`ChunkedParallelParser`, which emits
+        its own per-dispatch ``parser_call`` spans (worker-side, shipped
+        back across the process boundary) under this chunk.
+        """
+        if self.telemetry is None:
+            return self._flush_parser.parse(records)
+        tracer = self.telemetry.tracer
+        started = time.perf_counter()
+        with tracer.span(
+            SPAN_CHUNK, scope=scope, size=len(records), flush=self._flushes + 1
+        ):
+            if isinstance(self._flush_parser, ChunkedParallelParser):
+                result = self._flush_parser.parse(records)
+            else:
+                with tracer.span(
+                    SPAN_PARSER_CALL,
+                    parser=getattr(
+                        self._flush_parser,
+                        "name",
+                        type(self._flush_parser).__name__,
+                    ),
+                    records=len(records),
+                ):
+                    result = self._flush_parser.parse(records)
+        elapsed = time.perf_counter() - started
+        metrics = self.telemetry.metrics
+        metrics.get("repro_stream_flush_seconds").observe(elapsed)
+        metrics.get("repro_stream_flush_size_records").observe(len(records))
+        return result
+
+    def _collect_metrics(self) -> None:
+        """Sync the engine's own counters into the metrics registry.
+
+        Collector pattern: the hot path keeps its existing plain-int
+        counters as the source of truth; this runs only when the
+        registry is read (export, snapshot, summary), so instrumenting
+        costs the fast path nothing.
+        """
+        metrics = self.telemetry.metrics
+        metrics.get("repro_stream_lines_total").sync(self._n_lines)
+        metrics.get("repro_stream_flushes_total").sync(self._flushes)
+        metrics.get("repro_stream_outliers_total").sync(self._outliers)
+        metrics.get("repro_stream_rejected_total").sync(self._rejected)
+        metrics.get("repro_stream_shed_total").sync(self._shed)
+        metrics.get("repro_stream_events").set(self.n_events)
+        metrics.get("repro_stream_pending").set(len(self._pending))
+        hits = metrics.get("repro_cache_hits_total")
+        hits.labels(kind="exact").sync(self.cache.exact_hits)
+        hits.labels(kind="template").sync(self.cache.template_hits)
+        metrics.get("repro_cache_misses_total").sync(self.cache.misses)
+        metrics.get("repro_cache_evictions_total").sync(self.cache.evictions)
 
     def _prepare(self, record: LogRecord) -> tuple[str, LogRecord]:
         """Preprocessed content + the record handed to flushes."""

@@ -19,7 +19,23 @@ from repro.common.errors import ValidationError
 
 from repro.common.types import LogRecord, ParseResult
 from repro.mining.event_matrix import EventCountMatrix, EventMatrixAccumulator
+from repro.observability.report import format_stream_summary
+from repro.observability.tracing import SPAN_PARSE_RUN
 from repro.streaming.engine import StreamingCounters, StreamingParser
+
+
+def _factory_name(factory) -> str:
+    """Best-effort parser name for the run span's ``parser`` attribute.
+
+    ``functools.partial`` wrappers (the CLI's idiom) would otherwise
+    stringify as ``partial``; reach through to the bound parser name
+    when one is visible in the partial's arguments.
+    """
+    bound_args = getattr(factory, "args", None)
+    if bound_args and isinstance(bound_args[0], str):
+        return bound_args[0]
+    inner = getattr(factory, "func", factory)
+    return getattr(inner, "__name__", type(factory).__name__)
 
 
 @dataclass(frozen=True)
@@ -36,19 +52,23 @@ class SessionCounters:
         return self.stream.lines / self.elapsed_seconds
 
     def describe(self) -> str:
-        """One human-readable progress line (used by the CLI)."""
+        """One human-readable progress line (used by the CLI).
+
+        Delegates to the shared observability formatter so this line
+        and registry-derived summaries cannot drift apart.
+        """
         s = self.stream
-        line = (
-            f"{s.lines} lines | {s.events} events | "
-            f"hit rate {s.hit_rate:.1%} ({s.exact_hits} exact, "
-            f"{s.template_hits} template) | {s.flushes} flushes | "
-            f"{self.lines_per_second:,.0f} lines/s"
+        return format_stream_summary(
+            lines=s.lines,
+            events=s.events,
+            exact_hits=s.exact_hits,
+            template_hits=s.template_hits,
+            misses=s.misses,
+            flushes=s.flushes,
+            lines_per_second=self.lines_per_second,
+            rejected=s.rejected,
+            shed=s.shed,
         )
-        if s.rejected:
-            line += f" | {s.rejected} rejected"
-        if s.shed:
-            line += f" | {s.shed} shed"
-        return line
 
 
 class ParseSession:
@@ -70,8 +90,17 @@ class ParseSession:
         self.accumulator = EventMatrixAccumulator() if track_matrix else None
         self._started: float | None = None
         self._elapsed = 0.0
+        self.telemetry = parser.telemetry
+        self._run_span = None
+        if self.telemetry is not None:
+            self.telemetry.metrics.register_collector(self._collect_metrics)
         parser.on_assign = self._on_assign
         parser.on_remap = self._on_remap
+
+    def _collect_metrics(self) -> None:
+        self.telemetry.metrics.get("repro_run_elapsed_seconds").set(
+            self._elapsed
+        )
 
     # ------------------------------------------------------------------
 
@@ -88,6 +117,10 @@ class ParseSession:
     def feed(self, record: LogRecord) -> int:
         if self._started is None:
             self._started = time.perf_counter()
+            if self.telemetry is not None:
+                self._run_span = self.telemetry.tracer.start(
+                    SPAN_PARSE_RUN, parser=_factory_name(self.parser.factory)
+                )
         line_no = self.parser.feed(record)
         self._elapsed = time.perf_counter() - self._started
         return line_no
@@ -117,6 +150,12 @@ class ParseSession:
             self._started = time.perf_counter()
         self.parser.finalize()
         self._elapsed = time.perf_counter() - self._started
+        if self._run_span is not None:
+            counters = self.parser.counters
+            self._run_span.attrs["lines"] = counters.lines
+            self._run_span.attrs["events"] = counters.events
+            self.telemetry.tracer.finish(self._run_span)
+            self._run_span = None
         if self.parser.retain:
             return self.parser.result()
         return None

@@ -2,8 +2,12 @@
 
 Only the fast examples are executed here (the interactive comparison
 script enumerates every parser × dataset and belongs to manual runs).
+The instrumented examples (streaming_parse, degraded_stream) leave
+telemetry artifacts in the working directory; those tests assert on
+the structured files rather than scraping stdout.
 """
 
+import json
 import os
 import pathlib
 import subprocess
@@ -49,6 +53,62 @@ def test_example_runs_cleanly(script, tmp_path):
     )
     assert completed.returncode == 0, completed.stderr
     assert completed.stdout.strip()
+
+
+def _run_example(script: str, cwd) -> subprocess.CompletedProcess:
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=cwd,
+        env=_env_with_src(),
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed
+
+
+def test_streaming_parse_leaves_structured_telemetry(tmp_path):
+    _run_example("streaming_parse.py", tmp_path)
+    samples = json.loads(
+        (tmp_path / "streaming_parse.metrics.json").read_text()
+    )["samples"]
+    assert samples["repro_stream_lines_total"] == 20_000.0
+    hits = (
+        samples.get('repro_cache_hits_total{kind="exact"}', 0.0)
+        + samples.get('repro_cache_hits_total{kind="template"}', 0.0)
+    )
+    lookups = hits + samples["repro_cache_misses_total"]
+    assert hits / lookups > 0.5  # the cache warmed up
+    spans = [
+        json.loads(line)
+        for line in (tmp_path / "streaming_parse.trace.jsonl")
+        .read_text()
+        .splitlines()
+    ]
+    names = {span["name"] for span in spans}
+    assert {"parse_run", "chunk", "parser_call"} <= names
+
+
+def test_degraded_stream_leaves_structured_timeline(tmp_path):
+    _run_example("degraded_stream.py", tmp_path)
+    events = [
+        json.loads(line)
+        for line in (tmp_path / "degraded_stream.events.jsonl")
+        .read_text()
+        .splitlines()
+    ]
+    steps = [event for event in events if event["kind"] == "ladder_step"]
+    assert [step["from"] for step in steps] == ["IPLoM", "SLCT"]
+    assert [step["to"] for step in steps] == ["SLCT", "Passthrough"]
+    assert all(step["breaches"] for step in steps)
+    samples = json.loads(
+        (tmp_path / "degraded_stream.metrics.json").read_text()
+    )["samples"]
+    assert samples["repro_ladder_position"] == 2.0
+    assert any(
+        name.startswith("repro_budget_breaches_total") for name in samples
+    )
 
 
 def test_all_examples_exist_and_have_docstrings():
