@@ -25,6 +25,18 @@ Subcommands:
 * ``report`` — render a human-readable post-mortem from the telemetry
   artifacts (``--metrics-out`` / ``--trace-out`` / ``--events-out``)
   a previous run exported.
+* ``verify-run`` — re-hash a run's artifacts against the integrity
+  manifest it committed with ``--manifest-out``; optionally diff two
+  manifests to certify a resumed run reconverged with a fault-free
+  one.  A single flipped byte in any covered artifact exits with the
+  data-error code (3).
+
+Every artifact the CLI writes goes through the durability layer
+(:mod:`repro.resilience.durability`): whole-file exports are atomic
+(temp file, fsync, rename, parent-dir fsync) and append-streaming
+JSONL (quarantine, event timeline) is length+CRC32-framed with
+torn-tail recovery, so no crash or disk fault leaves a half-written
+artifact behind.
 
 ``stream``, ``supervise``, and ``soak`` all run with the unified
 telemetry layer attached: every summary they print is read back from
@@ -53,6 +65,7 @@ from functools import partial
 from repro.common.errors import (
     DatasetError,
     EvaluationError,
+    IntegrityError,
     MiningError,
     ParserConfigurationError,
     ReproError,
@@ -90,16 +103,28 @@ from repro.evaluation.mining_impact import table3_parser_factory
 from repro.parsers import PARSER_NAMES, default_preprocessor, make_parser
 from repro.resilience import (
     ErrorPolicy,
+    FaultyIO,
     FlakyFactory,
     ParserSupervisor,
     QuarantineSink,
     RetryPolicy,
+    RunManifest,
     corrupt_records,
+    diff_manifests,
+    ensure_artifact,
+    io_fault_schedule,
     load_checkpoint,
+    reconcile_jsonl,
     restore_accumulator,
     restore_streaming_parser,
     save_checkpoint,
     screen_records,
+    verify_manifest,
+)
+from repro.resilience.durability import (
+    CODEC_FRAMED,
+    CODEC_LINES,
+    CODEC_OPAQUE,
 )
 from repro.streaming import ParseSession, StreamingParser, diff_results
 
@@ -127,7 +152,7 @@ def exit_code_for(error: ReproError) -> int:
         ),
     ):
         return EXIT_CONFIG
-    if isinstance(error, DatasetError):
+    if isinstance(error, (DatasetError, IntegrityError)):
         return EXIT_DATA
     return EXIT_RUNTIME
 
@@ -392,10 +417,19 @@ def _add_hardening_flags(cmd) -> None:
         default=20,
         help="with --faults: corrupt every N-th record",
     )
+    cmd.add_argument(
+        "--io-faults",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="inject a deterministic schedule of IO faults (EIO, "
+        "ENOSPC, torn writes, fsync failures) into artifact writes; "
+        "writers retry and divert before giving up",
+    )
 
 
 def _resolve_policy(
-    args, telemetry=None
+    args, telemetry=None, io=None
 ) -> tuple[str | None, "QuarantineSink | None"]:
     """Resolve the hardening flags into (policy mode, sink)."""
     mode = args.error_policy
@@ -405,8 +439,18 @@ def _resolve_policy(
         mode = "quarantine"
     sink = None
     if mode is not None:
-        sink = QuarantineSink(args.quarantine_path, telemetry=telemetry)
+        sink = QuarantineSink(
+            args.quarantine_path, telemetry=telemetry, io=io
+        )
     return mode, sink
+
+
+def _make_io(args) -> "FaultyIO | None":
+    """Build the scripted fault-injecting IO layer from --io-faults."""
+    seed = getattr(args, "io_faults", None)
+    if seed is None:
+        return None
+    return FaultyIO(io_fault_schedule(seed))
 
 
 def _add_telemetry_flags(cmd) -> None:
@@ -439,9 +483,17 @@ def _add_telemetry_flags(cmd) -> None:
         help="stream the structured event timeline (quarantine records, "
         "ladder steps, fallback reports, ...) to this JSONL file",
     )
+    cmd.add_argument(
+        "--manifest-out",
+        default=None,
+        metavar="PATH",
+        help="commit an integrity manifest (SHA-256, size, record "
+        "count of every artifact this run wrote) atomically at run "
+        "end; check it later with `repro-logparse verify-run`",
+    )
 
 
-def _make_telemetry(args, trace_id: str) -> Telemetry:
+def _make_telemetry(args, trace_id: str, io=None) -> Telemetry:
     """One telemetry handle per command invocation.
 
     Always built — the registry is the single source of truth behind
@@ -449,27 +501,56 @@ def _make_telemetry(args, trace_id: str) -> Telemetry:
     flags ask for them.
     """
     return Telemetry.create(
-        trace_id=trace_id, events_path=getattr(args, "events_out", None)
+        trace_id=trace_id,
+        events_path=getattr(args, "events_out", None),
+        io=io,
     )
 
 
-def _export_telemetry(args, telemetry: Telemetry) -> None:
-    """Write whichever artifacts the export flags requested."""
+def _export_telemetry(args, telemetry: Telemetry, artifacts=(), io=None) -> None:
+    """Write whichever artifacts the export flags requested.
+
+    *artifacts* is a list of ``(path, codec)`` pairs the command itself
+    wrote (outputs, quarantine, checkpoint); together with the
+    telemetry exports they form the manifest committed by
+    ``--manifest-out``.  The manifest itself is written last, and
+    atomically, so it never describes files that do not yet exist.
+    """
     telemetry.metrics.snapshot()
     written = []
     if args.metrics_out:
-        export_metrics(telemetry.metrics, args.metrics_out)
+        export_metrics(telemetry.metrics, args.metrics_out, io=io)
         written.append(args.metrics_out)
     if args.trace_out:
-        telemetry.tracer.export(args.trace_out, fmt=args.trace_format)
+        telemetry.tracer.export(args.trace_out, fmt=args.trace_format, io=io)
         written.append(args.trace_out)
     if args.events_out:
         # The event log appends lazily; an uneventful run should still
-        # leave a (valid, empty) artifact where the flag pointed.
-        if not os.path.exists(args.events_out):
-            open(args.events_out, "w", encoding="utf-8").close()
+        # leave a (valid, empty) artifact where the flag pointed — but
+        # never truncate a timeline a previous life already wrote.
+        ensure_artifact(args.events_out, io=io)
         written.append(args.events_out)
     telemetry.close()
+    manifest_out = getattr(args, "manifest_out", None)
+    if manifest_out:
+        manifest = RunManifest(
+            run={
+                "command": args.command,
+                "seed": getattr(args, "seed", None),
+            }
+        )
+        entries = list(artifacts)
+        if args.metrics_out:
+            entries.append((args.metrics_out, CODEC_LINES))
+        if args.trace_out:
+            entries.append((args.trace_out, CODEC_LINES))
+        if args.events_out:
+            entries.append((args.events_out, CODEC_FRAMED))
+        for path, codec in entries:
+            if path and os.path.exists(path):
+                manifest.add(path, codec=codec)
+        manifest.write(manifest_out, io=io)
+        written.append(manifest_out)
     if written:
         print(f"telemetry: wrote {', '.join(written)}")
 
@@ -609,6 +690,35 @@ def _add_report(subparsers) -> None:
     )
 
 
+def _add_verify_run(subparsers) -> None:
+    cmd = subparsers.add_parser(
+        "verify-run",
+        help="re-hash a run's artifacts against its integrity manifest",
+    )
+    cmd.add_argument(
+        "manifest",
+        help="manifest file a run committed with --manifest-out",
+    )
+    cmd.add_argument(
+        "--against",
+        default=None,
+        metavar="MANIFEST",
+        help="also require this second manifest to agree artifact-by-"
+        "artifact (hashes, sizes, record counts) — certifies e.g. "
+        "that a crashed-and-resumed run converged to the same "
+        "artifacts as a fault-free one",
+    )
+    cmd.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="artifact names to exclude from the --against comparison "
+        "(inherently run-varying artifacts such as traces or event "
+        "timelines); may be repeated",
+    )
+
+
 def build_arg_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-logparse",
@@ -626,6 +736,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     _add_supervise(subparsers)
     _add_soak(subparsers)
     _add_report(subparsers)
+    _add_verify_run(subparsers)
     return parser
 
 
@@ -809,8 +920,9 @@ def _cmd_stream(args) -> int:
         if args.preprocess_dataset
         else None
     )
-    telemetry = _make_telemetry(args, trace_id="stream")
-    policy_mode, sink = _resolve_policy(args, telemetry=telemetry)
+    io = _make_io(args)
+    telemetry = _make_telemetry(args, trace_id="stream", io=io)
+    policy_mode, sink = _resolve_policy(args, telemetry=telemetry, io=io)
     if args.dataset is not None:
         source = f"dataset:{args.dataset}"
         records = iter_dataset(
@@ -831,11 +943,19 @@ def _cmd_stream(args) -> int:
     # stream dies mid-run, so quarantined records are never lost — and
     # the telemetry export in the finally gives a failed run the same
     # post-mortem artifacts as a clean one.
+    artifacts: list[tuple[str, str]] = []
     try:
         with sink if sink is not None else nullcontext():
             if budgeted:
                 return _run_budgeted_stream(
-                    args, preprocessor, policy_mode, sink, records, telemetry
+                    args,
+                    preprocessor,
+                    policy_mode,
+                    sink,
+                    records,
+                    telemetry,
+                    artifacts,
+                    io,
                 )
             return _run_plain_stream(
                 args,
@@ -846,17 +966,53 @@ def _cmd_stream(args) -> int:
                 records,
                 source,
                 telemetry,
+                artifacts,
+                io,
             )
     finally:
-        _export_telemetry(args, telemetry)
+        _export_telemetry(args, telemetry, artifacts=artifacts, io=io)
+
+
+def _stream_artifact_offsets(sink) -> dict:
+    """The append-mode artifact offsets to pin inside a checkpoint.
+
+    A resumed run truncates each artifact back to the recorded offset
+    before re-feeding records, so a crash between a quarantine append
+    and the next checkpoint can never duplicate (or lose) records.
+    """
+    if sink is None or sink.path is None:
+        return {}
+    bytes_written, records_written = sink.offset()
+    return {
+        sink.path: {"bytes": bytes_written, "records": records_written}
+    }
 
 
 def _run_plain_stream(
-    args, factory, preprocessor, policy_mode, sink, records, source, telemetry
+    args,
+    factory,
+    preprocessor,
+    policy_mode,
+    sink,
+    records,
+    source,
+    telemetry,
+    artifacts,
+    io,
 ) -> int:
     """The historical ``stream`` path: one parser, optional checkpoints."""
     if args.resume:
         checkpoint = load_checkpoint(args.checkpoint, telemetry=telemetry)
+        # Roll append-mode artifacts back to the offsets the checkpoint
+        # pinned: appends made after the snapshot belong to records the
+        # resumed run is about to re-feed.
+        for artifact_path, offsets in checkpoint.artifacts.items():
+            reconcile_jsonl(
+                artifact_path,
+                offsets["bytes"],
+                io=io,
+                telemetry=telemetry,
+            )
         engine = restore_streaming_parser(
             checkpoint,
             factory,
@@ -908,6 +1064,8 @@ def _run_plain_stream(
                 source=source,
                 accumulator=session.accumulator,
                 telemetry=telemetry,
+                artifacts=_stream_artifact_offsets(sink),
+                io=io,
             )
         if args.report_every and consumed % args.report_every == 0:
             telemetry.metrics.snapshot()
@@ -922,14 +1080,21 @@ def _run_plain_stream(
             source=source,
             accumulator=session.accumulator,
             telemetry=telemetry,
+            artifacts=_stream_artifact_offsets(sink),
+            io=io,
         )
+        artifacts.append((args.checkpoint, CODEC_OPAQUE))
+    if sink is not None and sink.path is not None:
+        artifacts.append((sink.path, CODEC_FRAMED))
     print(summary_from_registry(telemetry.metrics))
     if sink is not None and len(sink):
         print(sink.describe())
     if args.output_stem and result is not None:
         events_path, structured_path = write_parse_result(
-            result, args.output_stem
+            result, args.output_stem, io=io
         )
+        artifacts.append((events_path, CODEC_LINES))
+        artifacts.append((structured_path, CODEC_LINES))
         print(f"wrote {events_path}, {structured_path}")
     if args.mine:
         _mine_matrix(session.matrix())
@@ -990,7 +1155,7 @@ def _build_stream_ladder(args) -> DegradationLadder:
 
 
 def _run_budgeted_stream(
-    args, preprocessor, policy_mode, sink, records, telemetry
+    args, preprocessor, policy_mode, sink, records, telemetry, artifacts, io
 ) -> int:
     """``stream`` under a resource budget: the degradation runtime."""
     ladder = _build_stream_ladder(args)
@@ -1024,10 +1189,14 @@ def _run_budgeted_stream(
     print(report.describe())
     if sink is not None and len(sink):
         print(sink.describe())
+    if sink is not None and sink.path is not None:
+        artifacts.append((sink.path, CODEC_FRAMED))
     if args.output_stem and report.result is not None:
         events_path, structured_path = write_parse_result(
-            report.result, args.output_stem
+            report.result, args.output_stem, io=io
         )
+        artifacts.append((events_path, CODEC_LINES))
+        artifacts.append((structured_path, CODEC_LINES))
         print(f"wrote {events_path}, {structured_path}")
     if args.mine and report.matrix is not None:
         _mine_matrix(report.matrix)
@@ -1061,11 +1230,14 @@ def _cmd_supervise(args) -> int:
             file=sys.stderr,
         )
         return 2
-    telemetry = _make_telemetry(args, trace_id="supervise")
-    policy_mode, sink = _resolve_policy(args, telemetry=telemetry)
+    io = _make_io(args)
+    telemetry = _make_telemetry(args, trace_id="supervise", io=io)
+    policy_mode, sink = _resolve_policy(args, telemetry=telemetry, io=io)
     policy_mode = policy_mode or "quarantine"
     if sink is None:
-        sink = QuarantineSink(args.quarantine_path, telemetry=telemetry)
+        sink = QuarantineSink(
+            args.quarantine_path, telemetry=telemetry, io=io
+        )
     preprocessor = (
         default_preprocessor(args.preprocess_dataset)
         if args.preprocess_dataset
@@ -1122,6 +1294,7 @@ def _cmd_supervise(args) -> int:
     # Context-managed: the sink flushes and closes even when the whole
     # chain fails and FallbackExhaustedError propagates — and the
     # telemetry export in the finally captures the failed attempts too.
+    artifacts: list[tuple[str, str]] = []
     try:
         with sink:
             outcome = supervisor.parse(clean)
@@ -1131,10 +1304,14 @@ def _cmd_supervise(args) -> int:
             f"{len(clean)} clean lines ({policy.skipped} rejected)"
         )
         print(sink.describe())
+        if sink.path is not None:
+            artifacts.append((sink.path, CODEC_FRAMED))
         if args.output_stem:
             events_path, structured_path = write_parse_result(
-                outcome.result, args.output_stem
+                outcome.result, args.output_stem, io=io
             )
+            artifacts.append((events_path, CODEC_LINES))
+            artifacts.append((structured_path, CODEC_LINES))
             print(f"wrote {events_path}, {structured_path}")
         if args.verify:
             batch_parser = make_parser(
@@ -1152,7 +1329,7 @@ def _cmd_supervise(args) -> int:
                 return 1
         return 0
     finally:
-        _export_telemetry(args, telemetry)
+        _export_telemetry(args, telemetry, artifacts=artifacts, io=io)
 
 
 def _cmd_soak(args) -> int:
@@ -1186,6 +1363,30 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_verify_run(args) -> int:
+    report = verify_manifest(args.manifest)
+    print(report.describe())
+    ok = report.ok
+    if args.against:
+        other = verify_manifest(args.against)
+        print(other.describe())
+        ok = ok and other.ok
+        differences = diff_manifests(
+            args.manifest, args.against, ignore=tuple(args.ignore)
+        )
+        if differences:
+            print(f"manifests disagree ({len(differences)} artifact(s)):")
+            for line in differences:
+                print(f"  - {line}")
+            ok = False
+        else:
+            print(
+                "manifests agree: artifact hashes, sizes, and record "
+                "counts identical"
+            )
+    return 0 if ok else EXIT_DATA
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "parse": _cmd_parse,
@@ -1197,6 +1398,7 @@ _COMMANDS = {
     "supervise": _cmd_supervise,
     "soak": _cmd_soak,
     "report": _cmd_report,
+    "verify-run": _cmd_verify_run,
 }
 
 

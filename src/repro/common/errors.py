@@ -72,6 +72,28 @@ class BudgetExceededError(ReproError):
         self.breaches = tuple(breaches)
 
 
+class ArtifactWriteError(ReproError):
+    """An output artifact could not be durably committed.
+
+    Raised by the durability layer (:mod:`repro.resilience.durability`)
+    after its retry/divert ladder is exhausted — the write sequence
+    (temp file, fsync, rename, directory fsync) failed persistently.
+    The target artifact is left in its previous complete state, never
+    half-written.  Maps to the runtime-failure exit code (4).
+    """
+
+
+class IntegrityError(ReproError):
+    """A persisted artifact failed an integrity check.
+
+    Covers manifest verification mismatches (hash/size/record-count
+    drift, missing artifacts), invalid JSONL frames, and checkpoint/
+    artifact reconciliation conflicts.  The CLI maps it to the
+    data-error exit code (3): the inputs to the next pipeline stage
+    are not trustworthy.
+    """
+
+
 class FallbackExhaustedError(ReproError):
     """Every parser in a supervision fallback chain failed.
 

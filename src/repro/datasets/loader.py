@@ -17,6 +17,7 @@ from collections.abc import Iterator
 from repro.common.errors import DatasetError
 from repro.common.rng import spawn
 from repro.common.types import LogRecord, ParseResult
+from repro.resilience.durability import AtomicWriter
 from repro.resilience.quarantine import (
     REASON_OVERSIZED,
     REASON_UNDECODABLE,
@@ -25,19 +26,23 @@ from repro.resilience.quarantine import (
 )
 
 
-def write_raw_log(records: list[LogRecord], path: str) -> None:
+def write_raw_log(
+    records: list[LogRecord], path: str, *, io=None
+) -> None:
     """Write *records* to *path* in the tab-separated raw format.
 
     Ground-truth event ids are intentionally not persisted — the raw
-    file is what a parser would see in the wild.
+    file is what a parser would see in the wild.  The write is atomic:
+    a validation failure or crash mid-write leaves any previous file
+    at *path* untouched.
     """
-    with open(path, "w", encoding="utf-8") as handle:
+    with AtomicWriter(path, io=io) as writer:
         for record in records:
             if "\t" in record.content:
                 raise DatasetError(
                     "raw log content must not contain tab characters"
                 )
-            handle.write(
+            writer.write(
                 f"{record.timestamp}\t{record.session_id}\t{record.content}\n"
             )
 
@@ -157,20 +162,25 @@ def iter_raw_log(
             yield _parse_raw_line(line)
 
 
-def write_parse_result(result: ParseResult, stem: str) -> tuple[str, str]:
-    """Write the two parser output files next to *stem*.
+def write_parse_result(
+    result: ParseResult, stem: str, *, io=None
+) -> tuple[str, str]:
+    """Write the two parser output files next to *stem*, atomically.
 
     Returns the ``(events_path, structured_path)`` pair, matching the
-    standard output contract of §II-C.
+    standard output contract of §II-C.  Each file commits via
+    temp-write-rename, so a crash mid-write can never leave a
+    truncated ``.events`` / ``.structured`` pair to poison downstream
+    mining (Finding 6).
     """
     events_path = f"{stem}.events"
     structured_path = f"{stem}.structured"
-    with open(events_path, "w", encoding="utf-8") as handle:
+    with AtomicWriter(events_path, io=io) as writer:
         for line in result.events_file_lines():
-            handle.write(line + "\n")
-    with open(structured_path, "w", encoding="utf-8") as handle:
+            writer.write(line + "\n")
+    with AtomicWriter(structured_path, io=io) as writer:
         for line in result.structured_file_lines():
-            handle.write(line + "\n")
+            writer.write(line + "\n")
     return events_path, structured_path
 
 
@@ -189,9 +199,9 @@ def write_real_format(
     from repro.datasets.headers import HeaderFormat
 
     header = HeaderFormat(system=system)
-    with open(path, "w", encoding="utf-8") as handle:
+    with AtomicWriter(path) as writer:
         for line in header.add_headers(records, seed=seed):
-            handle.write(line + "\n")
+            writer.write(line + "\n")
 
 
 def read_real_format(path: str, system: str) -> list[LogRecord]:

@@ -10,17 +10,20 @@ sequence of dicts with a shared envelope::
 Any object exposing ``to_record() -> dict`` (``DegradationEvent``,
 ``FailureReport``, ``QuarantineRecord``) can be emitted directly with
 :meth:`EventLog.record`; ad-hoc events go through :meth:`EventLog.emit`.
-The log persists as JSONL so the ``report`` subcommand — or plain
-``grep`` — can reconstruct what happened in order.
+The log persists as length+CRC32-framed JSONL (see
+:mod:`repro.resilience.durability`) so the ``report`` subcommand — or
+plain ``grep``, the JSON payload stays on the line — can reconstruct
+what happened in order, and a timeline torn by a crash recovers to
+its last complete event instead of ending in garbage.
 """
 
 from __future__ import annotations
 
-import json
 import time
 from collections.abc import Callable
 
 from repro.common.errors import ValidationError
+from repro.resilience.durability import DurableJsonlWriter
 
 
 class EventLog:
@@ -29,19 +32,25 @@ class EventLog:
     Args:
         clock: relative-seconds time source (injectable for tests).
             Timestamps are seconds since the log's creation.
-        path: optional JSONL file; events are appended as they arrive
-            so a crashed run still leaves its timeline behind.
+        path: optional JSONL file; events are appended (framed, via
+            the durable writer) as they arrive so a crashed run still
+            leaves its timeline behind.  An existing file is appended
+            to — timelines accumulate across a run's lives — after
+            its torn tail, if any, is recovered.
+        io: IO seam for fault injection (defaults to the real thing).
     """
 
     def __init__(
         self,
         clock: Callable[[], float] = time.monotonic,
         path: str | None = None,
+        io=None,
     ) -> None:
         self._clock = clock
         self._epoch = clock()
         self._path = path
-        self._handle = None
+        self._io = io
+        self._writer: DurableJsonlWriter | None = None
         self._seq = 0
         self.events: list[dict] = []
 
@@ -83,15 +92,20 @@ class EventLog:
     def _persist(self, event: dict) -> None:
         if self._path is None:
             return
-        if self._handle is None:
-            self._handle = open(self._path, "a", encoding="utf-8")
-        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
-        self._handle.flush()
+        if self._writer is None:
+            self._writer = DurableJsonlWriter(self._path, io=self._io)
+        self._writer.append(event)
+
+    def offset(self) -> tuple[int, int]:
+        """``(bytes, records)`` durably framed on disk so far."""
+        if self._writer is None:
+            return 0, 0
+        return self._writer.offset()
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
 
     def __enter__(self) -> "EventLog":
         return self
@@ -115,11 +129,11 @@ class EventLog:
 
 
 def load_events(path: str) -> list[dict]:
-    """Read back a JSONL event log (used by ``repro report``)."""
-    events = []
-    with open(path, encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                events.append(json.loads(line))
-    return events
+    """Read back an event log (used by ``repro report``).
+
+    Accepts both the framed format the log writes and legacy plain
+    JSONL files.
+    """
+    from repro.resilience.durability import read_jsonl_payloads
+
+    return read_jsonl_payloads(path)

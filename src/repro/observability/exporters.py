@@ -17,6 +17,7 @@ import math
 import re
 
 from repro.common.errors import ValidationError
+from repro.resilience.durability import atomic_write_text
 from repro.observability.metrics import (
     Histogram,
     MetricsRegistry,
@@ -178,12 +179,19 @@ def render_json_snapshot(registry: MetricsRegistry) -> str:
     return json.dumps(snapshot, indent=2, sort_keys=True)
 
 
-def export_metrics(registry: MetricsRegistry, path: str) -> None:
+def export_metrics(
+    registry: MetricsRegistry, path: str, *, io=None, telemetry=None
+) -> None:
     """Write the registry to ``path``; ``.json`` selects the JSON
-    snapshot, anything else the Prometheus exposition."""
+    snapshot, anything else the Prometheus exposition.
+
+    The write is atomic (temp file, fsync, rename): the ``finally``
+    blocks that export telemetry from failing runs can no longer
+    leave a half-written exposition shadowing a previous good one —
+    the old artifact survives unless the new one commits completely.
+    """
     if path.endswith(".json"):
         text = render_json_snapshot(registry)
     else:
         text = render_prometheus(registry)
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(text)
+    atomic_write_text(path, text, io=io, telemetry=telemetry)

@@ -52,8 +52,14 @@ class Telemetry:
         clock: Callable[[], float] = time.monotonic,
         clock_us: Callable[[], int] | None = None,
         events_path: str | None = None,
+        io=None,
     ) -> "Telemetry":
-        """A fully-wired telemetry handle with shared defaults."""
+        """A fully-wired telemetry handle with shared defaults.
+
+        *io* is the durability layer's IO seam — passed to the event
+        log's durable writer so injected IO faults reach the timeline
+        artifact too.
+        """
         tracer = (
             Tracer(trace_id=trace_id)
             if clock_us is None
@@ -62,7 +68,7 @@ class Telemetry:
         return cls(
             metrics=MetricsRegistry(clock=clock),
             tracer=tracer,
-            events=EventLog(clock=clock, path=events_path),
+            events=EventLog(clock=clock, path=events_path, io=io),
         )
 
     def close(self) -> None:
@@ -134,6 +140,15 @@ def _register_schema(metrics: MetricsRegistry) -> None:
         "Checkpoint save/load latency",
         labelnames=("op",),
         buckets=DEFAULT_LATENCY_BUCKETS,
+    )
+    metrics.counter(
+        "repro_artifact_writes_total",
+        "Durable artifact writes by kind and outcome",
+        labelnames=("kind", "outcome"),
+    )
+    metrics.counter(
+        "repro_jsonl_recovered_bytes_total",
+        "Torn-tail bytes truncated by JSONL recovery",
     )
     metrics.counter(
         "repro_supervisor_attempts_total",

@@ -282,7 +282,9 @@ class Tracer:
             )
         return json.dumps({"traceEvents": events}, indent=2)
 
-    def export(self, path: str, fmt: str = "jsonl") -> None:
+    def export(self, path: str, fmt: str = "jsonl", *, io=None) -> None:
+        """Write the trace atomically (temp file, fsync, rename), so a
+        crash mid-export cannot leave a torn trace file behind."""
         if fmt == "jsonl":
             text = self.to_jsonl()
         elif fmt == "chrome":
@@ -291,8 +293,9 @@ class Tracer:
             raise ValidationError(
                 f"unknown trace format {fmt!r} (expected jsonl or chrome)"
             )
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(text)
+        from repro.resilience.durability import atomic_write_text
+
+        atomic_write_text(path, text, io=io)
 
 
 def load_jsonl_spans(path: str) -> list[Span]:

@@ -20,9 +20,13 @@ containment layer, in four parts:
   finalizes to the identical (prefix-policy: byte-identical) result;
 * :mod:`~repro.resilience.faults` — a deterministic, seeded
   fault-injection harness (corrupt records, crashing/stalling
-  parsers, killed chunk workers) so every recovery path above is
-  exercised by tests and the ``repro supervise`` / ``repro stream
-  --faults`` CLI.
+  parsers, killed chunk workers, scripted IO faults) so every
+  recovery path above is exercised by tests and the ``repro
+  supervise`` / ``repro stream --faults`` CLI;
+* :mod:`~repro.resilience.durability` — crash-consistent artifact IO:
+  atomic whole-file writes (temp + fsync + rename + dir fsync),
+  length+CRC32-framed JSONL with torn-tail recovery, and run-end
+  integrity manifests checked by ``repro verify-run``.
 """
 
 from repro.resilience.checkpoint import (
@@ -33,12 +37,31 @@ from repro.resilience.checkpoint import (
     restore_streaming_parser,
     save_checkpoint,
 )
+from repro.resilience.durability import (
+    AtomicWriter,
+    DurableJsonlWriter,
+    JsonlRecovery,
+    ManifestReport,
+    RealIO,
+    RunManifest,
+    atomic_write_text,
+    diff_manifests,
+    ensure_artifact,
+    load_manifest,
+    read_jsonl_payloads,
+    reconcile_jsonl,
+    recover_jsonl,
+    verify_manifest,
+)
 from repro.resilience.faults import (
     ChunkFault,
+    FaultyIO,
     FlakyFactory,
     InjectedFault,
+    IoFault,
     corrupt_raw_file,
     corrupt_records,
+    io_fault_schedule,
 )
 from repro.resilience.quarantine import (
     ERROR_POLICIES,
@@ -65,11 +88,28 @@ __all__ = [
     "restore_accumulator",
     "restore_streaming_parser",
     "save_checkpoint",
+    "AtomicWriter",
+    "DurableJsonlWriter",
+    "JsonlRecovery",
+    "ManifestReport",
+    "RealIO",
+    "RunManifest",
+    "atomic_write_text",
+    "diff_manifests",
+    "ensure_artifact",
+    "load_manifest",
+    "read_jsonl_payloads",
+    "reconcile_jsonl",
+    "recover_jsonl",
+    "verify_manifest",
     "ChunkFault",
+    "FaultyIO",
     "FlakyFactory",
     "InjectedFault",
+    "IoFault",
     "corrupt_raw_file",
     "corrupt_records",
+    "io_fault_schedule",
     "ERROR_POLICIES",
     "ErrorPolicy",
     "QuarantineRecord",

@@ -10,13 +10,22 @@ byte-exact (same ``.events`` / ``.structured`` output), because the
 final full re-parse sees the identical record sequence either way; the
 resilience test suite certifies it with the equivalence harness.
 
-The file format is versioned JSON written atomically (temp file +
-``os.replace``), so a crash *during* checkpointing leaves the previous
-checkpoint intact.  Code-valued engine parameters (the parser factory,
+The file format is versioned JSON written through the durability
+layer's full crash-consistency sequence — temp file, ``fsync`` of the
+temp file *before* ``os.replace``, then ``fsync`` of the parent
+directory — so a crash (or power loss) during checkpointing leaves
+the previous checkpoint intact and a completed rename actually
+sticks.  Code-valued engine parameters (the parser factory,
 preprocessor, callbacks) are not serialized — the resume path takes
 them as arguments and the saved configuration is cross-checked against
 the rebuilt engine, failing with
 :class:`~repro.common.errors.CheckpointError` on any mismatch.
+
+Checkpoints also carry the byte/record offsets of the run's
+append-mode JSONL artifacts (quarantine sinks) at save time, so a
+resume can reconcile those files — truncating records written after
+the checkpoint that the replayed stream will re-emit — via
+:func:`~repro.resilience.durability.reconcile_jsonl`.
 """
 
 from __future__ import annotations
@@ -24,10 +33,11 @@ from __future__ import annotations
 import json
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.common.errors import CheckpointError
+from repro.common.errors import ArtifactWriteError, CheckpointError
+from repro.resilience.durability import RealIO, atomic_write_text
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.mining.event_matrix import EventMatrixAccumulator
@@ -37,7 +47,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: Bump when the checkpoint schema changes incompatibly.
 #: v2: engine config gained backpressure fields (max_pending/overflow).
-CHECKPOINT_VERSION = 2
+#: v3: added per-artifact JSONL offsets for resume reconciliation.
+CHECKPOINT_VERSION = 3
 
 
 @dataclass
@@ -56,6 +67,10 @@ class StreamCheckpoint:
         engine: :meth:`~repro.streaming.engine.StreamingParser.checkpoint_state`
             snapshot.
         accumulator: live mining accumulator snapshot, or ``None``.
+        artifacts: ``{path: {"bytes": int, "records": int}}`` offsets
+            of the run's append-mode JSONL artifacts at save time,
+            used by resume to truncate post-checkpoint records the
+            replayed stream re-emits.
     """
 
     version: int
@@ -64,6 +79,7 @@ class StreamCheckpoint:
     records_consumed: int
     engine: dict
     accumulator: dict | None = None
+    artifacts: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -73,6 +89,7 @@ class StreamCheckpoint:
             "records_consumed": self.records_consumed,
             "engine": self.engine,
             "accumulator": self.accumulator,
+            "artifacts": self.artifacts,
         }
 
 
@@ -97,13 +114,19 @@ def save_checkpoint(
     parser: str | None = None,
     source: str | None = None,
     accumulator: "EventMatrixAccumulator | None" = None,
+    artifacts: dict | None = None,
+    io: "RealIO | None" = None,
     telemetry=None,
 ) -> StreamCheckpoint:
     """Snapshot *engine* (and optional accumulator) to *path* atomically.
 
-    Returns the in-memory :class:`StreamCheckpoint` that was written.
-    With *telemetry*, the save is counted, its latency observed, and a
-    ``checkpoint`` event lands on the timeline.
+    The write goes through :func:`atomic_write_text` (temp file,
+    fsync, rename, parent-dir fsync), so a crash — even a power loss —
+    at any point leaves either the previous checkpoint or the new one,
+    never a torn hybrid.  Returns the in-memory
+    :class:`StreamCheckpoint` that was written.  With *telemetry*, the
+    save is counted, its latency observed, and a ``checkpoint`` event
+    lands on the timeline.
     """
     started = time.perf_counter()
     checkpoint = StreamCheckpoint(
@@ -113,13 +136,13 @@ def save_checkpoint(
         records_consumed=records_consumed,
         engine=engine.checkpoint_state(),
         accumulator=accumulator.state() if accumulator is not None else None,
+        artifacts=dict(artifacts or {}),
     )
-    tmp_path = f"{path}.tmp"
     try:
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            json.dump(checkpoint.to_dict(), handle)
-        os.replace(tmp_path, path)
-    except OSError as error:
+        atomic_write_text(
+            path, json.dumps(checkpoint.to_dict()), io=io, retries=1
+        )
+    except (OSError, ArtifactWriteError) as error:
         raise CheckpointError(
             f"could not write checkpoint to {path}: {error}"
         ) from error
@@ -169,6 +192,7 @@ def load_checkpoint(path: str, telemetry=None) -> StreamCheckpoint:
             records_consumed=data["records_consumed"],
             engine=data["engine"],
             accumulator=data.get("accumulator"),
+            artifacts=data.get("artifacts") or {},
         )
     except KeyError as error:
         raise CheckpointError(

@@ -17,7 +17,12 @@ so a failing resilience test replays bit-for-bit:
 * :class:`ChunkFault` fires inside chunk workers on scheduled
   ``(chunk, attempt)`` pairs — exercised against
   :class:`~repro.parsers.parallel.ChunkedParallelParser` re-dispatch
-  and in-process fallback.
+  and in-process fallback;
+* :class:`FaultyIO` interposes on the durability layer's IO seam
+  (:class:`~repro.resilience.durability.RealIO`), injecting ``EIO``,
+  ``ENOSPC``, fsync failures, and partial/torn writes at scripted
+  byte offsets — exercised against every durable writer's
+  retry/divert/recover contract.
 
 Everything here is picklable (plain module-level classes over plain
 data) so faults survive the trip into worker processes.
@@ -25,6 +30,7 @@ data) so faults survive the trip into worker processes.
 
 from __future__ import annotations
 
+import errno
 import os
 import time
 from dataclasses import dataclass
@@ -35,6 +41,7 @@ from repro.common.errors import ReproError, ValidationError
 from repro.common.types import LogRecord, ParseResult
 from repro.parsers.base import LogParser
 from repro.parsers.parallel import ParserFactory
+from repro.resilience.durability import RealIO
 
 
 class InjectedFault(ReproError, RuntimeError):
@@ -284,3 +291,191 @@ class ChunkFault:
             f"injected worker crash on chunk {chunk_index} "
             f"attempt {attempt}"
         )
+
+
+# ----------------------------------------------------------------------
+# IO faults (durability layer)
+# ----------------------------------------------------------------------
+
+#: IO fault kinds.
+IO_EIO = "eio"
+IO_ENOSPC = "enospc"
+IO_FSYNC = "fsync"
+IO_TORN = "torn"
+IO_KINDS = (IO_EIO, IO_ENOSPC, IO_FSYNC, IO_TORN)
+
+_IO_ERRNO = {
+    IO_EIO: errno.EIO,
+    IO_ENOSPC: errno.ENOSPC,
+    IO_FSYNC: errno.EIO,
+    IO_TORN: errno.EIO,
+}
+
+
+@dataclass
+class IoFault:
+    """One scripted IO failure.
+
+    Args:
+        kind: ``eio`` (the write fails outright), ``enospc`` (the
+            device fills: bytes up to the offset land, the rest raise
+            ``ENOSPC``), ``fsync`` (the Nth fsync call fails — data
+            may sit in the page cache but durability is not
+            guaranteed), ``torn`` (the write is cut mid-record at the
+            scripted byte offset, modeling power loss during a
+            multi-byte write).
+        at_bytes: for ``eio``/``enospc``/``torn``: the cumulative
+            byte-stream offset (across all writes through this
+            :class:`FaultyIO`) at which the fault fires.
+        at_call: for ``fsync``: the 1-based fsync call number from
+            which the fault fires (later calls keep failing while
+            ``times`` lasts, so a persistently broken device is
+            ``times=N``).
+        path_contains: only writes/fsyncs whose path contains this
+            substring are eligible (``None`` matches every path).
+        times: how many times the fault fires before disarming — 1
+            models a transient hiccup a retry survives, a large value
+            models a persistently failing device.
+    """
+
+    kind: str
+    at_bytes: int = 0
+    at_call: int = 1
+    path_contains: str | None = None
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in IO_KINDS:
+            raise ValidationError(
+                f"io fault kind must be one of {IO_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.times < 1:
+            raise ValidationError(f"times must be >= 1, got {self.times}")
+
+    def matches_path(self, path: str) -> bool:
+        return self.path_contains is None or self.path_contains in path
+
+
+class FaultyIO(RealIO):
+    """A :class:`~repro.resilience.durability.RealIO` that fails on cue.
+
+    Wraps the real IO primitives, tracking the cumulative bytes
+    written and fsync calls issued through it, and enacts the scripted
+    :class:`IoFault` list deterministically: the same script against
+    the same write sequence always fails at the same byte.  Torn and
+    ``ENOSPC`` faults genuinely persist the partial prefix before
+    raising, so recovery code faces real half-written files, not
+    pretend ones.
+
+    Use :func:`io_fault_schedule` to derive a reproducible script from
+    a seed (the ``REPRO_IO_SEED`` CI matrix does).
+    """
+
+    def __init__(self, script: Sequence[IoFault] = ()) -> None:
+        self.script = list(script)
+        self.bytes_written = 0
+        self.fsync_calls = 0
+        self.fired: list[IoFault] = []
+        self._paths: dict[int, str] = {}
+
+    def open(self, path: str, mode: str):
+        handle = super().open(path, mode)
+        self._paths[id(handle)] = path
+        return handle
+
+    def _path_of(self, handle) -> str:
+        return self._paths.get(id(handle), getattr(handle, "name", "?"))
+
+    def _arm(self, fault: IoFault) -> None:
+        fault.times -= 1
+        self.fired.append(fault)
+        if fault.times == 0:
+            self.script.remove(fault)
+
+    def write(self, handle, data: bytes) -> None:
+        path = self._path_of(handle)
+        start = self.bytes_written
+        end = start + len(data)
+        for fault in list(self.script):
+            if fault.kind not in (IO_EIO, IO_ENOSPC, IO_TORN):
+                continue
+            if not fault.matches_path(path):
+                continue
+            if not (start <= fault.at_bytes < end):
+                continue
+            self._arm(fault)
+            keep = fault.at_bytes - start
+            if fault.kind != IO_EIO and keep:
+                super().write(handle, data[:keep])
+                super().flush(handle)
+                self.bytes_written += keep
+            raise OSError(
+                _IO_ERRNO[fault.kind],
+                f"injected {fault.kind} at byte {fault.at_bytes} "
+                f"of {path}",
+            )
+        super().write(handle, data)
+        self.bytes_written = end
+
+    def fsync(self, handle) -> None:
+        self.fsync_calls += 1
+        path = self._path_of(handle)
+        for fault in list(self.script):
+            if fault.kind != IO_FSYNC or not fault.matches_path(path):
+                continue
+            if self.fsync_calls < fault.at_call:
+                continue
+            self._arm(fault)
+            raise OSError(
+                _IO_ERRNO[IO_FSYNC],
+                f"injected fsync failure (call {self.fsync_calls}) "
+                f"on {path}",
+            )
+        super().fsync(handle)
+
+
+def io_fault_schedule(
+    seed: int,
+    *,
+    n: int = 4,
+    max_bytes: int = 4096,
+    kinds: Sequence[str] = IO_KINDS,
+    path_contains: str | None = None,
+    times: int = 1,
+) -> list[IoFault]:
+    """A reproducible IO fault script drawn from *seed*.
+
+    The same seed always yields the same script, so a failing
+    durability test replays bit-for-bit.  Faults are spaced so a
+    single-retry writer can survive each one individually: byte
+    offsets land in disjoint windows at least half a window apart,
+    and fsync call numbers keep a gap of two so the retry's fsync
+    falls between faults rather than on the next one.  Stacking
+    ``times`` (or tightening the spacing by hand) is how tests model
+    a persistently failing device.
+    """
+    if n < 1:
+        raise ValidationError(f"n must be >= 1, got {n}")
+    for kind in kinds:
+        if kind not in IO_KINDS:
+            raise ValidationError(
+                f"unknown io fault kind {kind!r}; choose from {IO_KINDS}"
+            )
+    rng = Random(seed)
+    window = max(1024, max_bytes // n)
+    script = []
+    fsync_call = 0
+    for index in range(n):
+        kind = rng.choice(list(kinds))
+        fsync_call += rng.randint(2, 5)
+        script.append(
+            IoFault(
+                kind=kind,
+                at_bytes=index * window + rng.randrange(window // 2),
+                at_call=fsync_call,
+                path_contains=path_contains,
+                times=times,
+            )
+        )
+    return script

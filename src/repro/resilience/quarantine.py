@@ -20,13 +20,18 @@ supplies the shared answer used by :mod:`repro.datasets.loader`,
 
 from __future__ import annotations
 
-import json
 import os
 from dataclasses import asdict, dataclass
 from collections.abc import Iterable, Iterator
 
 from repro.common.errors import DatasetError, ValidationError
 from repro.common.types import LogRecord
+from repro.resilience.durability import (
+    DurableJsonlWriter,
+    RealIO,
+    read_jsonl_payloads,
+    recover_jsonl,
+)
 
 #: The three per-record error policies, in escalating tolerance order.
 ERROR_POLICIES = ("raise", "skip", "quarantine")
@@ -81,12 +86,19 @@ def preview_text(payload: bytes | str) -> str:
 
 
 class QuarantineSink:
-    """Collects quarantined records; optionally persists them as JSONL.
+    """Collects quarantined records; optionally persists them durably.
 
     Args:
         path: when given, every quarantined record is also appended to
-            this file as one JSON object per line (created lazily on
-            the first record, so an untouched sink leaves no file).
+            this file as one length+CRC32-framed JSON line (created
+            lazily on the first record, so an untouched sink leaves no
+            file).  Persistence goes through
+            :class:`~repro.resilience.durability.DurableJsonlWriter`:
+            a pre-existing file has its torn tail recovered before the
+            first append, transient IO faults are retried, and a
+            persistently failing path diverts to ``path + ".alt"`` so
+            records still land somewhere durable.
+        io: IO seam for fault injection (defaults to the real thing).
 
     The sink always keeps records in memory too, so tests and the CLI
     can report counts without re-reading the file.  With a *telemetry*
@@ -95,11 +107,17 @@ class QuarantineSink:
     interleaves with ladder steps and fallback reports.
     """
 
-    def __init__(self, path: str | None = None, telemetry=None) -> None:
+    def __init__(
+        self,
+        path: str | None = None,
+        telemetry=None,
+        io: "RealIO | None" = None,
+    ) -> None:
         self.path = path
         self.telemetry = telemetry
+        self.io = io
         self.records: list[QuarantineRecord] = []
-        self._handle = None
+        self._writer: DurableJsonlWriter | None = None
 
     def __len__(self) -> int:
         return len(self.records)
@@ -110,20 +128,36 @@ class QuarantineSink:
     def add(self, record: QuarantineRecord) -> None:
         self.records.append(record)
         if self.path is not None:
-            if self._handle is None:
-                self._handle = open(self.path, "a", encoding="utf-8")
-            self._handle.write(json.dumps(asdict(record)) + "\n")
-            self._handle.flush()
+            if self._writer is None:
+                self._writer = DurableJsonlWriter(
+                    self.path, io=self.io, telemetry=self.telemetry
+                )
+            self._writer.append(asdict(record))
         if self.telemetry is not None:
             self.telemetry.metrics.get(
                 "repro_quarantine_records_total"
             ).labels(reason=record.reason).inc()
             self.telemetry.events.record(record)
 
+    def offset(self) -> tuple[int, int]:
+        """``(bytes, records)`` durably framed on disk so far.
+
+        This is what checkpoints record: a resume truncates the file
+        back to this offset so re-fed records do not duplicate.  A
+        sink without a path (or one that has not opened its file yet)
+        reports the on-disk state, not the in-memory record count.
+        """
+        if self._writer is not None:
+            return self._writer.offset()
+        if self.path is not None and os.path.exists(self.path):
+            recovery = recover_jsonl(self.path, truncate=False, io=self.io)
+            return recovery.valid_bytes, len(recovery.records)
+        return 0, 0
+
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
 
     def __enter__(self) -> "QuarantineSink":
         return self
@@ -149,16 +183,17 @@ class QuarantineSink:
 
     @staticmethod
     def read(path: str) -> list[QuarantineRecord]:
-        """Load a JSONL quarantine file back into records."""
+        """Load a quarantine file back into records.
+
+        Accepts both the framed format the sink writes and legacy
+        plain JSONL.
+        """
         if not os.path.exists(path):
             raise DatasetError(f"quarantine file not found: {path}")
-        records = []
-        with open(path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if line:
-                    records.append(QuarantineRecord(**json.loads(line)))
-        return records
+        return [
+            QuarantineRecord(**payload)
+            for payload in read_jsonl_payloads(path)
+        ]
 
 
 class ErrorPolicy:

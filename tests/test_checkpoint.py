@@ -225,3 +225,161 @@ def test_save_checkpoint_to_unwritable_path_fails(toy_records, tmp_path):
             engine,
             records_consumed=0,
         )
+
+
+# ----------------------------------------------------------------------
+# Faulted kill points: crash + IO faults, resumed via the CLI
+# ----------------------------------------------------------------------
+
+_FAULT_SIZE = 150
+_FAULT_SEED = 11
+_FAULT_CORRUPTION_SEED = 13
+_FAULT_EVERY = 10
+
+
+def _faulted_cli_stream(workdir, extra):
+    from repro.cli import main
+
+    argv = [
+        "stream",
+        "IPLoM",
+        "--dataset",
+        "HDFS",
+        "--size",
+        str(_FAULT_SIZE),
+        "--seed",
+        str(_FAULT_SEED),
+        "--faults",
+        str(_FAULT_CORRUPTION_SEED),
+        "--fault-every",
+        str(_FAULT_EVERY),
+        "--flush-policy",
+        "prefix",
+        "--flush-size",
+        "32",
+        "--quarantine-path",
+        str(workdir / "q.jsonl"),
+        "--checkpoint",
+        str(workdir / "cp.json"),
+        "--output-stem",
+        str(workdir / "out"),
+        "--manifest-out",
+        str(workdir / "manifest.json"),
+        *extra,
+    ]
+    assert main(argv) == 0
+
+
+def _faulted_first_life(workdir, kill_at, io_script):
+    """One run 'life' that dies: feed *kill_at* records under injected
+    IO faults, checkpoint (with artifact offsets), keep feeding a few
+    more so quarantine appends land *after* the snapshot, then crash —
+    leaving a torn frame on the quarantine tail."""
+    from repro.datasets import iter_dataset
+    from repro.resilience import (
+        FaultyIO,
+        IoFault,
+        QuarantineSink,
+        corrupt_records,
+    )
+
+    records = corrupt_records(
+        iter_dataset(
+            get_dataset_spec("HDFS"), _FAULT_SIZE, seed=_FAULT_SEED
+        ),
+        seed=_FAULT_CORRUPTION_SEED,
+        every=_FAULT_EVERY,
+    )
+    io = FaultyIO([IoFault(**fault) for fault in io_script])
+    qpath = str(workdir / "q.jsonl")
+    sink = QuarantineSink(qpath, io=io)
+    engine = StreamingParser(
+        partial(make_parser, "IPLoM"),
+        flush_policy="prefix",
+        flush_size=32,
+        cache_capacity=4096,
+        max_flush_retries=3,
+        error_policy="quarantine",
+        quarantine=sink,
+    )
+    session = ParseSession(engine)
+    consumed = 0
+    for record in records:
+        session.feed(record)
+        consumed += 1
+        if consumed == kill_at:
+            qbytes, qrecords = sink.offset()
+            save_checkpoint(
+                str(workdir / "cp.json"),
+                engine,
+                records_consumed=consumed,
+                parser="IPLoM",
+                source="dataset:HDFS",
+                accumulator=session.accumulator,
+                artifacts={
+                    qpath: {"bytes": qbytes, "records": qrecords}
+                },
+            )
+        if consumed == kill_at + 12:
+            break
+    sink.close()
+    # The crash itself: a frame torn mid-append survives on the tail.
+    with open(qpath, "ab") as handle:
+        handle.write(b'000000f0 deadbeef {"reason": "never-fini')
+    return io
+
+
+@pytest.mark.parametrize(
+    "io_script",
+    [
+        pytest.param(
+            [
+                {"kind": "torn", "at_bytes": 150},
+                {"kind": "torn", "at_bytes": 900},
+            ],
+            id="torn-writes",
+        ),
+        pytest.param(
+            [
+                {"kind": "enospc", "at_bytes": 40},
+                {"kind": "enospc", "at_bytes": 700},
+            ],
+            id="enospc",
+        ),
+    ],
+)
+def test_faulted_kill_points_resume_to_fault_free_manifest(
+    tmp_path, io_script
+):
+    """The acceptance sweep: for each kill point, a first life that
+    suffers scripted torn-write/ENOSPC faults, checkpoints, keeps
+    appending, and dies with a torn quarantine tail must — after
+    ``stream --resume`` reconciles the JSONL tail against the
+    checkpoint — finalize to artifacts whose manifest is identical to
+    an uninterrupted fault-free run's."""
+    from repro.resilience import diff_manifests, verify_manifest
+
+    baseline = tmp_path / "baseline"
+    baseline.mkdir()
+    _faulted_cli_stream(baseline, [])
+    assert verify_manifest(str(baseline / "manifest.json")).ok
+
+    fired_total = 0
+    for kill_at in (5, 40, 97):
+        workdir = tmp_path / f"kill-{kill_at}"
+        workdir.mkdir()
+        io = _faulted_first_life(workdir, kill_at, io_script)
+        fired_total += len(io.fired)
+        _faulted_cli_stream(workdir, ["--resume"])
+        report = verify_manifest(str(workdir / "manifest.json"))
+        assert report.ok, report.describe()
+        differences = diff_manifests(
+            str(baseline / "manifest.json"),
+            str(workdir / "manifest.json"),
+            ignore=("cp.json",),
+        )
+        assert not differences, (
+            f"kill at {kill_at}: resumed artifacts diverged from the "
+            f"fault-free run:\n" + "\n".join(differences)
+        )
+    assert fired_total > 0, "the scripted IO faults never fired"

@@ -90,9 +90,18 @@ def test_library_raises_only_repro_errors_for_bad_config():
 
 #: Exceptions that may be raised without being ReproError subclasses:
 #: KeyError encodes the mapping contract (``parser.name -> factory``),
-#: NotImplementedError marks abstract-method stubs, and AssertionError
-#: guards internal invariants that indicate bugs, not runtime faults.
-_ALLOWED_NON_REPRO = {"KeyError", "NotImplementedError", "AssertionError"}
+#: NotImplementedError marks abstract-method stubs, AssertionError
+#: guards internal invariants that indicate bugs, not runtime faults,
+#: and OSError is what the IO fault injector (FaultyIO) must raise —
+#: recovery paths have to see the exact type (and errno) a real
+#: syscall would produce; the durability layer re-classifies it into
+#: ArtifactWriteError at the API boundary.
+_ALLOWED_NON_REPRO = {
+    "KeyError",
+    "NotImplementedError",
+    "AssertionError",
+    "OSError",
+}
 
 _SRC_ROOT = os.path.join(os.path.dirname(__file__), "..", "src", "repro")
 

@@ -92,12 +92,9 @@ def test_streaming_parse_leaves_structured_telemetry(tmp_path):
 
 def test_degraded_stream_leaves_structured_timeline(tmp_path):
     _run_example("degraded_stream.py", tmp_path)
-    events = [
-        json.loads(line)
-        for line in (tmp_path / "degraded_stream.events.jsonl")
-        .read_text()
-        .splitlines()
-    ]
+    from repro.observability.events import load_events
+
+    events = load_events(str(tmp_path / "degraded_stream.events.jsonl"))
     steps = [event for event in events if event["kind"] == "ladder_step"]
     assert [step["from"] for step in steps] == ["IPLoM", "SLCT"]
     assert [step["to"] for step in steps] == ["SLCT", "Passthrough"]
