@@ -1,16 +1,18 @@
-"""Table II — parsing accuracy of the four parsers on 2k samples,
-raw vs. preprocessed (RQ1, Findings 1 & 2).
+"""Table II — parsing accuracy on 2k samples, raw vs. preprocessed
+(RQ1, Findings 1 & 2), expanded with the Drain baseline.
 
 Methodology follows §IV-B: 2k random samples per dataset, parameters
 tuned per dataset, randomized parsers averaged over several runs.
 Deviations from the paper's protocol, for wall-clock sanity: LKE runs
 on 500-line samples (its O(n²) clustering is the subject of Finding 3,
 not of this table) and the randomized parsers average 3 runs instead
-of 10.
+of 10.  Drain (He et al., ICWS 2017) postdates the paper, so its row
+has no Table II reference values — it rides along as the modern
+fixed-depth-tree baseline in the expanded comparison.
 
 Expected shape (paper values in the printed table): overall accuracy
-high; IPLoM best overall (≈0.88 average); LKE collapses on HPC;
-preprocessing helps SLCT/LKE/LogSig but not IPLoM.
+high; IPLoM best of the paper's four (≈0.88 average); LKE collapses on
+HPC; preprocessing helps SLCT/LKE/LogSig but not IPLoM (nor Drain).
 """
 
 import statistics
@@ -20,7 +22,9 @@ from repro.evaluation.reports import render_table2
 
 from .conftest import emit
 
-PARSERS = ["SLCT", "IPLoM", "LKE", "LogSig"]
+#: The four parsers evaluated by the paper itself.
+PARSERS_2016 = ["SLCT", "IPLoM", "LKE", "LogSig"]
+PARSERS = [*PARSERS_2016, "Drain"]
 DATASETS = ["BGL", "HPC", "HDFS", "Zookeeper", "Proxifier"]
 
 #: Paper's Table II values (raw, preprocessed) for the printed diff.
@@ -47,7 +51,14 @@ def _run_cell(parser, dataset):
         parser, dataset, sample_size=sample_size, runs=runs, seed=1
     )
     preprocessed = None
-    if PAPER[(parser, dataset)][1] is not None:
+    # Drain: match the paper parsers' protocol (no preprocessed run on
+    # Proxifier, which has no preprocessing rules).
+    wants_preprocessed = (
+        dataset != "Proxifier"
+        if parser == "Drain"
+        else PAPER[(parser, dataset)][1] is not None
+    )
+    if wants_preprocessed:
         preprocessed = evaluate_accuracy(
             parser,
             dataset,
@@ -81,27 +92,33 @@ def test_table2_parsing_accuracy(once):
             )
             for d in DATASETS
         )
-        for parser in PARSERS
+        for parser in PARSERS_2016
     )
     emit(
         "table2_accuracy",
         f"Measured (raw/preprocessed):\n{measured}\n\n"
-        f"Paper (raw/preprocessed), datasets {DATASETS}:\n{paper_rows}",
+        f"Paper (raw/preprocessed), datasets {DATASETS}:\n{paper_rows}\n"
+        "(Drain postdates the paper: no reference row.)",
     )
 
     # Finding 1: overall accuracy is high.
     raw_scores = [raw.mean_f_measure for raw, _pre in results.values()]
     assert statistics.fmean(raw_scores) > 0.6
 
-    # IPLoM has the best overall average (paper: 0.88).
+    # IPLoM has the best overall average of the paper's four (0.88);
+    # the 2017 Drain baseline is excluded from this 2016-era claim.
     def average(parser):
         return statistics.fmean(
             results[(parser, d)][0].mean_f_measure for d in DATASETS
         )
 
     iplom_average = average("IPLoM")
-    assert iplom_average == max(average(p) for p in PARSERS)
+    assert iplom_average == max(average(p) for p in PARSERS_2016)
     assert 0.8 < iplom_average < 1.0
+
+    # The expanded comparison: Drain is competitive with the best of
+    # the paper's parsers across all five datasets.
+    assert average("Drain") > 0.85
 
     # LKE collapses on HPC (paper 0.17).
     assert results[("LKE", "HPC")][0].mean_f_measure < 0.4
@@ -110,8 +127,13 @@ def test_table2_parsing_accuracy(once):
     for parser in ("SLCT", "LogSig"):
         raw, preprocessed = results[(parser, "BGL")]
         assert preprocessed.mean_f_measure > raw.mean_f_measure + 0.1
-    # ...but does not help IPLoM anywhere (within noise).
-    for dataset in DATASETS:
-        raw, preprocessed = results[("IPLoM", dataset)]
-        if preprocessed is not None:
-            assert preprocessed.mean_f_measure <= raw.mean_f_measure + 0.05
+    # ...but does not help IPLoM (nor Drain) anywhere, within noise:
+    # both already isolate variable positions structurally.
+    for parser in ("IPLoM", "Drain"):
+        for dataset in DATASETS:
+            raw, preprocessed = results[(parser, dataset)]
+            if preprocessed is not None:
+                assert (
+                    preprocessed.mean_f_measure
+                    <= raw.mean_f_measure + 0.05
+                )

@@ -37,7 +37,9 @@ from repro.datasets import (
     iter_raw_log,
 )
 from repro.evaluation import (
+    LabelFreeScore,
     evaluate_accuracy,
+    evaluate_label_free,
     evaluate_mining_impact,
     f_measure,
     measure_runtime,
@@ -62,12 +64,15 @@ from repro.observability import (
 )
 from repro.parsers import (
     ChunkedParallelParser,
+    DrainParser,
+    DrainTree,
     Iplom,
     Lke,
     LogSig,
     OracleParser,
     PARSER_NAMES,
     Slct,
+    available_parsers,
     default_preprocessor,
     make_parser,
 )
@@ -90,7 +95,9 @@ __all__ = [
     "generate_hdfs_sessions",
     "get_dataset_spec",
     "iter_dataset_specs",
+    "LabelFreeScore",
     "evaluate_accuracy",
+    "evaluate_label_free",
     "evaluate_mining_impact",
     "f_measure",
     "measure_runtime",
@@ -109,12 +116,15 @@ __all__ = [
     "render_run_report",
     "summary_from_registry",
     "ChunkedParallelParser",
+    "DrainParser",
+    "DrainTree",
     "Iplom",
     "Lke",
     "LogSig",
     "OracleParser",
     "PARSER_NAMES",
     "Slct",
+    "available_parsers",
     "default_preprocessor",
     "make_parser",
     "ParseSession",

@@ -7,6 +7,9 @@ Subcommands:
   standard ``.events`` / ``.structured`` outputs of §II-C.
 * ``evaluate`` — F-measure of a parser on a sampled dataset (Table II
   style, one cell).
+* ``score`` — a parser×dataset score table: labeled F-measure by
+  default, or label-free cohesion/separation with ``--label-free``
+  (no ground truth consulted — usable on real production traffic).
 * ``mine`` — run PCA anomaly detection on simulated HDFS sessions with
   a chosen parser (Table III style, one row).
 * ``stream`` — parse a raw log file or synthetic dataset incrementally
@@ -190,6 +193,15 @@ def _add_parse(subparsers) -> None:
         help="LogSig only: number of signature groups",
     )
     cmd.add_argument("--support", type=float, default=0.005, help="SLCT only")
+    cmd.add_argument(
+        "--sim-threshold",
+        type=float,
+        default=0.4,
+        help="Drain only: template-merge similarity threshold",
+    )
+    cmd.add_argument(
+        "--depth", type=int, default=4, help="Drain only: fixed tree depth"
+    )
     cmd.add_argument("--seed", type=int, default=None)
 
 
@@ -213,6 +225,34 @@ def _add_metrics(subparsers) -> None:
     cmd.add_argument("parser", choices=PARSER_NAMES)
     cmd.add_argument("dataset", choices=DATASET_NAMES)
     cmd.add_argument("--sample-size", type=int, default=2000)
+    cmd.add_argument("--preprocess", action="store_true")
+    cmd.add_argument("--seed", type=int, default=None)
+
+
+def _add_score(subparsers) -> None:
+    cmd = subparsers.add_parser(
+        "score",
+        help="score parsers across datasets: labeled F-measure, or "
+        "label-free cohesion/separation with --label-free",
+    )
+    cmd.add_argument(
+        "--label-free",
+        action="store_true",
+        help="score intrinsically (cohesion/separation), no ground "
+        "truth consulted",
+    )
+    cmd.add_argument(
+        "--parsers",
+        default=",".join(PARSER_NAMES),
+        help="comma-separated parser names (default: all registry "
+        "parsers of the expanded comparison)",
+    )
+    cmd.add_argument(
+        "--datasets",
+        default=",".join(DATASET_NAMES),
+        help="comma-separated dataset names (default: all five)",
+    )
+    cmd.add_argument("--sample-size", type=int, default=1000)
     cmd.add_argument("--preprocess", action="store_true")
     cmd.add_argument("--seed", type=int, default=None)
 
@@ -311,6 +351,15 @@ def _add_stream(subparsers) -> None:
         "--groups", type=int, default=50, help="LogSig only"
     )
     cmd.add_argument("--support", type=float, default=0.005, help="SLCT only")
+    cmd.add_argument(
+        "--sim-threshold",
+        type=float,
+        default=0.4,
+        help="Drain only: template-merge similarity threshold",
+    )
+    cmd.add_argument(
+        "--depth", type=int, default=4, help="Drain only: fixed tree depth"
+    )
     cmd.add_argument("--seed", type=int, default=None)
     cmd.add_argument(
         "--max-pending",
@@ -640,6 +689,15 @@ def _add_supervise(subparsers) -> None:
         "--groups", type=int, default=50, help="LogSig only"
     )
     cmd.add_argument("--support", type=float, default=0.005, help="SLCT only")
+    cmd.add_argument(
+        "--sim-threshold",
+        type=float,
+        default=0.4,
+        help="Drain only: template-merge similarity threshold",
+    )
+    cmd.add_argument(
+        "--depth", type=int, default=4, help="Drain only: fixed tree depth"
+    )
     cmd.add_argument("--seed", type=int, default=None)
 
 
@@ -730,6 +788,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     _add_parse(subparsers)
     _add_evaluate(subparsers)
     _add_metrics(subparsers)
+    _add_score(subparsers)
     _add_tune(subparsers)
     _add_mine(subparsers)
     _add_stream(subparsers)
@@ -765,6 +824,8 @@ def _cmd_parse(args) -> int:
         params.update(support=args.support)
     elif args.parser == "LKE":
         params.update(seed=args.seed)
+    elif args.parser == "Drain":
+        params.update(sim_threshold=args.sim_threshold, depth=args.depth)
     parser = make_parser(args.parser, **params)
     result = parser.parse(records)
     stem = args.output_stem or args.input
@@ -825,6 +886,68 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_score(args) -> int:
+    from repro.evaluation.cohesion import evaluate_label_free
+
+    parsers = [name.strip() for name in args.parsers.split(",") if name.strip()]
+    datasets = [name.strip() for name in args.datasets.split(",") if name.strip()]
+    if not parsers or not datasets:
+        raise ValidationError("score needs >= 1 parser and >= 1 dataset")
+    # Validate every parser name up front (ValidationError, exit 2,
+    # with the available list) before any expensive run starts.
+    from repro.parsers.registry import resolve_parser_name
+
+    parsers = [resolve_parser_name(name) for name in parsers]
+    for name in datasets:
+        if name not in DATASET_NAMES:
+            raise ValidationError(
+                f"unknown dataset {name!r}; choose from {sorted(DATASET_NAMES)}"
+            )
+
+    if args.label_free:
+        print(
+            f"label-free scores ({args.sample_size} lines per dataset, "
+            "no ground truth consulted):"
+        )
+        print(
+            f"{'parser':12s} {'dataset':10s} "
+            f"{'cohesion':>9s} {'separation':>11s} {'score':>7s}"
+        )
+        for parser_name in parsers:
+            for dataset_name in datasets:
+                score = evaluate_label_free(
+                    parser_name,
+                    dataset_name,
+                    sample_size=args.sample_size,
+                    preprocess=args.preprocess,
+                    seed=args.seed,
+                )
+                print(
+                    f"{parser_name:12s} {score.dataset:10s} "
+                    f"{score.cohesion:9.3f} {score.separation:11.3f} "
+                    f"{score.score:7.3f}"
+                )
+        return 0
+
+    print(f"labeled F-measure ({args.sample_size} lines per dataset):")
+    print(f"{'parser':12s} {'dataset':10s} {'f_measure':>10s}")
+    for parser_name in parsers:
+        for dataset_name in datasets:
+            result = evaluate_accuracy(
+                parser_name,
+                dataset_name,
+                sample_size=args.sample_size,
+                preprocess=args.preprocess,
+                runs=1,
+                seed=args.seed,
+            )
+            print(
+                f"{parser_name:12s} {result.dataset:10s} "
+                f"{result.mean_f_measure:10.3f}"
+            )
+    return 0
+
+
 def _cmd_tune(args) -> int:
     from repro.evaluation.tuning import tune_on_dataset
 
@@ -872,6 +995,10 @@ def _parser_params(name: str, args) -> dict:
         params.update(support=args.support)
     elif name == "LKE":
         params.update(seed=args.seed)
+    elif name == "Drain":
+        params.update(
+            sim_threshold=args.sim_threshold, depth=args.depth
+        )
     return params
 
 
@@ -1392,6 +1519,7 @@ _COMMANDS = {
     "parse": _cmd_parse,
     "evaluate": _cmd_evaluate,
     "metrics": _cmd_metrics,
+    "score": _cmd_score,
     "tune": _cmd_tune,
     "mine": _cmd_mine,
     "stream": _cmd_stream,

@@ -48,8 +48,9 @@ class LadderRung:
     """One fidelity level: a parser plus the engine shape it runs under.
 
     Args:
-        parser: registry name (``LKE``, ``LogSig``, ``IPLoM``, ``SLCT``,
-            ``Passthrough``) used to build the flush parser.
+        parser: registry name (``LKE``, ``LogSig``, ``IPLoM``,
+            ``Drain``, ``SLCT``, ``Passthrough``) used to build the
+            flush parser.
         cache_capacity: template-cache size while on this rung (lower
             rungs shrink the cache to relieve memory).
         flush_size: miss-batch size handed to the parser per flush
@@ -95,17 +96,29 @@ class LadderRung:
 
 
 def default_ladder() -> list[LadderRung]:
-    """The standard five-rung ladder, most faithful first.
+    """The standard six-rung ladder, most faithful first.
 
-    LKE → LogSig → IPLoM → SLCT → Passthrough: descending Table III
-    fidelity, descending cost.  Engine parameters tighten with each
-    step: the cache shrinks (memory relief), flush batches shrink
-    (latency/heap relief), and the bottom rungs shed input volume.
+    LKE → LogSig → IPLoM → Drain → SLCT → Passthrough: descending
+    Table III fidelity, descending cost.  Drain slots in below IPLoM
+    (comparable template quality at strictly lower, single-pass cost)
+    and above SLCT (which starts shedding rare events outright).
+    Engine parameters tighten with each step: the cache shrinks
+    (memory relief), flush batches shrink (latency/heap relief), and
+    the bottom rungs shed input volume.
     """
     return [
         LadderRung("LKE", cache_capacity=1024, flush_size=400),
-        LadderRung("LogSig", cache_capacity=512, flush_size=200),
+        # LogSig demands a group count up front; a ladder rung cannot
+        # know the dataset's true event count, so use a mid-range
+        # default (seeded for deterministic local search).
+        LadderRung(
+            "LogSig",
+            cache_capacity=512,
+            flush_size=200,
+            params={"groups": 64, "seed": 1},
+        ),
         LadderRung("IPLoM", cache_capacity=256, flush_size=100),
+        LadderRung("Drain", cache_capacity=192, flush_size=75),
         LadderRung("SLCT", cache_capacity=128, flush_size=50, sample_keep=2),
         LadderRung(
             "Passthrough", cache_capacity=64, flush_size=25, sample_keep=4

@@ -4,6 +4,8 @@
   :mod:`repro.evaluation.accuracy` (the Table II / Fig. 3 harness).
 * RQ2 efficiency — :mod:`repro.evaluation.efficiency` (Fig. 2).
 * RQ3 mining impact — :mod:`repro.evaluation.mining_impact` (Table III).
+* Label-free scoring — :mod:`repro.evaluation.cohesion` (cohesion /
+  separation, no ground truth required).
 """
 
 from repro.evaluation.fmeasure import (
@@ -16,6 +18,14 @@ from repro.evaluation.accuracy import (
     evaluate_accuracy,
     tuned_parser_factory,
     TUNED_PARAMETERS,
+)
+from repro.evaluation.cohesion import (
+    LabelFreeScore,
+    cluster_cohesion,
+    evaluate_label_free,
+    message_similarity,
+    score_result,
+    template_similarity,
 )
 from repro.evaluation.efficiency import EfficiencyPoint, measure_runtime
 from repro.evaluation.mining_impact import (
@@ -46,6 +56,12 @@ __all__ = [
     "evaluate_accuracy",
     "tuned_parser_factory",
     "TUNED_PARAMETERS",
+    "LabelFreeScore",
+    "cluster_cohesion",
+    "evaluate_label_free",
+    "message_similarity",
+    "score_result",
+    "template_similarity",
     "EfficiencyPoint",
     "measure_runtime",
     "MiningImpactRow",

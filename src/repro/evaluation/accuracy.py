@@ -44,6 +44,11 @@ TUNED_PARAMETERS: dict[tuple[str, str], dict] = {
     ("LogSig", "HDFS"): {"groups": 29},
     ("LogSig", "Zookeeper"): {"groups": 80},
     ("LogSig", "Proxifier"): {"groups": 8},
+    ("Drain", "BGL"): {"sim_threshold": 0.5},
+    ("Drain", "HPC"): {"sim_threshold": 0.5},
+    ("Drain", "HDFS"): {"sim_threshold": 0.5},
+    ("Drain", "Zookeeper"): {"sim_threshold": 0.5},
+    ("Drain", "Proxifier"): {"sim_threshold": 0.6, "depth": 5},
 }
 
 #: Parsers whose clustering is randomized and therefore averaged over

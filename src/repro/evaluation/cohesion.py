@@ -1,0 +1,306 @@
+"""Label-free parser evaluation: cluster cohesion and separation.
+
+The paper's accuracy harness (RQ1) needs labeled ground truth, which
+production traffic never has.  Following "A Story About Cohesion and
+Separation" (PAPERS.md), a parse can instead be scored *intrinsically*
+from its own clustering structure:
+
+* **Cohesion** — how alike the raw messages inside each cluster are.
+  For every cluster we average the pairwise token similarity of its
+  member lines (positional agreement for equal-length lines, length-
+  normalized longest-common-subsequence otherwise).  A parser that
+  lumps unrelated events into one template scores low here.
+* **Separation** — how distinct the reported templates are from one
+  another.  For every template we find its nearest neighbour among the
+  other templates (wildcards treated as matching anything, since two
+  templates whose constants agree describe overlapping event shapes)
+  and take one minus that similarity.  A parser that shatters one
+  event into many near-duplicate templates scores low here.
+
+Both are size-weighted means over clusters, land in [0, 1], and depend
+only on cluster *contents* — relabeling clusters or renumbering events
+cannot change either score.  The combined :attr:`LabelFreeScore.score`
+is their harmonic mean, mirroring the F-measure idiom of RQ1: a parser
+must group like with like *and* keep unlike apart to score well.
+
+Outlier lines are singletonized (each its own perfectly-cohesive,
+template-less cluster), matching how
+:func:`~repro.evaluation.fmeasure.singletonize_outliers` treats them in
+the labeled metric, so support-based parsers are not punished twice
+for refusing rare lines.
+
+Pairwise cohesion is quadratic per cluster, so clusters larger than
+``max_pairs`` comparisons are pair-sampled with a
+:func:`~repro.common.rng.spawn`-derived generator — deterministic for
+a fixed seed, independent across clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.common.errors import EvaluationError
+from repro.common.rng import spawn
+from repro.common.tokenize import is_wildcard, tokenize
+from repro.common.types import ParseResult
+
+#: Per-cluster cap on sampled similarity pairs before sampling kicks in.
+DEFAULT_MAX_PAIRS = 200
+
+
+def _lcs_length(a: Sequence[str], b: Sequence[str]) -> int:
+    """Longest common subsequence length (iterative, two rows)."""
+    if len(a) < len(b):
+        a, b = b, a
+    previous = [0] * (len(b) + 1)
+    for token_a in a:
+        current = [0]
+        for j, token_b in enumerate(b):
+            if token_a == token_b:
+                current.append(previous[j] + 1)
+            else:
+                current.append(max(previous[j + 1], current[j]))
+        previous = current
+    return previous[-1]
+
+
+def message_similarity(a: Sequence[str], b: Sequence[str]) -> float:
+    """Similarity of two raw token lists, in [0, 1].
+
+    Equal-length lines compare positionally (the notion every parser in
+    the registry clusters by); unequal-length lines fall back to LCS
+    normalized by the longer length, so near-miss lengths degrade
+    smoothly instead of scoring zero.
+    """
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    if len(a) == len(b):
+        return sum(x == y for x, y in zip(a, b)) / len(a)
+    return _lcs_length(a, b) / max(len(a), len(b))
+
+
+def template_similarity(a: Sequence[str], b: Sequence[str]) -> float:
+    """Similarity of two *templates*; a wildcard matches any token.
+
+    Used for separation: two templates that disagree only where one
+    has wildcards describe overlapping event shapes and should count
+    as close.
+    """
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    if len(a) != len(b):
+        return _lcs_length(a, b) / max(len(a), len(b))
+    agree = sum(
+        1
+        for x, y in zip(a, b)
+        if x == y or is_wildcard(x) or is_wildcard(y)
+    )
+    return agree / len(a)
+
+
+def cluster_cohesion(
+    members: Sequence[Sequence[str]],
+    *,
+    max_pairs: int = DEFAULT_MAX_PAIRS,
+    seed: int | None = None,
+    label: str = "",
+) -> float:
+    """Mean pairwise :func:`message_similarity` inside one cluster.
+
+    Singleton (and empty) clusters are perfectly cohesive by
+    definition.  When the cluster holds more than *max_pairs* distinct
+    pairs, a deterministic sample of *max_pairs* pairs is scored
+    instead.
+    """
+    n = len(members)
+    if n < 2:
+        return 1.0
+    total_pairs = n * (n - 1) // 2
+    if total_pairs <= max_pairs:
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    else:
+        rng = spawn(seed, f"cohesion:{label}")
+        seen: set[tuple[int, int]] = set()
+        while len(seen) < max_pairs:
+            i, j = rng.randrange(n), rng.randrange(n)
+            if i == j:
+                continue
+            seen.add((min(i, j), max(i, j)))
+        pairs = sorted(seen)
+    return sum(
+        message_similarity(members[i], members[j]) for i, j in pairs
+    ) / len(pairs)
+
+
+@dataclass(frozen=True)
+class LabelFreeScore:
+    """Intrinsic quality of one parse: cohesion, separation, combined."""
+
+    parser: str
+    dataset: str
+    lines: int
+    clusters: int
+    cohesion: float
+    separation: float
+
+    @property
+    def score(self) -> float:
+        """Harmonic mean of cohesion and separation (F-measure idiom)."""
+        if self.cohesion + self.separation == 0.0:
+            return 0.0
+        return (
+            2.0
+            * self.cohesion
+            * self.separation
+            / (self.cohesion + self.separation)
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.parser} on {self.dataset}: cohesion "
+            f"{self.cohesion:.3f}, separation {self.separation:.3f}, "
+            f"score {self.score:.3f} "
+            f"({self.clusters} clusters, {self.lines} lines)"
+        )
+
+
+def score_result(
+    result: ParseResult,
+    *,
+    parser: str = "?",
+    dataset: str = "?",
+    max_pairs: int = DEFAULT_MAX_PAIRS,
+    seed: int | None = None,
+) -> LabelFreeScore:
+    """Score a finished :class:`~repro.common.types.ParseResult`.
+
+    Clusters come from the per-line event assignments; member lines
+    are re-tokenized from the raw record contents so the metric sees
+    what the operator saw, not the parser's preprocessed view.
+    Outliers become singleton clusters without templates (cohesion
+    1.0 each, no separation contribution).
+    """
+    if len(result.assignments) != len(result.records):
+        raise EvaluationError(
+            f"misaligned parse result: {len(result.assignments)} "
+            f"assignments for {len(result.records)} records"
+        )
+    members: dict[str, list[list[str]]] = {}
+    outliers = 0
+    for record, event_id in zip(result.records, result.assignments):
+        if event_id == ParseResult.OUTLIER_EVENT_ID:
+            outliers += 1
+            continue
+        members.setdefault(event_id, []).append(tokenize(record.content))
+    lines = len(result.records)
+    clusters = len(members) + outliers
+    if not lines or not clusters:
+        return LabelFreeScore(
+            parser=parser,
+            dataset=dataset,
+            lines=lines,
+            clusters=clusters,
+            cohesion=1.0,
+            separation=1.0,
+        )
+
+    # Cohesion: size-weighted over clusters; each outlier is a
+    # singleton contributing weight 1 at cohesion 1.0.
+    weighted = float(outliers)
+    for event_id in sorted(members):
+        weighted += len(members[event_id]) * cluster_cohesion(
+            members[event_id],
+            max_pairs=max_pairs,
+            seed=seed,
+            label=event_id,
+        )
+    cohesion_score = weighted / lines
+
+    # Separation: nearest-neighbour distance between the *occupied*
+    # templates, size-weighted.  A single occupied template (or none)
+    # is perfectly separated.
+    templates = {
+        event.event_id: tokenize(event.template)
+        for event in result.events
+        if event.event_id in members
+    }
+    occupied = sorted(templates)
+    if len(occupied) < 2:
+        separation_score = 1.0
+    else:
+        weighted = float(outliers)  # singletons: nothing to confuse
+        for event_id in occupied:
+            nearest = max(
+                template_similarity(templates[event_id], templates[other])
+                for other in occupied
+                if other != event_id
+            )
+            weighted += len(members[event_id]) * (1.0 - nearest)
+        separation_score = weighted / lines
+
+    return LabelFreeScore(
+        parser=parser,
+        dataset=dataset,
+        lines=lines,
+        clusters=clusters,
+        cohesion=cohesion_score,
+        separation=separation_score,
+    )
+
+
+def evaluate_label_free(
+    parser_name: str,
+    dataset_name: str,
+    sample_size: int = 2000,
+    preprocess: bool = False,
+    seed: int | None = None,
+    max_pairs: int = DEFAULT_MAX_PAIRS,
+) -> LabelFreeScore:
+    """Cohesion/separation of one parser on a sampled synthetic dataset.
+
+    Mirrors :func:`~repro.evaluation.accuracy.evaluate_accuracy`'s
+    sampling setup but never reads the truth labels: the parse is
+    scored purely from its own structure.  Parsers with tuned
+    per-dataset parameters use them
+    (:data:`~repro.evaluation.accuracy.TUNED_PARAMETERS`); parsers
+    without an entry fall back to their defaults, so new backends are
+    scoreable before they are tuned.
+    """
+    # Imported here to keep this module importable without dragging in
+    # the dataset generators at interpreter start.
+    from repro.datasets import generate_dataset, get_dataset_spec, sample_records
+    from repro.evaluation.accuracy import (
+        RANDOMIZED_PARSERS,
+        TUNED_PARAMETERS,
+        tuned_parser_factory,
+    )
+    from repro.parsers import default_preprocessor, make_parser
+
+    spec = get_dataset_spec(dataset_name)
+    generated = generate_dataset(spec, max(sample_size * 3, 4000), seed=seed)
+    sampled = sample_records(generated.records, sample_size, seed=seed)
+    if (parser_name, spec.name) in TUNED_PARAMETERS:
+        parser = tuned_parser_factory(
+            parser_name, dataset_name, preprocess=preprocess, seed=seed
+        )
+    else:
+        params: dict = {}
+        if parser_name in RANDOMIZED_PARSERS:
+            params["seed"] = seed
+        preprocessor = (
+            default_preprocessor(dataset_name) if preprocess else None
+        )
+        parser = make_parser(parser_name, preprocessor=preprocessor, **params)
+    result = parser.parse(sampled)
+    return score_result(
+        result,
+        parser=parser.name,
+        dataset=spec.name,
+        max_pairs=max_pairs,
+        seed=seed,
+    )

@@ -34,6 +34,7 @@ TABLE3_CONFIGS: dict[str, dict] = {
     "SLCT": {"support": 0.0006},
     "LogSig": {"groups": 29},
     "IPLoM": {"preprocess": True},
+    "Drain": {"sim_threshold": 0.5, "preprocess": True},
     "GroundTruth": {},
 }
 

@@ -32,6 +32,7 @@ DEFAULT_GRIDS: dict[str, dict[str, list]] = {
     "IPLoM": {"ct": [0.25, 0.35, 0.5], "lower_bound": [0.1, 0.25]},
     "LKE": {"split_threshold": [4, 6, 10, 20]},
     "LogSig": {"groups": [8, 29, 80, 105, 376]},
+    "Drain": {"sim_threshold": [0.3, 0.4, 0.5, 0.6], "depth": [4, 5]},
 }
 
 

@@ -11,6 +11,9 @@
 * :class:`~repro.parsers.oracle.OracleParser` — ground-truth parser
   (the "source code based" parser of Xu et al., used for Table III's
   Ground-truth row).
+* :class:`~repro.parsers.drain.DrainParser` — fixed-depth-tree online
+  parsing (He et al., ICWS 2017), the modern baseline added by the
+  expanded comparison.
 
 All parsers share the standard contract of §II-C: a list of
 :class:`~repro.common.types.LogRecord` in, a
@@ -28,12 +31,15 @@ from repro.parsers.slct import Slct
 from repro.parsers.iplom import Iplom
 from repro.parsers.lke import Lke
 from repro.parsers.logsig import LogSig
+from repro.parsers.drain import DrainParser, DrainTree
 from repro.parsers.oracle import OracleParser
 from repro.parsers.passthrough import PassthroughParser
 from repro.parsers.registry import (
     LADDER_PARSER_NAMES,
     PARSER_NAMES,
+    available_parsers,
     make_parser,
+    resolve_parser_name,
 )
 from repro.parsers.parallel import ChunkedParallelParser
 from repro.parsers.tagged import TaggedLogParser, tag_records
@@ -47,11 +53,15 @@ __all__ = [
     "Iplom",
     "Lke",
     "LogSig",
+    "DrainParser",
+    "DrainTree",
     "OracleParser",
     "PassthroughParser",
     "LADDER_PARSER_NAMES",
     "PARSER_NAMES",
+    "available_parsers",
     "make_parser",
+    "resolve_parser_name",
     "ChunkedParallelParser",
     "TaggedLogParser",
     "tag_records",

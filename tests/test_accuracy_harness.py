@@ -43,9 +43,9 @@ class TestTunedParserFactory:
     def test_table_covers_all_cells(self):
         parsers = {key[0] for key in TUNED_PARAMETERS}
         datasets = {key[1] for key in TUNED_PARAMETERS}
-        assert parsers == {"SLCT", "IPLoM", "LKE", "LogSig"}
+        assert parsers == {"SLCT", "IPLoM", "LKE", "LogSig", "Drain"}
         assert datasets == {"BGL", "HPC", "HDFS", "Zookeeper", "Proxifier"}
-        assert len(TUNED_PARAMETERS) == 20
+        assert len(TUNED_PARAMETERS) == 25
 
 
 class TestAccuracyResult:

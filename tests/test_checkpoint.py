@@ -9,6 +9,7 @@ and finalizing produces — under the ``prefix`` flush policy — the exact
 from __future__ import annotations
 
 import json
+import os
 from functools import partial
 
 import pytest
@@ -27,9 +28,16 @@ from repro.resilience import (
 from repro.streaming import ParseSession, StreamingParser
 
 
-def _engine(flush_policy="prefix", flush_size=64, **kwargs) -> StreamingParser:
+#: Engine parser for the kill-point sweeps.  CI's durability matrix
+#: sets REPRO_STREAM_PARSER to run the same sweeps Drain-headed.
+STREAM_PARSER = os.environ.get("REPRO_STREAM_PARSER", "IPLoM")
+
+
+def _engine(
+    flush_policy="prefix", flush_size=64, parser=None, **kwargs
+) -> StreamingParser:
     return StreamingParser(
-        partial(make_parser, "IPLoM"),
+        partial(make_parser, parser or STREAM_PARSER),
         flush_policy=flush_policy,
         flush_size=flush_size,
         **kwargs,
@@ -53,6 +61,7 @@ def _run_uninterrupted(records, **engine_kwargs):
 def _run_killed_and_resumed(records, kill_at, checkpoint_path, **engine_kwargs):
     # First life: feed up to the kill point, checkpoint, and "die"
     # (no finalize — the process is gone).
+    parser_name = engine_kwargs.get("parser") or STREAM_PARSER
     engine = _engine(**engine_kwargs)
     session = ParseSession(engine)
     for record in records[:kill_at]:
@@ -61,7 +70,7 @@ def _run_killed_and_resumed(records, kill_at, checkpoint_path, **engine_kwargs):
         checkpoint_path,
         engine,
         records_consumed=kill_at,
-        parser="IPLoM",
+        parser=parser_name,
         source="<test>",
         accumulator=session.accumulator,
     )
@@ -70,7 +79,7 @@ def _run_killed_and_resumed(records, kill_at, checkpoint_path, **engine_kwargs):
     checkpoint = load_checkpoint(checkpoint_path)
     assert checkpoint.records_consumed == kill_at
     resumed = restore_streaming_parser(
-        checkpoint, partial(make_parser, "IPLoM")
+        checkpoint, partial(make_parser, parser_name)
     )
     session = ParseSession(resumed)
     restored = restore_accumulator(checkpoint)
@@ -90,6 +99,24 @@ def test_resume_is_byte_identical_across_datasets(dataset, tmp_path):
     for kill_at in (1, 63, 64, 200, 399):
         resumed = _run_killed_and_resumed(
             records, kill_at, str(tmp_path / f"cp-{kill_at}.json")
+        )
+        assert resumed == baseline, f"divergence killing at {kill_at}"
+
+
+@pytest.mark.parametrize("dataset", ["HDFS", "Proxifier", "BGL"])
+def test_resume_is_byte_identical_with_drain(dataset, tmp_path):
+    # The Drain-headed sweep: kill-point resume must stay byte-exact
+    # when the flush parser is the incremental Drain backend.
+    records = generate_dataset(
+        get_dataset_spec(dataset), 400, seed=11
+    ).records
+    baseline = _run_uninterrupted(records, parser="Drain")
+    for kill_at in (1, 63, 64, 200, 399):
+        resumed = _run_killed_and_resumed(
+            records,
+            kill_at,
+            str(tmp_path / f"cp-{kill_at}.json"),
+            parser="Drain",
         )
         assert resumed == baseline, f"divergence killing at {kill_at}"
 

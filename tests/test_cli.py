@@ -132,6 +132,63 @@ class TestCommands:
         assert "support" in out
 
 
+class TestScore:
+    def test_label_free_emits_cohesion_and_separation(self, capsys):
+        assert main(
+            [
+                "score",
+                "--label-free",
+                "--parsers",
+                "Drain,Passthrough",
+                "--datasets",
+                "Proxifier",
+                "--sample-size",
+                "150",
+                "--seed",
+                "1",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cohesion" in out
+        assert "separation" in out
+        assert "Drain" in out and "Passthrough" in out
+
+    def test_labeled_mode_reports_f_measure(self, capsys):
+        assert main(
+            [
+                "score",
+                "--parsers",
+                "IPLoM",
+                "--datasets",
+                "Proxifier",
+                "--sample-size",
+                "150",
+                "--seed",
+                "1",
+            ]
+        ) == 0
+        assert "F-measure" in capsys.readouterr().out
+
+    def test_unknown_parser_exits_2_listing_available(self, capsys):
+        # The registry error path: a typo'd parser is a configuration
+        # error, and the message must name every valid choice.
+        assert main(
+            ["score", "--label-free", "--parsers", "Drian"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "unknown parser" in err
+        from repro.parsers import available_parsers
+
+        for name in available_parsers():
+            assert name in err
+
+    def test_unknown_dataset_exits_2(self, capsys):
+        assert main(
+            ["score", "--label-free", "--datasets", "NoSuch"]
+        ) == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestExitCodes:
     """The error-family → exit-code contract (config=2, data=3, runtime=4)."""
 

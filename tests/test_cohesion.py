@@ -1,0 +1,208 @@
+"""Label-free cohesion/separation metric: units and properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.types import EventTemplate, LogRecord, ParseResult
+from repro.evaluation.cohesion import (
+    LabelFreeScore,
+    cluster_cohesion,
+    evaluate_label_free,
+    message_similarity,
+    score_result,
+    template_similarity,
+)
+
+token = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd")),
+    min_size=1,
+    max_size=5,
+)
+token_list = st.lists(token, min_size=0, max_size=8)
+
+
+def _result(groups: dict[str, list[str]], templates: dict[str, str]):
+    """Build a ParseResult from event id -> member contents."""
+    records, assignments = [], []
+    for event_id, contents in groups.items():
+        for content in contents:
+            records.append(LogRecord(content=content))
+            assignments.append(event_id)
+    events = [
+        EventTemplate(event_id=event_id, template=template)
+        for event_id, template in templates.items()
+    ]
+    return ParseResult(
+        events=events, assignments=assignments, records=records
+    )
+
+
+class TestSimilarities:
+    @given(token_list)
+    def test_identity(self, tokens):
+        assert message_similarity(tokens, tokens) == 1.0
+
+    @given(token_list, token_list)
+    def test_symmetry_and_range(self, a, b):
+        forward = message_similarity(a, b)
+        assert forward == message_similarity(b, a)
+        assert 0.0 <= forward <= 1.0
+
+    def test_positional_for_equal_lengths(self):
+        assert message_similarity(
+            ["send", "block", "1"], ["send", "block", "2"]
+        ) == pytest.approx(2 / 3)
+
+    def test_lcs_for_unequal_lengths(self):
+        assert message_similarity(
+            ["a", "b", "c", "d"], ["a", "c"]
+        ) == pytest.approx(0.5)
+
+    def test_template_wildcard_matches_anything(self):
+        assert template_similarity(
+            ["send", "*", "done"], ["send", "xyz", "done"]
+        ) == 1.0
+
+    def test_disjoint_templates_score_zero(self):
+        assert template_similarity(["a", "b"], ["c", "d"]) == 0.0
+
+
+class TestClusterCohesion:
+    def test_singleton_is_perfect(self):
+        assert cluster_cohesion([["anything", "at", "all"]]) == 1.0
+
+    def test_identical_members_are_perfect(self):
+        assert cluster_cohesion([["same", "line"]] * 5) == 1.0
+
+    def test_mixed_cluster_scores_low(self):
+        score = cluster_cohesion(
+            [["alpha", "beta"], ["gamma", "delta"], ["eps", "zeta"]]
+        )
+        assert score == 0.0
+
+    def test_sampling_is_deterministic(self):
+        members = [[f"tok{i}", "x"] for i in range(40)]
+        kwargs = dict(max_pairs=10, seed=3, label="c1")
+        assert cluster_cohesion(members, **kwargs) == cluster_cohesion(
+            members, **kwargs
+        )
+
+
+class TestScoreResult:
+    def test_perfect_parse_attains_upper_bound(self):
+        # Exact-duplicate clusters with distinct templates: cohesion
+        # and separation both hit their upper bound of 1.0.
+        result = _result(
+            {
+                "E1": ["alpha beta"] * 4,
+                "E2": ["gamma delta epsilon"] * 4,
+            },
+            {"E1": "alpha beta", "E2": "gamma delta epsilon"},
+        )
+        score = score_result(result, parser="X", dataset="D")
+        assert score.cohesion == 1.0
+        assert score.separation == 1.0
+        assert score.score == 1.0
+
+    def test_scores_bounded(self):
+        result = _result(
+            {
+                "E1": ["send block 1", "send block 2", "recv ack now"],
+                "E2": ["send block 9"],
+            },
+            {"E1": "send block *", "E2": "send block *"},
+        )
+        score = score_result(result)
+        assert 0.0 <= score.cohesion <= 1.0
+        assert 0.0 <= score.separation <= 1.0
+        assert 0.0 <= score.score <= 1.0
+
+    def test_duplicate_templates_kill_separation(self):
+        result = _result(
+            {"E1": ["send block 1"] * 3, "E2": ["send block 2"] * 3},
+            {"E1": "send block *", "E2": "send block *"},
+        )
+        assert score_result(result).separation == 0.0
+
+    def test_outliers_singletonized(self):
+        records = [LogRecord(content="only line")]
+        result = ParseResult(
+            events=[],
+            assignments=[ParseResult.OUTLIER_EVENT_ID],
+            records=records,
+        )
+        score = score_result(result)
+        assert score.clusters == 1
+        assert score.cohesion == 1.0
+
+    def test_empty_result(self):
+        score = score_result(ParseResult())
+        assert (score.cohesion, score.separation) == (1.0, 1.0)
+        assert score.lines == 0
+
+    @given(st.permutations(["E1", "E2", "E3"]))
+    @settings(max_examples=10, deadline=None)
+    def test_invariant_under_cluster_relabeling(self, new_ids):
+        # Renaming event ids (and reordering the event list) is pure
+        # bookkeeping; both scores must be bit-identical.
+        groups = {
+            "E1": ["send block 1", "send block 2"],
+            "E2": ["open session alpha", "open session beta"],
+            "E3": ["shutdown now please"],
+        }
+        templates = {
+            "E1": "send block *",
+            "E2": "open session *",
+            "E3": "shutdown now please",
+        }
+        rename = dict(zip(["E1", "E2", "E3"], new_ids))
+        base = score_result(_result(groups, templates), seed=5)
+        relabeled = score_result(
+            _result(
+                {rename[k]: v for k, v in groups.items()},
+                {rename[k]: v for k, v in templates.items()},
+            ),
+            seed=5,
+        )
+        assert base.cohesion == pytest.approx(relabeled.cohesion)
+        assert base.separation == pytest.approx(relabeled.separation)
+
+    def test_harmonic_mean_combination(self):
+        score = LabelFreeScore(
+            parser="X",
+            dataset="D",
+            lines=10,
+            clusters=2,
+            cohesion=0.8,
+            separation=0.4,
+        )
+        assert score.score == pytest.approx(2 * 0.8 * 0.4 / 1.2)
+        assert "cohesion" in score.describe()
+
+
+class TestEvaluateLabelFree:
+    def test_scores_tuned_parser(self):
+        score = evaluate_label_free(
+            "IPLoM", "Proxifier", sample_size=200, seed=1
+        )
+        assert score.parser == "IPLoM"
+        assert score.dataset == "Proxifier"
+        assert score.lines == 200
+        assert 0.0 < score.score <= 1.0
+
+    def test_falls_back_to_defaults_for_untuned_parser(self):
+        # Passthrough has no TUNED_PARAMETERS entry; it must still be
+        # scoreable (new backends before tuning).
+        score = evaluate_label_free(
+            "Passthrough", "Proxifier", sample_size=150, seed=1
+        )
+        assert score.cohesion == 1.0  # exact-signature clusters
+
+    def test_deterministic_for_fixed_seed(self):
+        first = evaluate_label_free(
+            "Drain", "HDFS", sample_size=200, seed=9
+        )
+        second = evaluate_label_free(
+            "Drain", "HDFS", sample_size=200, seed=9
+        )
+        assert first == second

@@ -140,7 +140,9 @@ def test_monitor_wall_clock_uses_injected_clock():
 
 def test_default_ladder_orders_fidelity_down():
     names = [rung.parser for rung in default_ladder()]
-    assert names == ["LKE", "LogSig", "IPLoM", "SLCT", "Passthrough"]
+    assert names == [
+        "LKE", "LogSig", "IPLoM", "Drain", "SLCT", "Passthrough"
+    ]
 
 
 def test_ladder_soft_steps_need_sustained_pressure():
@@ -196,6 +198,26 @@ def test_ledger_prices_a_downgrade():
     assert "IPLoM -> SLCT" in cost.describe()
     assert "ledger" in ledger.describe()
     assert ledger.total_detection_delta == pytest.approx(cost.detection_delta)
+
+
+def test_every_default_rung_builds_its_parser():
+    # A rung that cannot construct its parser crashes the runtime at
+    # the worst possible moment — mid step-down under budget pressure.
+    # (Regression: the LogSig rung once lacked its required `groups`.)
+    for rung in default_ladder():
+        assert rung.build_parser().name == rung.parser
+
+
+def test_ledger_prices_every_default_rung():
+    # Every rung of the default ladder (Drain included) must have a
+    # reference row, or a downgrade could not be priced mid-run.
+    ledger = MiningImpactLedger()
+    for rung in default_ladder():
+        assert ledger.estimate_for(rung.parser).parser == rung.parser
+    # Drain sits between IPLoM and SLCT in fidelity: stepping onto it
+    # costs a little detection, stepping off it to SLCT costs a lot.
+    assert ledger.cost("IPLoM", "Drain").detection_delta <= 0
+    assert ledger.cost("Drain", "SLCT").detection_delta < -0.3
 
 
 def test_ledger_rejects_unknown_parser():
@@ -353,6 +375,32 @@ def test_degraded_session_steps_down_under_soft_pressure():
     assert report.events[0].mining_impact  # non-empty estimate
     assert report.final_rung in ("SLCT", "Passthrough")
     assert "degradation" in report.describe()
+
+
+def test_drain_headed_ladder_steps_down_under_pressure():
+    # A Drain-headed ladder degrades exactly like the seed ladders: one
+    # audited rung at a time, each transition priced by the ledger.
+    mb = 1024 * 1024
+    budget = ResourceBudget(memory_bytes=BudgetLimit(soft=32 * mb, hard=64 * mb))
+    monitor = BudgetMonitor(
+        budget, memory_probe=ramp_probe([10 * mb, 40 * mb, 40 * mb, 40 * mb])
+    )
+    ladder = DegradationLadder(
+        [
+            LadderRung("Drain", cache_capacity=64, flush_size=5000),
+            LadderRung("SLCT", cache_capacity=8, flush_size=5000),
+            LadderRung("Passthrough", cache_capacity=4, flush_size=5000),
+        ],
+        cooldown_checks=2,
+    )
+    session = DegradedSession(ladder, monitor, check_every=10, track_matrix=False)
+    session.consume(distinct_records(60))
+    report = session.finalize()
+    assert report.degraded
+    assert report.events[0].from_rung == "Drain"
+    assert report.events[0].to_rung == "SLCT"
+    assert report.events[0].mining_impact  # priced by the ledger
+    assert session.engine.counters.lines == 60
 
 
 def test_degraded_session_hard_breach_steps_without_cooldown():

@@ -1,0 +1,163 @@
+"""Drain parser: unit behavior and property-based tree invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ParserConfigurationError
+from repro.common.tokenize import WILDCARD
+from repro.parsers import DrainParser, DrainTree, make_parser
+
+token = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd")),
+    min_size=1,
+    max_size=5,
+)
+token_list = st.lists(token, min_size=0, max_size=8)
+token_corpus = st.lists(token_list, min_size=0, max_size=30)
+
+
+class TestConfiguration:
+    def test_registry_constructs_drain(self):
+        assert make_parser("drain").name == "Drain"
+
+    def test_forwards_params(self):
+        parser = make_parser("Drain", depth=5, sim_threshold=0.6)
+        assert parser.depth == 5
+        assert parser.sim_threshold == 0.6
+
+    @pytest.mark.parametrize(
+        "params",
+        [
+            {"depth": 2},
+            {"sim_threshold": 0.0},
+            {"sim_threshold": 1.0},
+            {"sim_threshold": -0.5},
+            {"max_children": 0},
+        ],
+    )
+    def test_bad_config_rejected_at_construction(self, params):
+        with pytest.raises(ParserConfigurationError):
+            DrainParser(**params)
+        with pytest.raises(ParserConfigurationError):
+            DrainTree(**params)
+
+
+class TestClustering:
+    def test_parameter_positions_generalized(self):
+        result = DrainParser().parse_contents(
+            [
+                "send block 1 to 10.0.0.1",
+                "send block 2 to 10.0.0.2",
+                "send block 3 to 10.0.0.9",
+            ]
+        )
+        assert len(result.events) == 1
+        assert result.events[0].template == "send block * to *"
+
+    def test_distinct_events_kept_apart(self):
+        result = DrainParser().parse_contents(
+            ["open session alpha", "close session alpha", "open session beta"]
+        )
+        assert result.assignments[0] == result.assignments[2]
+        assert result.assignments[0] != result.assignments[1]
+
+    def test_lengths_never_merge(self):
+        # The length level of the tree partitions before any similarity
+        # comparison, as in the paper.
+        result = DrainParser(sim_threshold=0.01).parse_contents(
+            ["alpha beta gamma", "alpha beta gamma delta"]
+        )
+        assert result.assignments[0] != result.assignments[1]
+
+    def test_never_emits_outliers(self):
+        from repro.common.types import ParseResult
+
+        result = DrainParser().parse_contents(
+            ["x", "completely different line", "y z"]
+        )
+        assert ParseResult.OUTLIER_EVENT_ID not in result.assignments
+
+    def test_max_children_overflow_shares_wildcard_branch(self):
+        tree = DrainTree(max_children=1, sim_threshold=0.9)
+        # Three distinct leading tokens: only the first gets its own
+        # branch, the rest funnel through the wildcard branch — and the
+        # similarity gate still keeps them in separate groups.
+        labels = [
+            tree.feed(tokens)
+            for tokens in (
+                ["alpha", "x", "y"],
+                ["beta", "x", "y"],
+                ["gamma", "x", "y"],
+                ["beta", "x", "y"],
+            )
+        ]
+        assert labels[1] == labels[3]
+        assert len({labels[0], labels[1], labels[2]}) == 3
+
+    def test_empty_message_clusters_with_itself(self):
+        tree = DrainTree()
+        assert tree.feed([]) == tree.feed([])
+
+
+class TestTreeInvariants:
+    @given(token_corpus)
+    @settings(max_examples=50, deadline=None)
+    def test_depth_bound_respected(self, corpus):
+        tree = DrainTree(depth=4)
+        for tokens in corpus:
+            tree.feed(tokens)
+        assert all(level <= tree.depth for level in tree.node_depths())
+
+    @given(token_corpus, st.integers(min_value=3, max_value=6))
+    @settings(max_examples=50, deadline=None)
+    def test_no_template_loss(self, corpus, depth):
+        # Every fed line lands in exactly one live group; group ids are
+        # dense, stable, and each has a template of the line's length.
+        tree = DrainTree(depth=depth)
+        for tokens in corpus:
+            label = tree.feed(tokens)
+            templates = tree.templates()
+            assert 0 <= label < len(templates)
+            assert len(templates[label]) == len(tokens)
+        leaf_ids = [
+            group_id
+            for leaf in tree.leaf_groups()
+            for group_id in leaf
+        ]
+        assert sorted(leaf_ids) == list(range(tree.n_groups))
+
+    @given(token_corpus)
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_cluster_count(self, corpus):
+        tree = DrainTree()
+        previous = 0
+        for tokens in corpus:
+            tree.feed(tokens)
+            assert previous <= tree.n_groups <= previous + 1
+            previous = tree.n_groups
+
+    @given(token_corpus)
+    @settings(max_examples=50, deadline=None)
+    def test_batch_parse_matches_incremental_feed(self, corpus):
+        parser = DrainParser()
+        tree = parser.tree()
+        fed = [tree.feed(list(tokens)) for tokens in corpus]
+        clustering = parser._cluster([list(tokens) for tokens in corpus])
+        assert clustering.labels == fed
+        assert clustering.templates == tree.templates()
+
+    @given(token_corpus)
+    @settings(max_examples=30, deadline=None)
+    def test_templates_cover_members(self, corpus):
+        # A group's template matches every member positionally: equal
+        # token or wildcard, never a third thing.
+        tree = DrainTree()
+        labels = [tree.feed(tokens) for tokens in corpus]
+        templates = tree.templates()
+        for tokens, label in zip(corpus, labels):
+            template = templates[label]
+            assert len(template) == len(tokens)
+            assert all(
+                expected == actual or expected == WILDCARD
+                for expected, actual in zip(template, tokens)
+            )

@@ -33,13 +33,17 @@ from repro.streaming import StreamingParser
 #: to one specific corruption draw keep their own literal seeds).
 FAULT_SEED = int(os.environ.get("REPRO_FAULT_SEED", "13"))
 
+#: CI also replays the suite with different stream parsers; every fault
+#: path below must recover identically no matter which backend parses.
+STREAM_PARSER = os.environ.get("REPRO_STREAM_PARSER", "IPLoM")
+
 
 def _records(n=60):
     return [LogRecord(content=f"request {i} served in {i * 3} ms") for i in range(n)]
 
 
-def _iplom_factory():
-    return make_parser("IPLoM")
+def _parser_factory():
+    return make_parser(STREAM_PARSER)
 
 
 # ----------------------------------------------------------------------
@@ -158,7 +162,7 @@ class TestCorruptRawFile:
 class TestEngineErrorPolicies:
     def _engine(self, **kwargs):
         return StreamingParser(
-            _iplom_factory, flush_policy="prefix", flush_size=16, **kwargs
+            _parser_factory, flush_policy="prefix", flush_size=16, **kwargs
         )
 
     def test_quarantine_policy_matches_clean_only_parse(self):
@@ -178,7 +182,7 @@ class TestEngineErrorPolicies:
         assert len(sink) == engine.counters.rejected
         # The dirty records never entered the stream: result matches a
         # batch parse of the surviving records alone.
-        reference = make_parser("IPLoM").parse(
+        reference = _parser_factory().parse(
             [d for d in dirty if "\x00" not in d.content]
         )
         assert (
@@ -218,7 +222,7 @@ class TestEngineErrorPolicies:
 
 class TestFlakyFactory:
     def test_fails_exactly_n_times_then_recovers(self, toy_records):
-        factory = FlakyFactory(_iplom_factory, fail_times=2)
+        factory = FlakyFactory(_parser_factory, fail_times=2)
         with pytest.raises(InjectedFault):
             factory().parse(toy_records)
         with pytest.raises(InjectedFault):
@@ -227,8 +231,8 @@ class TestFlakyFactory:
         assert result.assignments
 
     def test_reports_inner_name_by_default(self):
-        assert FlakyFactory(_iplom_factory)().name == "IPLoM"
-        assert FlakyFactory(_iplom_factory, name="X")().name == "X"
+        assert FlakyFactory(_parser_factory)().name == STREAM_PARSER
+        assert FlakyFactory(_parser_factory, name="X")().name == "X"
 
 
 # ----------------------------------------------------------------------
@@ -243,14 +247,14 @@ def _no_sleep(_seconds):
 class TestChunkRecovery:
     def _baseline(self, records, chunk_size=20):
         return ChunkedParallelParser(
-            _iplom_factory, chunk_size=chunk_size
+            _parser_factory, chunk_size=chunk_size
         ).parse(records)
 
     def test_raise_fault_is_redispatched(self):
         records = _records(60)
         baseline = self._baseline(records)
         parser = ChunkedParallelParser(
-            _iplom_factory,
+            _parser_factory,
             chunk_size=20,
             workers=2,
             fault=ChunkFault(chunks=(1,), attempts=1, mode="raise"),
@@ -269,7 +273,7 @@ class TestChunkRecovery:
         records = _records(60)
         baseline = self._baseline(records)
         parser = ChunkedParallelParser(
-            _iplom_factory,
+            _parser_factory,
             chunk_size=20,
             workers=2,
             fault=ChunkFault(chunks=(0,), attempts=1, mode="exit"),
@@ -283,7 +287,7 @@ class TestChunkRecovery:
         records = _records(40)
         baseline = self._baseline(records)
         parser = ChunkedParallelParser(
-            _iplom_factory,
+            _parser_factory,
             chunk_size=20,
             workers=2,
             chunk_timeout=0.5,
@@ -304,7 +308,7 @@ class TestChunkRecovery:
         records = _records(60)
         baseline = self._baseline(records)
         parser = ChunkedParallelParser(
-            _iplom_factory,
+            _parser_factory,
             chunk_size=20,
             workers=2,
             max_chunk_attempts=2,
@@ -320,7 +324,7 @@ class TestChunkRecovery:
     def test_fault_that_survives_fallback_raises_worker_crash(self):
         records = _records(40)
         parser = ChunkedParallelParser(
-            _iplom_factory,
+            _parser_factory,
             chunk_size=20,
             workers=1,
             max_chunk_attempts=2,
@@ -342,7 +346,7 @@ class TestChunkRecovery:
 
     def test_fault_free_run_reports_clean(self):
         records = _records(40)
-        parser = ChunkedParallelParser(_iplom_factory, chunk_size=20)
+        parser = ChunkedParallelParser(_parser_factory, chunk_size=20)
         parser.parse(records)
         assert parser.last_recovery.failures == []
         assert (
@@ -365,7 +369,7 @@ def test_end_to_end_faulted_stream_matches_clean_subset(dataset, tmp_path):
     )
     sink = QuarantineSink(str(tmp_path / "q.jsonl"))
     engine = StreamingParser(
-        _iplom_factory,
+        _parser_factory,
         flush_policy="prefix",
         flush_size=64,
         error_policy="quarantine",
@@ -383,7 +387,7 @@ def test_end_to_end_faulted_stream_matches_clean_subset(dataset, tmp_path):
         for r in dirty
         if "\x00" not in r.content and len(r.content) <= 2000
     ]
-    reference = make_parser("IPLoM").parse(survivors)
+    reference = _parser_factory().parse(survivors)
     assert (
         engine.result().events_file_lines() == reference.events_file_lines()
     )

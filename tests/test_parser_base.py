@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.common.errors import ParserConfigurationError
+from repro.common.errors import ParserConfigurationError, ValidationError
 from repro.common.types import ParseResult
-from repro.parsers import make_parser, PARSER_NAMES
+from repro.parsers import available_parsers, make_parser, PARSER_NAMES
 from repro.parsers.base import Clustering, LogParser, OUTLIER
 
 
@@ -65,7 +65,7 @@ class TestBaseParse:
 
 class TestRegistry:
     def test_paper_order(self):
-        assert PARSER_NAMES == ["SLCT", "IPLoM", "LKE", "LogSig"]
+        assert PARSER_NAMES == ["SLCT", "IPLoM", "LKE", "LogSig", "Drain"]
 
     def test_make_parser_case_insensitive(self):
         assert make_parser("iplom").name == "IPLoM"
@@ -75,8 +75,17 @@ class TestRegistry:
         assert parser.support == 0.5
 
     def test_unknown_name_rejected(self):
-        with pytest.raises(ParserConfigurationError):
+        # A bad name is a configuration error (exit 2 at the CLI) and
+        # the message must list what *is* available.
+        with pytest.raises(ValidationError) as excinfo:
             make_parser("nope")
+        for name in available_parsers():
+            assert name in str(excinfo.value)
+
+    def test_available_parsers_matches_registry(self):
+        names = available_parsers()
+        assert set(PARSER_NAMES) <= set(names)
+        assert {"GroundTruth", "Passthrough"} <= set(names)
 
     def test_ground_truth_in_registry(self):
         assert make_parser("GroundTruth").name == "GroundTruth"

@@ -1,0 +1,148 @@
+"""Registry-wide parser conformance suite.
+
+One parametrized contract, applied to *every* parser in the registry:
+empty input, single lines, duplicate lines, unicode/control bytes,
+determinism under a fixed seed, template-count sanity, and feed/batch
+agreement where the parser supports incremental feeding.  The suite
+derives its parser list from :func:`repro.parsers.available_parsers`,
+and :func:`test_registry_fully_covered` fails loudly the moment a new
+backend is registered without a conformance entry — future parsers get
+this coverage for free (or a red test telling them to claim it).
+"""
+
+import pytest
+
+from repro.common.types import LogRecord, ParseResult
+from repro.parsers import available_parsers, make_parser
+
+#: Conformance entry per registry parser: a zero-argument factory with
+#: deterministic parameters (seeds fixed, thresholds small enough for
+#: tiny corpora).  Every name in the registry MUST appear here.
+CONFORMANCE_FACTORIES = {
+    "SLCT": lambda: make_parser("SLCT", support=2),
+    "IPLoM": lambda: make_parser("IPLoM"),
+    "LKE": lambda: make_parser("LKE", seed=1),
+    "LogSig": lambda: make_parser("LogSig", groups=3, seed=1),
+    "Drain": lambda: make_parser("Drain"),
+    "GroundTruth": lambda: make_parser("GroundTruth"),
+    "Passthrough": lambda: make_parser("Passthrough"),
+}
+
+ALL_PARSERS = sorted(CONFORMANCE_FACTORIES)
+
+CORPUS = [
+    "send block 1 to node 10.0.0.1",
+    "send block 2 to node 10.0.0.2",
+    "send block 3 to node 10.0.0.3",
+    "delete block 4 from cache",
+    "delete block 5 from cache",
+    "session opened for user alpha",
+    "session opened for user beta",
+]
+
+
+def _records(parser_name: str, contents) -> list[LogRecord]:
+    """Wrap contents; the oracle additionally needs truth labels."""
+    if parser_name == "GroundTruth":
+        ids: dict[str, str] = {}
+        return [
+            LogRecord(
+                content=content,
+                truth_event=ids.setdefault(content, f"T{len(ids) + 1}"),
+            )
+            for content in contents
+        ]
+    return [LogRecord(content=content) for content in contents]
+
+
+def _parse(parser_name: str, contents) -> ParseResult:
+    parser = CONFORMANCE_FACTORIES[parser_name]()
+    return parser.parse(_records(parser_name, contents))
+
+
+def test_registry_fully_covered():
+    # A newly registered backend without a conformance entry is a bug:
+    # it would silently miss every contract test below.
+    assert set(CONFORMANCE_FACTORIES) == set(available_parsers())
+
+
+@pytest.mark.parametrize("parser_name", ALL_PARSERS)
+class TestParserConformance:
+    def test_empty_input(self, parser_name):
+        result = _parse(parser_name, [])
+        assert len(result) == 0
+        assert result.events == []
+        assert result.assignments == []
+
+    def test_single_line(self, parser_name):
+        result = _parse(parser_name, ["one single log line"])
+        assert len(result.assignments) == 1
+        assert len(result.records) == 1
+
+    def test_duplicate_lines_assigned_identically(self, parser_name):
+        result = _parse(
+            parser_name, ["same exact line"] * 6 + ["other line kind"] * 6
+        )
+        by_content: dict[str, set[str]] = {}
+        for structured in result.structured():
+            by_content.setdefault(
+                structured.record.content, set()
+            ).add(structured.event_id)
+        assert all(len(ids) == 1 for ids in by_content.values())
+
+    def test_unicode_and_control_bytes(self, parser_name):
+        contents = [
+            "naïve café message №1",
+            "naïve café message №2",
+            "escape \x1b[31m sequence \x07 bell",
+            "escape \x1b[32m sequence \x07 bell",
+            "tab\tseparated\tvalues here",
+        ] * 2
+        result = _parse(parser_name, contents)
+        assert len(result.assignments) == len(contents)
+
+    def test_deterministic_under_fixed_seed(self, parser_name):
+        first = _parse(parser_name, CORPUS * 3)
+        second = _parse(parser_name, CORPUS * 3)
+        assert first.assignments == second.assignments
+        assert [e.template for e in first.events] == [
+            e.template for e in second.events
+        ]
+
+    def test_template_count_sane(self, parser_name):
+        contents = CORPUS * 3
+        result = _parse(parser_name, contents)
+        # Never more templates than distinct messages, never negative.
+        assert 0 <= len(result.events) <= len(set(contents))
+
+    def test_every_assignment_resolvable(self, parser_name):
+        result = _parse(parser_name, CORPUS * 2)
+        known = {event.event_id for event in result.events}
+        for event_id in result.assignments:
+            assert (
+                event_id in known
+                or event_id == ParseResult.OUTLIER_EVENT_ID
+            )
+
+    def test_assignments_align_with_records(self, parser_name):
+        result = _parse(parser_name, CORPUS)
+        assert len(result.assignments) == len(result.records) == len(CORPUS)
+
+    def test_feed_batch_agreement_where_supported(self, parser_name):
+        parser = CONFORMANCE_FACTORIES[parser_name]()
+        if not hasattr(parser, "tree"):
+            pytest.skip(f"{parser_name} has no incremental feed interface")
+        records = _records(parser_name, CORPUS * 3)
+        batch = parser.parse(records)
+        tree = parser.tree()
+        fed_labels = [tree.feed(record.tokens) for record in records]
+        # Same grouping: records share a batch event id exactly when
+        # they share an incremental group id.
+        batch_groups = {}
+        fed_groups = {}
+        for index, (event_id, label) in enumerate(
+            zip(batch.assignments, fed_labels)
+        ):
+            batch_groups.setdefault(event_id, []).append(index)
+            fed_groups.setdefault(label, []).append(index)
+        assert sorted(batch_groups.values()) == sorted(fed_groups.values())

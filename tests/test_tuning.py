@@ -108,7 +108,7 @@ class TestTuneOnDataset:
         assert scores[0.005] > scores[0.2]
 
     def test_default_grids_exist_for_all_parsers(self):
-        assert set(DEFAULT_GRIDS) == {"SLCT", "IPLoM", "LKE", "LogSig"}
+        assert set(DEFAULT_GRIDS) == {"SLCT", "IPLoM", "LKE", "LogSig", "Drain"}
 
     def test_randomized_parser_reproducible(self):
         a = tune_on_dataset(
