@@ -25,6 +25,15 @@ Subcommands:
   pressure, slow consumer, deadline squeeze) against the
   resource-budgeted degradation runtime and audit the graceful-
   degradation contract.
+* ``serve`` — run the long-lived multi-tenant ingestion service: a
+  TCP line front end (or ``--replay`` file adapter) routing
+  ``tenant<TAB>content`` lines to per-tenant supervised parser shards
+  with their own quarantine, checkpoint, and circuit breaker, under
+  per-tenant rate limits and a global admission budget.  SIGINT or
+  SIGTERM triggers a graceful drain: every tenant's outputs are
+  flushed through the prefix policy (byte-identical to batch),
+  checkpoints and per-tenant manifests are committed, and the process
+  exits 0.
 * ``report`` — render a human-readable post-mortem from the telemetry
   artifacts (``--metrics-out`` / ``--trace-out`` / ``--events-out``)
   a previous run exported.
@@ -54,7 +63,11 @@ through the degradation ladder (``--ladder``), stepping down to
 cheaper parsers instead of dying when a soft limit is breached.
 
 Exit codes: 0 success, 1 verification failure, 2 configuration error,
-3 data error, 4 runtime failure.
+3 data error, 4 runtime failure.  ``stream``/``soak`` interrupted by
+SIGINT/SIGTERM still finalize their checkpoint/telemetry/manifest
+artifacts and exit ``128 + signum`` (the shell convention); ``serve``
+treats those signals as the drain request and exits 0 after a clean
+drain.
 """
 
 from __future__ import annotations
@@ -62,6 +75,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 from contextlib import nullcontext
 from functools import partial
 
@@ -123,6 +137,14 @@ from repro.resilience import (
     save_checkpoint,
     screen_records,
     verify_manifest,
+)
+from repro.service import (
+    AdmissionController,
+    IngestionService,
+    LineServer,
+    ShutdownRequested,
+    graceful_signals,
+    replay_lines,
 )
 from repro.resilience.durability import (
     CODEC_FRAMED,
@@ -723,6 +745,154 @@ def _add_soak(subparsers) -> None:
     _add_telemetry_flags(cmd)
 
 
+def _add_serve(subparsers) -> None:
+    cmd = subparsers.add_parser(
+        "serve",
+        help="run the long-lived multi-tenant ingestion service",
+    )
+    cmd.add_argument("parser", choices=PARSER_NAMES)
+    cmd.add_argument(
+        "data_dir",
+        help="data root; each tenant owns a subdirectory of artifacts",
+    )
+    cmd.add_argument("--host", default="127.0.0.1")
+    cmd.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port for the line front end (0 picks a free port, "
+        "published on stdout as `serving on HOST:PORT`)",
+    )
+    cmd.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE",
+        help="serve tenant<TAB>content lines from FILE through the "
+        "same admission/routing path instead of TCP, then drain "
+        "and exit",
+    )
+    cmd.add_argument(
+        "--drain-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="drain and exit once N lines have been submitted "
+        "(bounded soaks / CI; default: run until SIGINT/SIGTERM)",
+    )
+    cmd.add_argument("--flush-size", type=int, default=200)
+    cmd.add_argument("--cache-capacity", type=int, default=512)
+    cmd.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        help="per-tenant backpressure: bound each shard's miss buffer",
+    )
+    cmd.add_argument(
+        "--overflow",
+        choices=["block", "shed", "sample"],
+        default="block",
+        help="with --max-pending: per-shard overflow policy",
+    )
+    cmd.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        help="consecutive parser crashes before a tenant's circuit "
+        "breaker opens (its lines then go to its quarantine)",
+    )
+    cmd.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        metavar="LINES_PER_S",
+        help="per-tenant token-bucket admission rate",
+    )
+    cmd.add_argument(
+        "--burst",
+        type=float,
+        default=None,
+        help="per-tenant burst capacity (default: 2x --rate)",
+    )
+    cmd.add_argument(
+        "--budget-mem",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="global service memory budget: soft breach samples the "
+        "noisiest tenant, hard breach sheds it",
+    )
+    cmd.add_argument(
+        "--budget-queue",
+        type=float,
+        default=None,
+        metavar="DEPTH",
+        help="global summed shard-queue budget (same valve as "
+        "--budget-mem)",
+    )
+    cmd.add_argument(
+        "--admission-every",
+        type=int,
+        default=64,
+        help="admissions between global budget re-grades",
+    )
+    cmd.add_argument(
+        "--sample-keep",
+        type=int,
+        default=2,
+        help="under a soft breach, admit 1 of every this-many lines "
+        "from the noisiest tenant",
+    )
+    cmd.add_argument(
+        "--tenant-budget-mem",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="per-tenant memory budget: the shard runs on the "
+        "degradation ladder and trips its breaker when exhausted",
+    )
+    cmd.add_argument(
+        "--tenant-budget-queue",
+        type=float,
+        default=None,
+        metavar="DEPTH",
+        help="per-tenant queue budget (same runtime as "
+        "--tenant-budget-mem)",
+    )
+    cmd.add_argument(
+        "--ladder",
+        default=None,
+        help="comma-separated degradation rungs for budgeted tenants "
+        "(default: from PARSER down the standard ladder)",
+    )
+    cmd.add_argument(
+        "--check-every",
+        type=int,
+        default=100,
+        help="records between per-tenant budget checks",
+    )
+    cmd.add_argument("--groups", type=int, default=50, help="LogSig only")
+    cmd.add_argument("--support", type=float, default=0.005, help="SLCT only")
+    cmd.add_argument(
+        "--sim-threshold",
+        type=float,
+        default=0.4,
+        help="Drain only: template-merge similarity threshold",
+    )
+    cmd.add_argument(
+        "--depth", type=int, default=4, help="Drain only: fixed tree depth"
+    )
+    cmd.add_argument("--seed", type=int, default=None)
+    cmd.add_argument(
+        "--io-faults",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="inject a deterministic schedule of IO faults into "
+        "artifact writes (writers retry and divert)",
+    )
+    _add_telemetry_flags(cmd)
+
+
 def _add_report(subparsers) -> None:
     cmd = subparsers.add_parser(
         "report",
@@ -794,6 +964,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     _add_stream(subparsers)
     _add_supervise(subparsers)
     _add_soak(subparsers)
+    _add_serve(subparsers)
     _add_report(subparsers)
     _add_verify_run(subparsers)
     return parser
@@ -1072,7 +1243,13 @@ def _cmd_stream(args) -> int:
     # post-mortem artifacts as a clean one.
     artifacts: list[tuple[str, str]] = []
     try:
-        with sink if sink is not None else nullcontext():
+        # Cooperative shutdown: the handler only notes the signal; the
+        # feed loops stop at the next record boundary, finalize, and
+        # checkpoint — never leaving half-applied engine state inside
+        # the artifacts an interrupted run commits.
+        with graceful_signals() as guard, (
+            sink if sink is not None else nullcontext()
+        ):
             if budgeted:
                 return _run_budgeted_stream(
                     args,
@@ -1083,6 +1260,7 @@ def _cmd_stream(args) -> int:
                     telemetry,
                     artifacts,
                     io,
+                    guard=guard,
                 )
             return _run_plain_stream(
                 args,
@@ -1095,6 +1273,7 @@ def _cmd_stream(args) -> int:
                 telemetry,
                 artifacts,
                 io,
+                guard=guard,
             )
     finally:
         _export_telemetry(args, telemetry, artifacts=artifacts, io=io)
@@ -1126,6 +1305,7 @@ def _run_plain_stream(
     telemetry,
     artifacts,
     io,
+    guard=None,
 ) -> int:
     """The historical ``stream`` path: one parser, optional checkpoints."""
     if args.resume:
@@ -1177,6 +1357,7 @@ def _run_plain_stream(
         if restored is not None:
             session.accumulator = restored
     consumed = skip
+    interrupted = None
     for index, record in enumerate(records):
         if index < skip:
             continue
@@ -1197,6 +1378,11 @@ def _run_plain_stream(
         if args.report_every and consumed % args.report_every == 0:
             telemetry.metrics.snapshot()
             print(summary_from_registry(telemetry.metrics))
+        if guard is not None and guard.requested:
+            # Record boundary: engine state is coherent, so the
+            # finalize + checkpoint below commit a resumable run.
+            interrupted = ShutdownRequested(guard.signum)
+            break
     result = session.finalize()
     if args.checkpoint:
         save_checkpoint(
@@ -1223,6 +1409,12 @@ def _run_plain_stream(
         artifacts.append((events_path, CODEC_LINES))
         artifacts.append((structured_path, CODEC_LINES))
         print(f"wrote {events_path}, {structured_path}")
+    if interrupted is not None:
+        # Outputs, checkpoint, and summary above are finalized for the
+        # consumed prefix; skip the analysis passes and report the
+        # signal through the exit code.
+        print(f"{interrupted}; artifacts finalized", file=sys.stderr)
+        return interrupted.exit_code
     if args.mine:
         _mine_matrix(session.matrix())
     if args.verify and result is not None:
@@ -1282,7 +1474,15 @@ def _build_stream_ladder(args) -> DegradationLadder:
 
 
 def _run_budgeted_stream(
-    args, preprocessor, policy_mode, sink, records, telemetry, artifacts, io
+    args,
+    preprocessor,
+    policy_mode,
+    sink,
+    records,
+    telemetry,
+    artifacts,
+    io,
+    guard=None,
 ) -> int:
     """``stream`` under a resource budget: the degradation runtime."""
     ladder = _build_stream_ladder(args)
@@ -1307,11 +1507,15 @@ def _run_budgeted_stream(
         overflow=args.overflow,
         telemetry=telemetry,
     )
+    interrupted = None
     for index, record in enumerate(records):
         session.feed(record)
         if args.report_every and (index + 1) % args.report_every == 0:
             telemetry.metrics.snapshot()
             print(summary_from_registry(telemetry.metrics))
+        if guard is not None and guard.requested:
+            interrupted = ShutdownRequested(guard.signum)
+            break
     report = session.finalize()
     print(report.describe())
     if sink is not None and len(sink):
@@ -1325,6 +1529,9 @@ def _run_budgeted_stream(
         artifacts.append((events_path, CODEC_LINES))
         artifacts.append((structured_path, CODEC_LINES))
         print(f"wrote {events_path}, {structured_path}")
+    if interrupted is not None:
+        print(f"{interrupted}; artifacts finalized", file=sys.stderr)
+        return interrupted.exit_code
     if args.mine and report.matrix is not None:
         _mine_matrix(report.matrix)
     return 0
@@ -1462,20 +1669,138 @@ def _cmd_supervise(args) -> int:
 def _cmd_soak(args) -> int:
     telemetry = _make_telemetry(args, trace_id="soak")
     try:
-        report = run_soak(
-            SoakScenario(
-                kind=args.scenario,
-                seed=args.seed,
-                n_blocks=args.blocks,
-                check_every=args.check_every,
-                min_transitions=args.min_transitions,
-            ),
-            telemetry=telemetry,
-        )
+        # A soak persists nothing mid-run, so an immediate raise is
+        # safe anywhere: the finally still exports telemetry and the
+        # manifest for the partial run.
+        with graceful_signals(immediate=True):
+            report = run_soak(
+                SoakScenario(
+                    kind=args.scenario,
+                    seed=args.seed,
+                    n_blocks=args.blocks,
+                    check_every=args.check_every,
+                    min_transitions=args.min_transitions,
+                ),
+                telemetry=telemetry,
+            )
+    except ShutdownRequested as shutdown:
+        print(f"{shutdown}; telemetry finalized", file=sys.stderr)
+        return shutdown.exit_code
     finally:
         _export_telemetry(args, telemetry)
     print(report.describe())
     return 0 if report.ok else 1
+
+
+def _cmd_serve(args) -> int:
+    if args.replay is not None and args.drain_after is not None:
+        print(
+            "error: --drain-after only applies to the TCP front end",
+            file=sys.stderr,
+        )
+        return 2
+    params = _parser_params(args.parser, args)
+    factory = partial(make_parser, args.parser, **params)
+    io = _make_io(args)
+    telemetry = _make_telemetry(args, trace_id="serve", io=io)
+    shard_kwargs: dict = dict(
+        flush_size=args.flush_size,
+        cache_capacity=args.cache_capacity,
+        max_pending=args.max_pending,
+        overflow=args.overflow,
+        breaker_threshold=args.breaker_threshold,
+        check_every=args.check_every,
+    )
+    if (
+        args.tenant_budget_mem is not None
+        or args.tenant_budget_queue is not None
+    ):
+        shard_kwargs["budget"] = ResourceBudget.of(
+            memory_mb=args.tenant_budget_mem,
+            queue_depth=args.tenant_budget_queue,
+        )
+        shard_kwargs["ladder"] = _build_stream_ladder(args)
+    try:
+        service = IngestionService(
+            args.data_dir,
+            factory,
+            parser_name=args.parser,
+            telemetry=telemetry,
+            io=io,
+            **shard_kwargs,
+        )
+        if (
+            args.rate is not None
+            or args.budget_mem is not None
+            or args.budget_queue is not None
+        ):
+            monitor = None
+            if args.budget_mem is not None or args.budget_queue is not None:
+                monitor = BudgetMonitor(
+                    ResourceBudget.of(
+                        memory_mb=args.budget_mem,
+                        queue_depth=args.budget_queue,
+                    ),
+                    queue_probe=service.total_pending,
+                )
+            service.admission = AdmissionController(
+                rate=args.rate,
+                burst=args.burst,
+                monitor=monitor,
+                check_every=args.admission_every,
+                sample_keep=args.sample_keep,
+            )
+        adopted = service.adopt_existing()
+        if adopted:
+            print(f"adopted {len(adopted)} tenant(s): {', '.join(adopted)}")
+        stopped = False
+        # Cooperative shutdown everywhere: the signal is only *noted*
+        # by the handler, and acted on at a line boundary (replay) or
+        # a wait-loop tick (TCP) — never mid-feed inside an engine, so
+        # the drain below always flushes coherent shard state.
+        try:
+            with graceful_signals() as guard:
+                if args.replay is not None:
+                    with open(
+                        args.replay, encoding="utf-8", errors="replace"
+                    ) as handle:
+                        outcomes = replay_lines(
+                            service, handle, origin=args.replay, guard=guard
+                        )
+                    print(
+                        "replay outcomes: "
+                        + ", ".join(
+                            f"{name}={count}"
+                            for name, count in sorted(outcomes.items())
+                        )
+                    )
+                else:
+                    server = LineServer(service, args.host, args.port)
+                    server.start()
+                    try:
+                        print(
+                            f"serving on {server.host}:{server.port}",
+                            flush=True,
+                        )
+                        while not guard.requested and (
+                            args.drain_after is None
+                            or service.submitted < args.drain_after
+                        ):
+                            time.sleep(0.05)
+                    finally:
+                        server.stop()
+                stopped = guard.requested
+        except ShutdownRequested:
+            stopped = True
+        if stopped:
+            print("shutdown requested; draining", flush=True)
+        summary = service.drain()
+        print(service.describe())
+        for tenant in sorted(summary["tenants"]):
+            print(f"  manifest: {summary['tenants'][tenant]['manifest']}")
+        return 0
+    finally:
+        _export_telemetry(args, telemetry, io=io)
 
 
 def _cmd_report(args) -> int:
@@ -1525,6 +1850,7 @@ _COMMANDS = {
     "stream": _cmd_stream,
     "supervise": _cmd_supervise,
     "soak": _cmd_soak,
+    "serve": _cmd_serve,
     "report": _cmd_report,
     "verify-run": _cmd_verify_run,
 }

@@ -94,6 +94,20 @@ class IntegrityError(ReproError):
     """
 
 
+class ConcurrencyError(ReproError):
+    """A single-writer component was entered from two threads at once.
+
+    The streaming engine (and the :class:`~repro.streaming.cache.TemplateCache`
+    inside it) is deliberately lock-free: each
+    :class:`~repro.service.shard.TenantShard` owns exactly one engine
+    and serializes access behind its own lock.  This error is the
+    enforcement half of that contract — a best-effort tripwire raised
+    when a second thread calls ``feed``/``flush``/``finalize``/
+    ``reconfigure`` while another thread is still inside the engine.
+    Maps to the runtime-failure exit code (4).
+    """
+
+
 class FallbackExhaustedError(ReproError):
     """Every parser in a supervision fallback chain failed.
 

@@ -184,3 +184,31 @@ def _register_schema(metrics: MetricsRegistry) -> None:
     metrics.gauge(
         "repro_ladder_position", "Current ladder rung index (0 = top)"
     )
+    # Service (multi-tenant ingestion) -----------------------------------
+    metrics.counter(
+        "repro_service_lines_total",
+        "Lines accepted into a tenant shard",
+        labelnames=("tenant",),
+    )
+    metrics.counter(
+        "repro_service_rejected_total",
+        "Lines refused before reaching a shard, by cause",
+        labelnames=("tenant", "cause"),
+    )
+    metrics.counter(
+        "repro_service_breaker_total",
+        "Tenant circuit-breaker transitions",
+        labelnames=("tenant", "state"),
+    )
+    metrics.counter(
+        "repro_service_connections_total",
+        "Front-end connections by outcome",
+        labelnames=("outcome",),
+    )
+    metrics.gauge(
+        "repro_service_tenants", "Tenant shards currently materialized"
+    )
+    metrics.gauge(
+        "repro_service_queue_depth",
+        "Pending records summed across all tenant shards",
+    )

@@ -42,6 +42,8 @@ from repro.common.errors import ValidationError
 SPAN_PARSE_RUN = "parse_run"
 SPAN_CHUNK = "chunk"
 SPAN_PARSER_CALL = "parser_call"
+SPAN_SERVICE_DRAIN = "service_drain"
+SPAN_TENANT_DRAIN = "tenant_drain"
 
 
 def _wall_clock_us() -> int:

@@ -55,10 +55,13 @@ from repro.resilience.durability import (
 )
 from repro.resilience.faults import (
     ChunkFault,
+    ConnectionFault,
     FaultyIO,
+    FaultyLineSender,
     FlakyFactory,
     InjectedFault,
     IoFault,
+    connection_fault_schedule,
     corrupt_raw_file,
     corrupt_records,
     io_fault_schedule,
@@ -103,10 +106,13 @@ __all__ = [
     "recover_jsonl",
     "verify_manifest",
     "ChunkFault",
+    "ConnectionFault",
     "FaultyIO",
+    "FaultyLineSender",
     "FlakyFactory",
     "InjectedFault",
     "IoFault",
+    "connection_fault_schedule",
     "corrupt_raw_file",
     "corrupt_records",
     "io_fault_schedule",

@@ -219,6 +219,7 @@ def restore_streaming_parser(
     error_policy=None,
     quarantine=None,
     max_record_len: int | None = None,
+    source_label: str = "<stream>",
     telemetry=None,
 ) -> "StreamingParser":
     """Build a fresh engine positioned exactly at *checkpoint*.
@@ -250,6 +251,7 @@ def restore_streaming_parser(
             error_policy=error_policy,
             quarantine=quarantine,
             max_record_len=max_record_len,
+            source_label=source_label,
             telemetry=telemetry,
         )
     except KeyError as error:

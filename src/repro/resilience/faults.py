@@ -22,7 +22,12 @@ so a failing resilience test replays bit-for-bit:
   (:class:`~repro.resilience.durability.RealIO`), injecting ``EIO``,
   ``ENOSPC``, fsync failures, and partial/torn writes at scripted
   byte offsets — exercised against every durable writer's
-  retry/divert/recover contract.
+  retry/divert/recover contract;
+* :class:`FaultyLineSender` plays a misbehaving network client
+  against the ingestion service's TCP front end — mid-line
+  disconnects, lost partial lines, slow writers, reconnect storms —
+  on a :func:`connection_fault_schedule` derived from a seed
+  (the ``REPRO_CONN_SEED`` CI matrix).
 
 Everything here is picklable (plain module-level classes over plain
 data) so faults survive the trip into worker processes.
@@ -32,6 +37,7 @@ from __future__ import annotations
 
 import errno
 import os
+import socket
 import time
 from dataclasses import dataclass
 from random import Random
@@ -479,3 +485,213 @@ def io_fault_schedule(
             )
         )
     return script
+
+
+# ----------------------------------------------------------------------
+# Connection faults (service front end)
+# ----------------------------------------------------------------------
+
+#: Connection fault kinds.
+CONN_DISCONNECT = "disconnect"
+CONN_PARTIAL = "partial"
+CONN_SLOW = "slow"
+CONN_STORM = "storm"
+CONN_KINDS = (CONN_DISCONNECT, CONN_PARTIAL, CONN_SLOW, CONN_STORM)
+
+
+@dataclass(frozen=True)
+class ConnectionFault:
+    """One scripted misbehavior of a network log producer.
+
+    Args:
+        kind: ``disconnect`` (the socket closes mid-line; the client
+            reconnects and resends the whole line, so the server sees
+            a dangling partial *and* the full line again),
+            ``partial`` (the socket closes mid-line and the tail is
+            *lost* — the line never arrives whole, modeling a crashed
+            writer), ``slow`` (the line is written in two halves with
+            a stall between them, modeling a slow writer the server
+            must not block other tenants on), ``storm`` (the client
+            drops and re-establishes the connection ``repeats`` times
+            back-to-back before sending the line normally).
+        at_line: 0-based index (within one sender's line sequence) at
+            which the fault fires.
+        cut_fraction: for ``disconnect``/``partial``: where within the
+            encoded line the cut lands, as a fraction of its length.
+        delay_seconds: for ``slow``: the mid-line stall.
+        repeats: for ``storm``: how many rapid reconnect cycles.
+    """
+
+    kind: str
+    at_line: int
+    cut_fraction: float = 0.5
+    delay_seconds: float = 0.05
+    repeats: int = 3
+
+    def __post_init__(self) -> None:
+        if self.kind not in CONN_KINDS:
+            raise ValidationError(
+                f"connection fault kind must be one of {CONN_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.at_line < 0:
+            raise ValidationError(
+                f"at_line must be >= 0, got {self.at_line}"
+            )
+        if not 0.0 <= self.cut_fraction <= 1.0:
+            raise ValidationError(
+                f"cut_fraction must be in [0, 1], got {self.cut_fraction}"
+            )
+        if self.repeats < 1:
+            raise ValidationError(
+                f"repeats must be >= 1, got {self.repeats}"
+            )
+
+
+def connection_fault_schedule(
+    seed: int,
+    *,
+    n: int = 4,
+    span: int = 200,
+    kinds: Sequence[str] = CONN_KINDS,
+    delay_seconds: float = 0.02,
+) -> list[ConnectionFault]:
+    """A reproducible connection fault script drawn from *seed*.
+
+    Fault lines land in disjoint windows of ``span // n`` lines, so
+    faults never stack on one line and the same seed replays the same
+    script bit-for-bit.  *span* should be the number of lines the
+    faulty sender will send.
+    """
+    if n < 1:
+        raise ValidationError(f"n must be >= 1, got {n}")
+    if span < n:
+        raise ValidationError(
+            f"span must be >= n ({n}), got {span}"
+        )
+    for kind in kinds:
+        if kind not in CONN_KINDS:
+            raise ValidationError(
+                f"unknown connection fault kind {kind!r}; "
+                f"choose from {CONN_KINDS}"
+            )
+    rng = Random(seed)
+    window = span // n
+    return [
+        ConnectionFault(
+            kind=rng.choice(list(kinds)),
+            at_line=index * window + rng.randrange(window),
+            cut_fraction=rng.uniform(0.2, 0.8),
+            delay_seconds=delay_seconds,
+            repeats=rng.randint(2, 4),
+        )
+        for index in range(n)
+    ]
+
+
+class FaultyLineSender:
+    """A misbehaving TCP log producer, scripted by :class:`ConnectionFault`.
+
+    Connects to the ingestion service's line front end and sends each
+    line terminated by ``\\n``, enacting the script deterministically:
+    the same script against the same lines always misbehaves at the
+    same bytes.  Tracks what actually happened so tests can assert on
+    it (``fired``, ``reconnects``, ``lost_lines``).
+
+    The sender is the *client* half of connection fault injection: the
+    server under test must survive dangling partials (quarantining the
+    fragment, never crashing the tenant's neighbors), absorb reconnect
+    storms, and keep slow writers from stalling other connections.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        script: Sequence[ConnectionFault] = (),
+        *,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.script = {fault.at_line: fault for fault in script}
+        if len(self.script) != len(script):
+            raise ValidationError(
+                "connection fault script has two faults on one line; "
+                "use disjoint at_line values"
+            )
+        self.connect_timeout = connect_timeout
+        self.fired: list[ConnectionFault] = []
+        self.reconnects = 0
+        self.lost_lines = 0
+        self._sock: socket.socket | None = None
+
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.connect_timeout
+        )
+        self._sock = sock
+        return sock
+
+    def _drop(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def _reconnect(self) -> socket.socket:
+        self._drop()
+        self.reconnects += 1
+        return self._connect()
+
+    def send_lines(self, lines: Iterable[str]) -> dict:
+        """Send *lines*, misbehaving on schedule; returns a summary.
+
+        Returns ``{"sent": n, "lost": n, "fired": n, "reconnects": n}``
+        where ``sent`` counts lines the server eventually received
+        whole and ``lost`` counts ``partial``-fault lines whose tail
+        never arrived.
+        """
+        sock = self._sock or self._connect()
+        sent = 0
+        try:
+            for index, line in enumerate(lines):
+                payload = line.encode("utf-8") + b"\n"
+                fault = self.script.get(index)
+                if fault is None:
+                    sock.sendall(payload)
+                    sent += 1
+                    continue
+                self.fired.append(fault)
+                cut = max(1, int(len(payload) * fault.cut_fraction))
+                if fault.kind == CONN_DISCONNECT:
+                    sock.sendall(payload[:cut])
+                    sock = self._reconnect()
+                    sock.sendall(payload)
+                    sent += 1
+                elif fault.kind == CONN_PARTIAL:
+                    sock.sendall(payload[:cut])
+                    sock = self._reconnect()
+                    self.lost_lines += 1
+                elif fault.kind == CONN_SLOW:
+                    sock.sendall(payload[:cut])
+                    time.sleep(fault.delay_seconds)
+                    sock.sendall(payload[cut:])
+                    sent += 1
+                else:  # storm
+                    for _ in range(fault.repeats):
+                        sock = self._reconnect()
+                    sock.sendall(payload)
+                    sent += 1
+        finally:
+            self.close()
+        return {
+            "sent": sent,
+            "lost": self.lost_lines,
+            "fired": len(self.fired),
+            "reconnects": self.reconnects,
+        }
+
+    def close(self) -> None:
+        self._drop()

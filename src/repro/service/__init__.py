@@ -1,0 +1,55 @@
+"""Long-running multi-tenant ingestion service.
+
+The paper evaluates parsers on offline corpora; the production shape
+this repo grows toward is a service holding many concurrent tenants,
+where the failure domain is no longer "one run" but "one tenant among
+many".  This package lifts the per-stream machinery built by earlier
+layers — supervision, budgets, quarantine, checkpoints, durable
+manifests — into that shape:
+
+* :mod:`~repro.service.shard` — :class:`TenantShard`, one tenant's
+  isolated failure domain: own engine+cache, quarantine, checkpoint,
+  optional budget/ladder, circuit breaker;
+* :mod:`~repro.service.admission` — per-tenant token buckets plus a
+  global budget valve that samples/sheds the noisiest tenant first;
+* :mod:`~repro.service.server` — the tenant router
+  (:class:`IngestionService`), the threaded TCP line front end
+  (:class:`LineServer`), and the in-process replay adapter;
+* :mod:`~repro.service.signals` — SIGINT/SIGTERM →
+  :class:`ShutdownRequested`, so an interrupted run finalizes through
+  the same path as a clean one.
+
+The drain protocol is the contract everything hangs off: stop
+accepting, flush every shard through the prefix policy (byte-identical
+to batch), finalize per-tenant checkpoints and manifests, exit 0.
+"""
+
+from repro.service.admission import AdmissionController, TokenBucket
+from repro.service.server import (
+    IngestionService,
+    LineServer,
+    REASON_PROTOCOL,
+    replay_lines,
+)
+from repro.service.shard import (
+    REASON_BREAKER,
+    REASON_BUDGET,
+    REASON_CRASH,
+    TenantShard,
+)
+from repro.service.signals import ShutdownRequested, graceful_signals
+
+__all__ = [
+    "AdmissionController",
+    "TokenBucket",
+    "IngestionService",
+    "LineServer",
+    "REASON_PROTOCOL",
+    "replay_lines",
+    "REASON_BREAKER",
+    "REASON_BUDGET",
+    "REASON_CRASH",
+    "TenantShard",
+    "ShutdownRequested",
+    "graceful_signals",
+]

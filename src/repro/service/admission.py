@@ -1,0 +1,206 @@
+"""Admission control for the multi-tenant ingestion service.
+
+Two layers, cheapest first:
+
+* a per-tenant :class:`TokenBucket` rate limit — a tenant that floods
+  faster than its refill rate is refused at the door, before its bytes
+  touch any shard state; and
+* a global pressure valve: an :class:`AdmissionController` holding a
+  :class:`~repro.degradation.budget.BudgetMonitor` over the *service*
+  (process memory + summed shard queue depth).  Every ``check_every``
+  admissions it re-grades the budget; under a **soft** breach the
+  noisiest tenant is *sampled* (1 in ``sample_keep`` lines admitted),
+  under a **hard** breach the noisiest tenant is *shed* outright.
+  "Noisiest" is the tenant with the highest exponentially-decayed
+  admission count, so fairness follows recent behavior, not lifetime
+  totals — a tenant that quiets down is forgiven within a few windows.
+
+The controller is passive about everything else: it never touches
+shards, so a refusal is always attributable (``rate`` / ``sampled`` /
+``shed``) and the service can count it per tenant.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+from repro.common.errors import ValidationError
+from repro.degradation.budget import LEVEL_HARD, LEVEL_SOFT, BudgetMonitor
+
+#: Refusal causes reported by :meth:`AdmissionController.admit`.
+CAUSE_RATE = "rate"
+CAUSE_SAMPLED = "sampled"
+CAUSE_SHED = "shed"
+
+
+class TokenBucket:
+    """Classic token bucket: *rate* tokens/second, capacity *burst*.
+
+    The clock is injectable so tests replay schedules deterministically
+    (the default is :func:`time.monotonic`).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValidationError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValidationError(f"burst must be >= 1, got {burst}")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock()
+
+    def try_take(self, n: float = 1.0) -> bool:
+        """Take *n* tokens if available; False means rate-limited."""
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._last) * self.rate
+        )
+        self._last = now
+        if self._tokens >= n:
+            self._tokens -= n
+            return True
+        return False
+
+
+class AdmissionController:
+    """Per-tenant rate limits plus global-budget pressure shedding.
+
+    Args:
+        rate / burst: token-bucket parameters applied to every tenant
+            (``None`` disables rate limiting).
+        monitor: budget monitor over the whole service — typically
+            built from ``ResourceBudget.of(memory_mb=..., queue_depth=...)``
+            with its ``queue_probe`` wired to the service's summed
+            shard queue depth.  ``None`` disables pressure shedding.
+        check_every: admissions between budget re-grades (the cached
+            grade is used in between, keeping the per-line cost at a
+            dict lookup).
+        sample_keep: under a soft breach, admit 1 of every this-many
+            lines from the noisiest tenant.
+        decay: multiplier applied to every tenant's window count at
+            each budget check (0 < decay < 1); smaller forgets faster.
+
+    Not thread-safe on its own — the service serializes calls.
+    """
+
+    def __init__(
+        self,
+        *,
+        rate: float | None = None,
+        burst: float | None = None,
+        monitor: BudgetMonitor | None = None,
+        check_every: int = 64,
+        sample_keep: int = 2,
+        decay: float = 0.5,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if check_every < 1:
+            raise ValidationError(
+                f"check_every must be >= 1, got {check_every}"
+            )
+        if sample_keep < 2:
+            raise ValidationError(
+                f"sample_keep must be >= 2, got {sample_keep}"
+            )
+        if not 0.0 < decay < 1.0:
+            raise ValidationError(f"decay must be in (0, 1), got {decay}")
+        self.rate = rate
+        self.burst = burst if burst is not None else (rate or 0) * 2
+        self.monitor = monitor
+        self.check_every = check_every
+        self.sample_keep = sample_keep
+        self.decay = decay
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._window: dict[str, float] = {}
+        self._admissions = 0
+        self._level: str | None = None
+        self._noisiest: str | None = None
+        self._sampled = 0
+        #: Grades observed at each re-check, newest last (audit trail).
+        self.pressure_events: list[dict] = []
+
+    # ------------------------------------------------------------------
+
+    def _bucket(self, tenant: str) -> TokenBucket | None:
+        if self.rate is None:
+            return None
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, clock=self._clock)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def _regrade(self) -> None:
+        """Re-sample the global budget and refresh the pressure state."""
+        for tenant in self._window:
+            self._window[tenant] *= self.decay
+        if self.monitor is None:
+            return
+        sample, breaches = self.monitor.evaluate()
+        level = None
+        for breach in breaches:
+            if breach.level == LEVEL_HARD:
+                level = LEVEL_HARD
+                break
+            level = LEVEL_SOFT
+        previous = self._level
+        self._level = level
+        self._noisiest = (
+            max(self._window, key=self._window.get)  # type: ignore[arg-type]
+            if level is not None and self._window
+            else None
+        )
+        if level != previous:
+            self.pressure_events.append(
+                {
+                    "level": level,
+                    "noisiest": self._noisiest,
+                    "sample": sample.to_dict(),
+                    "breaches": [b.describe() for b in breaches],
+                }
+            )
+
+    # ------------------------------------------------------------------
+
+    def admit(self, tenant: str) -> tuple[bool, str | None]:
+        """Decide one line: ``(admitted, cause)``.
+
+        *cause* is ``None`` on admission, else one of ``rate`` /
+        ``sampled`` / ``shed``.
+        """
+        self._admissions += 1
+        if self._admissions % self.check_every == 0:
+            self._regrade()
+        bucket = self._bucket(tenant)
+        if bucket is not None and not bucket.try_take():
+            return False, CAUSE_RATE
+        self._window[tenant] = self._window.get(tenant, 0.0) + 1.0
+        if self._level is not None and tenant == self._noisiest:
+            if self._level == LEVEL_HARD:
+                return False, CAUSE_SHED
+            self._sampled += 1
+            if self._sampled % self.sample_keep != 0:
+                return False, CAUSE_SAMPLED
+        return True, None
+
+    def describe(self) -> str:
+        bits = []
+        if self.rate is not None:
+            bits.append(f"rate={self.rate:g}/s burst={self.burst:g}")
+        if self.monitor is not None:
+            bits.append(self.monitor.budget.describe())
+        state = f"pressure={self._level or 'none'}"
+        if self._noisiest:
+            state += f" noisiest={self._noisiest}"
+        bits.append(state)
+        return "admission: " + ", ".join(bits)

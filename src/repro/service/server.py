@@ -1,0 +1,446 @@
+"""The multi-tenant ingestion service: router, front ends, drain.
+
+An :class:`IngestionService` accepts tenant-tagged lines —
+``tenant<TAB>content`` — routes each to its tenant's
+:class:`~repro.service.shard.TenantShard` (materialized lazily, or
+adopted from a previous life's checkpoints), and on drain flushes
+every shard through the prefix policy so each tenant's outputs are
+byte-identical to a batch parse of its stream.
+
+Front ends:
+
+* :class:`LineServer` — a threaded TCP line server.  One reader
+  thread per connection, so a slow writer stalls only its own
+  connection; dangling partial lines at disconnect become
+  tenant-attributed quarantine records, never crashes.
+* :func:`replay_lines` — the in-process adapter: feed any iterable of
+  tagged lines (a file, a generator, a test) through the same
+  admission/routing path the TCP server uses.
+
+Protocol-level garbage — lines with no tab, tenant keys outside
+``[A-Za-z0-9._-]{1,64}``, partial lines cut by a disconnect — lands in
+the *service* quarantine (``service.quarantine.jsonl`` in the data
+root) with reason ``protocol``, because it cannot be safely attributed
+to any tenant's stream position.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import socket
+import threading
+from collections.abc import Iterable
+
+from repro.common.errors import ValidationError
+from repro.common.types import LogRecord
+from repro.observability.tracing import SPAN_SERVICE_DRAIN
+from repro.resilience.quarantine import QuarantineRecord, QuarantineSink
+from repro.service.admission import AdmissionController
+from repro.service.shard import TenantShard
+
+#: Tenant keys are path-safe by construction (they name directories).
+TENANT_KEY_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+#: Quarantine reason for unroutable input.
+REASON_PROTOCOL = "protocol"
+
+#: Service-level outcome tags (shard outcomes pass through verbatim).
+PROTOCOL = "protocol"
+RATE_LIMITED = "rate"
+SAMPLED = "sampled"
+SHED = "shed"
+
+#: Basename of the service-level quarantine in the data root.
+SERVICE_QUARANTINE_NAME = "service.quarantine.jsonl"
+
+
+class IngestionService:
+    """Tenant router + shard supervisor + graceful drain.
+
+    Args:
+        data_dir: root directory; each tenant owns a subdirectory.
+        factory: zero-argument flush-parser factory shared by all
+            (unbudgeted) shards — each shard still builds its *own*
+            engine and cache from it.
+        admission: optional :class:`AdmissionController`; wire its
+            monitor's ``queue_probe`` to :meth:`total_pending` for
+            global queue-pressure shedding.
+        shard_kwargs: forwarded to every :class:`TenantShard`
+            (``flush_policy``, ``flush_size``, ``cache_capacity``,
+            ``max_pending``, ``overflow``, ``budget``, ``ladder``,
+            ``breaker_threshold``, ...).
+    """
+
+    def __init__(
+        self,
+        data_dir: str,
+        factory,
+        *,
+        parser_name: str = "parser",
+        admission: AdmissionController | None = None,
+        telemetry=None,
+        io=None,
+        **shard_kwargs,
+    ) -> None:
+        self.data_dir = data_dir
+        os.makedirs(data_dir, exist_ok=True)
+        self.factory = factory
+        self.parser_name = parser_name
+        self.admission = admission
+        self.telemetry = telemetry
+        self.io = io
+        self.shard_kwargs = shard_kwargs
+        self._shards: dict[str, TenantShard] = {}
+        self._lock = threading.Lock()
+        self._submitted = 0
+        self._drained: dict | None = None
+        self.quarantine = QuarantineSink(
+            os.path.join(data_dir, SERVICE_QUARANTINE_NAME),
+            telemetry=telemetry,
+            io=io,
+        )
+        if telemetry is not None:
+            telemetry.metrics.register_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> None:
+        metrics = self.telemetry.metrics
+        metrics.get("repro_service_tenants").set(len(self._shards))
+        metrics.get("repro_service_queue_depth").set(self.total_pending())
+
+    # ------------------------------------------------------------------
+    # Shard routing
+    # ------------------------------------------------------------------
+
+    def total_pending(self) -> float:
+        """Summed shard queue depth — the admission queue probe."""
+        return float(sum(s.pending for s in list(self._shards.values())))
+
+    @property
+    def submitted(self) -> int:
+        """Lines seen so far (admitted or not) — drives bounded soaks."""
+        return self._submitted
+
+    def tenants(self) -> list[str]:
+        return sorted(self._shards)
+
+    def shard(self, tenant: str) -> TenantShard:
+        """The tenant's shard, materialized on first sight."""
+        shard = self._shards.get(tenant)
+        if shard is None:
+            with self._lock:
+                shard = self._shards.get(tenant)
+                if shard is None:
+                    shard = TenantShard(
+                        tenant,
+                        self.data_dir,
+                        self.factory,
+                        parser_name=self.parser_name,
+                        telemetry=self.telemetry,
+                        io=self.io,
+                        **self.shard_kwargs,
+                    )
+                    self._shards[tenant] = shard
+        return shard
+
+    def adopt_existing(self) -> list[str]:
+        """Materialize shards for tenant directories a previous life left.
+
+        Called on startup so a resumed service finalizes *every*
+        tenant at the next drain, including ones that receive no new
+        lines this life.  Returns the adopted tenant keys.
+        """
+        adopted = []
+        for name in sorted(os.listdir(self.data_dir)):
+            if not TENANT_KEY_RE.match(name):
+                continue
+            if not os.path.isdir(os.path.join(self.data_dir, name)):
+                continue
+            self.shard(name)
+            adopted.append(name)
+        return adopted
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def _protocol_reject(self, payload: str, origin: str, detail: str) -> None:
+        with self._lock:
+            index = self._submitted
+            self.quarantine.add(
+                QuarantineRecord(
+                    source=origin,
+                    line_no=index,
+                    byte_offset=-1,
+                    reason=REASON_PROTOCOL,
+                    detail=detail,
+                    preview=payload[:200],
+                )
+            )
+
+    def _count_rejection(self, tenant: str, cause: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.metrics.get(
+                "repro_service_rejected_total"
+            ).labels(tenant=tenant, cause=cause).inc()
+
+    def submit_line(self, line: str, origin: str = "<stream>") -> str:
+        """Route one tagged line; returns the outcome tag.
+
+        Outcomes: the shard tags (``accepted``/``replayed``/
+        ``rejected``/``quarantined``/``breaker``) or the service tags
+        (``protocol``/``rate``/``sampled``/``shed``).
+        """
+        line = line.rstrip("\r")
+        tenant, sep, content = line.partition("\t")
+        if not sep or not TENANT_KEY_RE.match(tenant):
+            self._protocol_reject(
+                line,
+                origin,
+                "no tenant key (expected tenant<TAB>content)"
+                if not sep
+                else f"invalid tenant key {tenant[:64]!r}",
+            )
+            self._count_rejection(tenant or "<none>", PROTOCOL)
+            with self._lock:
+                self._submitted += 1
+            return PROTOCOL
+        with self._lock:
+            self._submitted += 1
+            if self.admission is not None:
+                admitted, cause = self.admission.admit(tenant)
+                if not admitted:
+                    self._count_rejection(tenant, cause)
+                    return cause
+        outcome = self.shard(tenant).submit(LogRecord(content=content))
+        return outcome
+
+    def note_partial(self, fragment: str, origin: str) -> None:
+        """A connection died mid-line; quarantine the dangling bytes."""
+        self._protocol_reject(
+            fragment,
+            origin,
+            "partial line: connection closed before newline",
+        )
+
+    # ------------------------------------------------------------------
+    # Drain
+    # ------------------------------------------------------------------
+
+    def checkpoint_all(self) -> None:
+        """Checkpoint every shard without finalizing anything."""
+        for tenant in self.tenants():
+            self._shards[tenant].checkpoint()
+
+    def drain(self) -> dict:
+        """Flush every shard to durable, manifest-covered artifacts.
+
+        Idempotent.  Returns ``{"tenants": {key: shard summary},
+        "protocol_rejects": n}``.
+        """
+        if self._drained is not None:
+            return self._drained
+        span = None
+        if self.telemetry is not None:
+            span = self.telemetry.tracer.start(
+                SPAN_SERVICE_DRAIN, tenants=len(self._shards)
+            )
+        summaries = {}
+        for tenant in self.tenants():
+            summaries[tenant] = self._shards[tenant].drain()
+        self.quarantine.close()
+        summary = {
+            "tenants": summaries,
+            "protocol_rejects": len(self.quarantine),
+            "submitted": self._submitted,
+        }
+        if span is not None:
+            span.attrs["protocol_rejects"] = len(self.quarantine)
+            self.telemetry.tracer.finish(span)
+        self._drained = summary
+        return summary
+
+    def describe(self) -> str:
+        lines = [
+            f"service: {len(self._shards)} tenant(s), "
+            f"{self._submitted} line(s) submitted, "
+            f"{len(self.quarantine)} protocol reject(s)"
+        ]
+        for tenant in self.tenants():
+            lines.append("  " + self._shards[tenant].describe())
+        if self.admission is not None:
+            lines.append("  " + self.admission.describe())
+        return "\n".join(lines)
+
+
+def replay_lines(
+    service: IngestionService,
+    lines: Iterable[str],
+    origin: str = "<replay>",
+    *,
+    guard=None,
+) -> dict[str, int]:
+    """In-process source adapter: submit *lines*, count outcomes.
+
+    *guard* is an optional
+    :class:`~repro.service.signals.ShutdownGuard`; it is checked
+    between lines, so a graceful-shutdown signal stops the replay at a
+    line boundary with every shard in a drainable state.
+    """
+    outcomes: dict[str, int] = {}
+    for line in lines:
+        if guard is not None:
+            guard.check()
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        outcome = service.submit_line(line, origin)
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
+    return outcomes
+
+
+class LineServer:
+    """Threaded TCP line front end over an :class:`IngestionService`.
+
+    One reader thread per connection: a slow or stalled writer ties up
+    only its own thread, and a connection that dies mid-line yields a
+    ``protocol`` quarantine record for the dangling fragment.  Binding
+    port 0 (the default) picks a free port, published via
+    :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        service: IngestionService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        backlog: int = 16,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.backlog = backlog
+        self._sock: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._conn_threads: list[threading.Thread] = []
+        self._conns: list[socket.socket] = []
+        self._lock = threading.Lock()
+        self._stopping = False
+
+    def start(self) -> None:
+        if self._sock is not None:
+            raise ValidationError("server already started")
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self.host, self.port))
+        sock.listen(self.backlog)
+        self.port = sock.getsockname()[1]
+        self._sock = sock
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="ingest-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._stopping:
+            try:
+                conn, addr = self._sock.accept()
+            except OSError:
+                break  # listening socket closed by stop()
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn, addr),
+                name=f"ingest-conn-{addr[1]}",
+                daemon=True,
+            )
+            with self._lock:
+                self._conn_threads.append(thread)
+                self._conns.append(conn)
+            thread.start()
+
+    def _count_connection(self, outcome: str) -> None:
+        telemetry = self.service.telemetry
+        if telemetry is not None:
+            telemetry.metrics.get(
+                "repro_service_connections_total"
+            ).labels(outcome=outcome).inc()
+
+    def _serve_connection(self, conn: socket.socket, addr) -> None:
+        origin = f"tcp:{addr[0]}:{addr[1]}"
+        buffer = b""
+        outcome = "eof"
+        conn.settimeout(0.2)
+        try:
+            while True:
+                try:
+                    data = conn.recv(65536)
+                except socket.timeout:
+                    if self._stopping:
+                        outcome = "stopped"
+                        break
+                    continue
+                except OSError:
+                    outcome = "reset"
+                    break
+                if not data:
+                    break
+                buffer += data
+                while b"\n" in buffer:
+                    raw, _, buffer = buffer.partition(b"\n")
+                    try:
+                        self.service.submit_line(
+                            raw.decode("utf-8", errors="replace"), origin
+                        )
+                    except Exception as error:  # noqa: BLE001 - keep serving
+                        # Shards never let tenant faults escape; anything
+                        # landing here is a service bug — record it, keep
+                        # the connection (and every other tenant) alive.
+                        outcome = "error"
+                        telemetry = self.service.telemetry
+                        if telemetry is not None:
+                            telemetry.events.emit(
+                                "service_error",
+                                origin=origin,
+                                error=f"{type(error).__name__}: {error}",
+                            )
+        finally:
+            if buffer:
+                self.service.note_partial(
+                    buffer.decode("utf-8", errors="replace"), origin
+                )
+                if outcome == "eof":
+                    outcome = "partial"
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already dead
+                pass
+            self._count_connection(outcome)
+
+    def stop(self, drain_timeout: float = 5.0) -> None:
+        """Stop accepting, let in-flight readers finish, close sockets."""
+        self._stopping = True
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=drain_timeout)
+        with self._lock:
+            threads = list(self._conn_threads)
+            conns = list(self._conns)
+        for thread in threads:
+            thread.join(timeout=drain_timeout)
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "LineServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

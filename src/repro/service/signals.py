@@ -1,0 +1,113 @@
+"""Graceful-shutdown signal plumbing shared by the CLI and the service.
+
+The stream/soak/serve commands all hold state that must be finalized
+before the process may exit — checkpoints, telemetry artifacts,
+manifests, per-tenant shard outputs.  Their ``try/finally`` exporters
+already cover exceptions; this module covers *signals*: under
+:func:`graceful_signals`, ``SIGINT``/``SIGTERM`` request a shutdown
+that unwinds through the same ``except``/``finally`` blocks an
+ordinary failure takes.
+
+Two delivery modes, chosen by where the signal may land:
+
+* **cooperative** (default): the handler only records the signal on
+  the yielded :class:`ShutdownGuard`; the work loop calls
+  :meth:`ShutdownGuard.check` at record boundaries and raises
+  :class:`ShutdownRequested` there.  This is mandatory around the
+  streaming engine — an asynchronous raise mid-``feed`` could leave
+  half-applied engine state inside the very checkpoint the shutdown
+  is trying to save.
+* **immediate** (``immediate=True``): the handler raises directly.
+  Correct only when the main thread holds no mutable state — e.g.
+  ``serve``, whose main thread just sleeps while connection threads
+  own the shards, or ``soak``, which persists nothing mid-run.
+
+The exit-code convention follows the shell: an interrupted
+``stream``/``soak`` run finalizes its artifacts and exits
+``128 + signum`` (callers still see it was signalled), while ``serve``
+treats a signal as the *drain request* it is and exits 0 after a
+clean drain.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+
+#: Signals that request a graceful shutdown.
+GRACEFUL_SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+
+class ShutdownRequested(Exception):
+    """A graceful-shutdown signal arrived; unwind, finalize, exit.
+
+    Deliberately *not* a :class:`~repro.common.errors.ReproError`: a
+    signal is not a failure, and the CLI's error-to-exit-code mapping
+    must not claim it.  Carries the signal number so handlers can
+    compute the conventional ``128 + signum`` exit code.
+    """
+
+    def __init__(self, signum: int) -> None:
+        try:
+            name = signal.Signals(signum).name
+        except ValueError:  # pragma: no cover - unknown signal number
+            name = str(signum)
+        super().__init__(f"shutdown requested by {name}")
+        self.signum = signum
+
+    @property
+    def exit_code(self) -> int:
+        """The shell convention for death-by-signal."""
+        return 128 + self.signum
+
+
+class ShutdownGuard:
+    """Cooperative shutdown flag a work loop polls at safe points."""
+
+    def __init__(self) -> None:
+        self.signum: int | None = None
+
+    @property
+    def requested(self) -> bool:
+        return self.signum is not None
+
+    def check(self) -> None:
+        """Raise :class:`ShutdownRequested` if a signal has arrived.
+
+        Call this only at points where every invariant holds (between
+        records, after a checkpoint) — that is the whole reason the
+        raise is deferred to here.
+        """
+        if self.signum is not None:
+            raise ShutdownRequested(self.signum)
+
+
+@contextmanager
+def graceful_signals(signums=GRACEFUL_SIGNALS, *, immediate: bool = False):
+    """Install graceful handlers for *signums*; yields a :class:`ShutdownGuard`.
+
+    Handlers are installed on entry and the previous ones restored on
+    exit.  Signal handlers can only live in the main thread; entered
+    from any other thread (in-process tests driving ``main()`` from a
+    worker) this yields an inert guard and installs nothing, so
+    callers never need to care.
+    """
+    guard = ShutdownGuard()
+    if threading.current_thread() is not threading.main_thread():
+        yield guard
+        return
+
+    def _handle(signum, frame):  # noqa: ARG001 - signal handler shape
+        guard.signum = signum
+        if immediate:
+            raise ShutdownRequested(signum)
+
+    previous = {}
+    try:
+        for signum in signums:
+            previous[signum] = signal.signal(signum, _handle)
+        yield guard
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)

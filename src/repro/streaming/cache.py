@@ -16,6 +16,22 @@ The cache stores opaque integer *slots* (the engine's permanent event
 table indices), never event ids: eviction forgets how to *match* a
 template but the engine still remembers the event, so a re-learned
 template maps back to the identical :class:`~repro.common.types.EventTemplate`.
+
+Concurrency contract — **single-writer ownership, not locking**.  The
+cache (like the engine holding it) is deliberately lock-free: ``match``
+mutates LRU order, so even "reads" are writes, and a per-call lock
+would tax the per-line fast path that makes streaming cheap.  Instead,
+exactly one thread may touch a given cache at a time.  In-process that
+is trivially true (one engine, one loop); the multi-tenant service
+keeps it true by giving every tenant shard its own engine+cache behind
+the shard's lock (:mod:`repro.service.shard`), and the engine's
+``@_single_writer`` tripwire raises
+:class:`~repro.common.errors.ConcurrencyError` on cross-thread entry.
+Hot-path counters (``exact_hits``/``template_hits``/``misses``/
+``evictions``) are plain ints under the same ownership rule; telemetry
+reads them via a read-time collector, which may observe a value at
+most one line stale — acceptable for metrics, never used for control
+flow.
 """
 
 from __future__ import annotations

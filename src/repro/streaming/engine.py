@@ -46,12 +46,17 @@ template re-learned later maps back to its original slot and event.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import Counter
 from dataclasses import dataclass
 from collections.abc import Callable, Iterable, Sequence
 
-from repro.common.errors import CheckpointError, ParserConfigurationError
+from repro.common.errors import (
+    CheckpointError,
+    ConcurrencyError,
+    ParserConfigurationError,
+)
 from repro.common.tokenize import render_template, tokenize
 from repro.common.types import EventTemplate, LogRecord, ParseResult
 from repro.observability.tracing import SPAN_CHUNK, SPAN_PARSER_CALL
@@ -75,6 +80,47 @@ PENDING_EVENT_ID = "PENDING"
 
 #: Overflow modes for bounded ingest (``max_pending``).
 OVERFLOW_MODES = ("block", "shed", "sample")
+
+
+def _single_writer(method):
+    """Enforce the engine's single-writer ownership contract.
+
+    The engine and its :class:`~repro.streaming.cache.TemplateCache`
+    are deliberately lock-free: exactly one thread may mutate a given
+    engine at a time (the service layer serializes per tenant shard).
+    This decorator is the enforcement half — a cheap, best-effort
+    tripwire that raises :class:`~repro.common.errors.ConcurrencyError`
+    when a second thread enters ``feed``/``flush``/``finalize``/
+    ``reconfigure`` while another thread is still inside.  Same-thread
+    reentrancy (``feed`` → ``flush``) is allowed via depth counting.
+    It is a detector, not a lock: two perfectly interleaved writers can
+    slip past it, which is why the contract is ownership, not locking.
+    """
+
+    def wrapper(self, *args, **kwargs):
+        me = threading.get_ident()
+        owner = self._busy_thread
+        if owner is not None and owner != me:
+            raise ConcurrencyError(
+                f"StreamingParser.{method.__name__} called from thread "
+                f"{me} while thread {owner} is inside the engine; "
+                "engines are single-writer — give each thread its own "
+                "engine or serialize access (as TenantShard does)"
+            )
+        self._busy_thread = me
+        self._busy_depth += 1
+        try:
+            return method(self, *args, **kwargs)
+        finally:
+            self._busy_depth -= 1
+            if self._busy_depth <= 0:
+                self._busy_depth = 0
+                self._busy_thread = None
+
+    wrapper.__name__ = method.__name__
+    wrapper.__qualname__ = method.__qualname__
+    wrapper.__doc__ = method.__doc__
+    return wrapper
 
 
 @dataclass
@@ -175,6 +221,9 @@ class StreamingParser(LogParser):
             permanent outliers).
         on_remap: callback ``(old_slot, new_slot)`` fired when a
             subsumption merge folds one event into another.
+        source_label: the ``source`` stamped on quarantine records the
+            screen rejects — multi-tenant callers set it to the
+            tenant's identity so quarantined garbage keeps provenance.
         telemetry: optional
             :class:`~repro.observability.telemetry.Telemetry` handle.
             When set, the engine registers a metrics collector syncing
@@ -209,6 +258,7 @@ class StreamingParser(LogParser):
         overflow_sample_keep: int = 2,
         on_assign: Callable[[int, LogRecord, int], None] | None = None,
         on_remap: Callable[[int, int], None] | None = None,
+        source_label: str = "<stream>",
         telemetry=None,
     ) -> None:
         super().__init__(preprocessor=preprocessor)
@@ -261,7 +311,11 @@ class StreamingParser(LogParser):
         self.overflow_sample_keep = overflow_sample_keep
         self.on_assign = on_assign
         self.on_remap = on_remap
+        self.source_label = source_label
         self.telemetry = telemetry
+        #: Single-writer tripwire state (see :func:`_single_writer`).
+        self._busy_thread: int | None = None
+        self._busy_depth = 0
         if workers > 1:
             self._flush_parser: LogParser = ChunkedParallelParser(
                 factory,
@@ -338,6 +392,7 @@ class StreamingParser(LogParser):
     # Streaming interface
     # ------------------------------------------------------------------
 
+    @_single_writer
     def feed(self, record: LogRecord) -> int:
         """Consume one record; returns its line number in the stream.
 
@@ -427,6 +482,7 @@ class StreamingParser(LogParser):
         for record in records:
             self.feed(record)
 
+    @_single_writer
     def flush(self) -> None:
         """Run the batch parser now, on the policy's scope.
 
@@ -511,6 +567,7 @@ class StreamingParser(LogParser):
                 slot, tuple(tokenize(self._slot_templates[slot]))
             )
 
+    @_single_writer
     def finalize(self) -> None:
         """Flush until every streamed line has its final assignment.
 
@@ -530,6 +587,7 @@ class StreamingParser(LogParser):
     # Live reconfiguration (graceful degradation)
     # ------------------------------------------------------------------
 
+    @_single_writer
     def reconfigure(
         self,
         factory: ParserFactory | None = None,
@@ -933,7 +991,7 @@ class StreamingParser(LogParser):
         self._rejected += 1
         assert self.error_policy is not None
         self.error_policy.handle(
-            source="<stream>",
+            source=self.source_label,
             line_no=stream_index,
             byte_offset=-1,
             reason=reason,

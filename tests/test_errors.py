@@ -95,12 +95,16 @@ def test_library_raises_only_repro_errors_for_bad_config():
 #: and OSError is what the IO fault injector (FaultyIO) must raise —
 #: recovery paths have to see the exact type (and errno) a real
 #: syscall would produce; the durability layer re-classifies it into
-#: ArtifactWriteError at the API boundary.
+#: ArtifactWriteError at the API boundary.  ShutdownRequested is a
+#: control-flow signal (a graceful SIGINT/SIGTERM, akin to
+#: KeyboardInterrupt), not a fault — handlers that catch ReproError to
+#: classify failures must never swallow a shutdown request.
 _ALLOWED_NON_REPRO = {
     "KeyError",
     "NotImplementedError",
     "AssertionError",
     "OSError",
+    "ShutdownRequested",
 }
 
 _SRC_ROOT = os.path.join(os.path.dirname(__file__), "..", "src", "repro")

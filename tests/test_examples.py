@@ -24,6 +24,7 @@ FAST_EXAMPLES = [
     "tagged_logging.py",
     "streaming_parse.py",
     "degraded_stream.py",
+    "multi_tenant_service.py",
 ]
 
 

@@ -1,0 +1,142 @@
+"""Unit tests for the CI throughput gate (``benchmarks/perf_gate.py``).
+
+The gate is not an installed package — it is loaded straight from the
+benchmarks directory, the same file CI executes.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_GATE_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks",
+    "perf_gate.py",
+)
+_spec = importlib.util.spec_from_file_location("perf_gate", _GATE_PATH)
+perf_gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(perf_gate)
+
+
+def _result_file(tmp_path, lines_per_second, **extra):
+    path = tmp_path / "BENCH_stream.json"
+    payload = {"lines_per_second": lines_per_second, "lines": 100_000}
+    payload.update(extra)
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def _history_file(tmp_path, values):
+    path = tmp_path / "history.jsonl"
+    path.write_text(
+        "".join(
+            json.dumps({"lines_per_second": value}) + "\n" for value in values
+        )
+    )
+    return str(path)
+
+
+class TestPolicy:
+    def test_reference_is_median_of_window(self):
+        history = [{"lines_per_second": v} for v in (100, 900, 110, 120, 130)]
+        # window=3 → last three: 110, 120, 130
+        assert perf_gate.reference_throughput(history, window=3) == 120
+
+    def test_median_shrugs_off_one_outlier(self):
+        history = [{"lines_per_second": v} for v in (100, 100, 5, 100, 100)]
+        assert perf_gate.reference_throughput(history, window=5) == 100
+
+    def test_unusable_entries_skipped(self):
+        history = [
+            {"lines_per_second": 0},
+            {"lines_per_second": "fast"},
+            {"note": "no throughput"},
+            {"lines_per_second": 200},
+        ]
+        assert perf_gate.reference_throughput(history) == 200
+        assert perf_gate.reference_throughput([{"junk": 1}]) is None
+
+    def test_tolerance_floor(self):
+        ok, floor = perf_gate.evaluate(86, 100, tolerance=0.15)
+        assert ok and floor == pytest.approx(85.0)
+        ok, _ = perf_gate.evaluate(84.9, 100, tolerance=0.15)
+        assert not ok
+
+    def test_exact_floor_passes(self):
+        ok, _ = perf_gate.evaluate(85.0, 100, tolerance=0.15)
+        assert ok
+
+
+class TestHistoryIO:
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text(
+            json.dumps({"lines_per_second": 100}) + "\n"
+            + '{"lines_per_second": 2'  # runner killed mid-append
+        )
+        entries = perf_gate.load_history(str(path))
+        assert [e["lines_per_second"] for e in entries] == [100]
+
+    def test_missing_history_is_empty(self, tmp_path):
+        assert perf_gate.load_history(str(tmp_path / "absent.jsonl")) == []
+
+    def test_result_requires_throughput(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"lines": 5}))
+        with pytest.raises(ValueError):
+            perf_gate.load_result(str(path))
+
+
+class TestMain:
+    def test_empty_history_seeds_and_passes(self, tmp_path, capsys):
+        result = _result_file(tmp_path, 1000)
+        history = str(tmp_path / "history.jsonl")
+        assert perf_gate.main([result, history]) == 0
+        assert "seeded" in capsys.readouterr().out
+        entries = perf_gate.load_history(history)
+        assert len(entries) == 1
+        assert entries[0]["lines_per_second"] == 1000
+
+    def test_pass_records_and_returns_zero(self, tmp_path, capsys):
+        result = _result_file(tmp_path, 95)
+        history = _history_file(tmp_path, [100, 100, 100])
+        assert perf_gate.main([result, history]) == 0
+        assert "ok" in capsys.readouterr().out
+        assert len(perf_gate.load_history(history)) == 4
+
+    def test_regression_fails_and_is_not_recorded(self, tmp_path, capsys):
+        result = _result_file(tmp_path, 50)
+        history = _history_file(tmp_path, [100, 100, 100])
+        assert perf_gate.main([result, history]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        # Retrying a real regression must not drag the reference down.
+        assert len(perf_gate.load_history(history)) == 3
+
+    def test_record_flag_accepts_new_baseline(self, tmp_path):
+        result = _result_file(tmp_path, 50)
+        history = _history_file(tmp_path, [100, 100, 100])
+        assert perf_gate.main([result, history, "--record"]) == 1
+        assert len(perf_gate.load_history(history)) == 4
+
+    def test_window_and_tolerance_flags(self, tmp_path):
+        # A tight window keys the reference to recent (fast) runs; a
+        # wide one lets ancient slow runs drag the median down.
+        result = _result_file(tmp_path, 80)
+        history = _history_file(tmp_path, [10, 10, 10, 100, 100])
+        assert perf_gate.main(
+            [result, history, "--window", "3", "--tolerance", "0.1"]
+        ) == 1
+        assert perf_gate.main(
+            [result, history, "--window", "5", "--tolerance", "0.1"]
+        ) == 0
+
+    def test_commit_stamped_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("GITHUB_SHA", "abc123")
+        entry = perf_gate.history_entry({"lines_per_second": 10})
+        assert entry["commit"] == "abc123"
+        monkeypatch.delenv("GITHUB_SHA")
+        assert "commit" not in perf_gate.history_entry(
+            {"lines_per_second": 10}
+        )
