@@ -1,0 +1,99 @@
+"""Multi-tenant service throughput: thread vs process isolation.
+
+Feeds the same tenant-tagged stream through the ingestion service in
+both isolation modes and writes
+``benchmarks/results/BENCH_service.json`` — per-mode lines/s plus the
+process mode's restart count (which must be zero on a calm run).  The
+point of the artifact is the *ratio*: process isolation buys physical
+failure domains for a queue-hop tax that this benchmark makes
+trendable across commits.
+"""
+
+import functools
+import json
+import os
+import time
+
+from repro.parsers import make_parser
+from repro.service import IngestionService, replay_lines
+
+from .conftest import RESULTS_DIR, emit
+
+TENANTS = 4
+LINES_PER_TENANT = 5_000
+
+
+def _stream():
+    lines = []
+    for i in range(TENANTS * LINES_PER_TENANT):
+        tenant = f"tenant{i % TENANTS}"
+        lines.append(
+            f"{tenant}\tConnection from 10.0.{i % 200}.{i % 7} "
+            f"port {3000 + i % 500} established"
+        )
+    return lines
+
+
+def _run_mode(data_dir, lines, isolation):
+    kwargs = {}
+    if isolation == "process":
+        kwargs["worker_kwargs"] = dict(checkpoint_every=1_000)
+    service = IngestionService(
+        data_dir,
+        functools.partial(make_parser, "Drain"),
+        parser_name="Drain",
+        flush_size=512,
+        isolation=isolation,
+        **kwargs,
+    )
+    start = time.monotonic()
+    replay_lines(service, lines)
+    summary = service.drain()
+    elapsed = time.monotonic() - start
+    restarts = sum(
+        tenant.get("restarts", 0) for tenant in summary["tenants"].values()
+    )
+    total = sum(tenant["lines"] for tenant in summary["tenants"].values())
+    return {
+        "elapsed_seconds": round(elapsed, 4),
+        "lines_per_second": round(total / elapsed) if elapsed > 0 else 0,
+        "lines": total,
+        "restarts": restarts,
+    }
+
+
+def _service_run(tmp_dir):
+    lines = _stream()
+    return {
+        mode: _run_mode(os.path.join(tmp_dir, mode), lines, mode)
+        for mode in ("thread", "process")
+    }
+
+
+def test_bench_service_isolation(once, tmp_path):
+    modes = once(_service_run, str(tmp_path))
+    payload = {
+        "benchmark": "service",
+        "parser": "Drain",
+        "tenants": TENANTS,
+        "lines_per_tenant": LINES_PER_TENANT,
+        "modes": modes,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    artifact = os.path.join(RESULTS_DIR, "BENCH_service.json")
+    with open(artifact, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    emit(
+        "BENCH_service",
+        "\n".join(
+            f"{mode}: {stats['lines_per_second']:,} lines/s "
+            f"({stats['lines']} lines, {stats['restarts']} restarts)"
+            for mode, stats in modes.items()
+        ),
+    )
+
+    for mode, stats in modes.items():
+        assert stats["lines"] == TENANTS * LINES_PER_TENANT, mode
+        assert stats["restarts"] == 0, mode
+        assert stats["lines_per_second"] > 0, mode

@@ -75,6 +75,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import threading
 import time
 from contextlib import nullcontext
 from functools import partial
@@ -127,6 +128,7 @@ from repro.resilience import (
     RetryPolicy,
     RunManifest,
     corrupt_records,
+    crash_storm_schedule,
     diff_manifests,
     ensure_artifact,
     io_fault_schedule,
@@ -145,6 +147,7 @@ from repro.service import (
     ShutdownRequested,
     graceful_signals,
     replay_lines,
+    supervisor_status,
 )
 from repro.resilience.durability import (
     CODEC_FRAMED,
@@ -869,6 +872,72 @@ def _add_serve(subparsers) -> None:
         type=int,
         default=100,
         help="records between per-tenant budget checks",
+    )
+    cmd.add_argument(
+        "--isolation",
+        choices=["thread", "process"],
+        default="thread",
+        help="tenant failure domain: 'thread' shares the interpreter "
+        "(PR 7 behavior), 'process' runs each shard in a supervised "
+        "worker subprocess that survives crashes, hangs, and poison "
+        "records",
+    )
+    cmd.add_argument(
+        "--watchdog",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="process isolation: seconds without a worker heartbeat "
+        "before it is declared hung and terminated",
+    )
+    cmd.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=500,
+        metavar="N",
+        help="process isolation: records between worker checkpoints "
+        "(bounds the replay window after a crash)",
+    )
+    cmd.add_argument(
+        "--poison-threshold",
+        type=int,
+        default=3,
+        metavar="N",
+        help="process isolation: consecutive replay deaths on one "
+        "record before it is quarantined as a poison pill",
+    )
+    cmd.add_argument(
+        "--fence-threshold",
+        type=int,
+        default=5,
+        metavar="N",
+        help="process isolation: consecutive worker deaths before "
+        "the shard is fenced (no further restarts)",
+    )
+    cmd.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="process isolation: per-tenant drain deadline; on "
+        "expiry the worker is escalated SIGTERM then SIGKILL",
+    )
+    cmd.add_argument(
+        "--proc-faults",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="process isolation: inject a seeded crash-storm "
+        "schedule (SIGKILL / exit / hang) into every tenant's "
+        "worker — chaos testing only",
+    )
+    cmd.add_argument(
+        "--status-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="print (and journal to the event log) a one-line "
+        "per-tenant supervisor status every SECONDS",
     )
     cmd.add_argument("--groups", type=int, default=50, help="LogSig only")
     cmd.add_argument("--support", type=float, default=0.005, help="SLCT only")
@@ -1720,6 +1789,20 @@ def _cmd_serve(args) -> int:
             queue_depth=args.tenant_budget_queue,
         )
         shard_kwargs["ladder"] = _build_stream_ladder(args)
+    worker_kwargs: dict = {}
+    if args.isolation == "process":
+        worker_kwargs = dict(
+            watchdog=args.watchdog,
+            checkpoint_every=args.checkpoint_every,
+            poison_threshold=args.poison_threshold,
+            fence_threshold=args.fence_threshold,
+            drain_timeout=args.drain_timeout,
+        )
+        if args.proc_faults is not None:
+            seed = args.proc_faults
+            worker_kwargs["faults"] = lambda tenant: crash_storm_schedule(
+                seed, [tenant]
+            )[tenant]
     try:
         service = IngestionService(
             args.data_dir,
@@ -1727,6 +1810,8 @@ def _cmd_serve(args) -> int:
             parser_name=args.parser,
             telemetry=telemetry,
             io=io,
+            isolation=args.isolation,
+            worker_kwargs=worker_kwargs,
             **shard_kwargs,
         )
         if (
@@ -1753,6 +1838,28 @@ def _cmd_serve(args) -> int:
         adopted = service.adopt_existing()
         if adopted:
             print(f"adopted {len(adopted)} tenant(s): {', '.join(adopted)}")
+
+        def _emit_status() -> None:
+            status = supervisor_status(service)
+            if telemetry is not None:
+                telemetry.events.emit(
+                    "supervisor_status",
+                    tenants=status["tenants"],
+                    line=status["line"],
+                )
+            print(status["line"], flush=True)
+
+        def _status_loop() -> None:
+            while not ticker_stop.wait(args.status_interval):
+                _emit_status()
+
+        ticker_stop = threading.Event()
+        ticker = None
+        if args.status_interval is not None:
+            ticker = threading.Thread(
+                target=_status_loop, name="status-ticker", daemon=True
+            )
+            ticker.start()
         stopped = False
         # Cooperative shutdown everywhere: the signal is only *noted*
         # by the handler, and acted on at a line boundary (replay) or
@@ -1792,12 +1899,24 @@ def _cmd_serve(args) -> int:
                 stopped = guard.requested
         except ShutdownRequested:
             stopped = True
+        finally:
+            ticker_stop.set()
+            if ticker is not None:
+                ticker.join(timeout=5.0)
+        if args.status_interval is not None:
+            # Always journal one final status so the events artifact
+            # carries the end-of-run supervisor picture.
+            _emit_status()
         if stopped:
             print("shutdown requested; draining", flush=True)
         summary = service.drain()
         print(service.describe())
         for tenant in sorted(summary["tenants"]):
-            print(f"  manifest: {summary['tenants'][tenant]['manifest']}")
+            manifest = summary["tenants"][tenant].get("manifest")
+            if manifest is None:
+                print(f"  manifest: <none: {tenant} fenced>")
+            else:
+                print(f"  manifest: {manifest}")
         return 0
     finally:
         _export_telemetry(args, telemetry, io=io)

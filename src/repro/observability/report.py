@@ -182,6 +182,49 @@ def _render_metrics_section(path: str) -> list[str]:
     if extras:
         out.append("## Incidents")
         out.append("  " + ", ".join(extras))
+    out.extend(_render_shard_section(samples))
+    return out
+
+
+def _render_shard_section(samples: dict[str, float]) -> list[str]:
+    """Supervisor lifecycle summary (process-isolated runs only)."""
+    restarts: dict[str, dict[str, int]] = {}
+    poison: dict[str, int] = {}
+    for sample, value in samples.items():
+        if sample.startswith("repro_shard_restarts_total{") and value:
+            labels = dict(
+                part.split("=", 1)
+                for part in sample[len("repro_shard_restarts_total{") : -1]
+                .replace('"', "")
+                .split(",")
+            )
+            tenant = labels.get("tenant", "?")
+            restarts.setdefault(tenant, {})[
+                labels.get("reason", "?")
+            ] = int(value)
+        elif sample.startswith("repro_shard_poison_records_total{") and value:
+            tenant = (
+                sample[len("repro_shard_poison_records_total{") : -1]
+                .replace('"', "")
+                .split("=", 1)[1]
+            )
+            poison[tenant] = int(value)
+    if not restarts and not poison:
+        return []
+    out = ["## Shards"]
+    for tenant in sorted(set(restarts) | set(poison)):
+        parts = []
+        reasons = restarts.get(tenant, {})
+        if reasons:
+            total = sum(reasons.values())
+            detail = ", ".join(
+                f"{count} {reason}"
+                for reason, count in sorted(reasons.items())
+            )
+            parts.append(f"{total} restart(s) ({detail})")
+        if tenant in poison:
+            parts.append(f"{poison[tenant]} poison record(s)")
+        out.append(f"  {tenant}: " + ", ".join(parts))
     return out
 
 

@@ -212,3 +212,29 @@ def _register_schema(metrics: MetricsRegistry) -> None:
         "repro_service_queue_depth",
         "Pending records summed across all tenant shards",
     )
+    # Process isolation (shard workers + supervision) --------------------
+    metrics.counter(
+        "repro_shard_restarts_total",
+        "Worker restarts by tenant and death reason",
+        labelnames=("tenant", "reason"),
+    )
+    metrics.counter(
+        "repro_shard_poison_records_total",
+        "Records diverted to quarantine as poison pills",
+        labelnames=("tenant",),
+    )
+    metrics.gauge(
+        "repro_worker_heartbeat_age_seconds",
+        "Seconds since the supervisor last heard from a worker",
+        labelnames=("tenant",),
+    )
+    metrics.gauge(
+        "repro_shard_queue_depth",
+        "Journaled records awaiting a worker checkpoint, per tenant",
+        labelnames=("tenant",),
+    )
+    metrics.gauge(
+        "repro_shard_state",
+        "Supervisor lifecycle state (one-hot per tenant)",
+        labelnames=("tenant", "state"),
+    )

@@ -61,10 +61,13 @@ from repro.resilience.faults import (
     FlakyFactory,
     InjectedFault,
     IoFault,
+    ProcessFault,
     connection_fault_schedule,
     corrupt_raw_file,
     corrupt_records,
+    crash_storm_schedule,
     io_fault_schedule,
+    process_fault_schedule,
 )
 from repro.resilience.quarantine import (
     ERROR_POLICIES,
@@ -112,10 +115,13 @@ __all__ = [
     "FlakyFactory",
     "InjectedFault",
     "IoFault",
+    "ProcessFault",
     "connection_fault_schedule",
     "corrupt_raw_file",
     "corrupt_records",
+    "crash_storm_schedule",
     "io_fault_schedule",
+    "process_fault_schedule",
     "ERROR_POLICIES",
     "ErrorPolicy",
     "QuarantineRecord",

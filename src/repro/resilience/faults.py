@@ -37,6 +37,8 @@ from __future__ import annotations
 
 import errno
 import os
+import signal as _signal_module
+import zlib
 import socket
 import time
 from dataclasses import dataclass
@@ -48,6 +50,8 @@ from repro.common.types import LogRecord, ParseResult
 from repro.parsers.base import LogParser
 from repro.parsers.parallel import ParserFactory
 from repro.resilience.durability import RealIO
+
+_SIGKILL = getattr(_signal_module, "SIGKILL", _signal_module.SIGTERM)
 
 
 class InjectedFault(ReproError, RuntimeError):
@@ -695,3 +699,173 @@ class FaultyLineSender:
 
     def close(self) -> None:
         self._drop()
+
+
+# ----------------------------------------------------------------------
+# Process faults (shard worker subprocesses)
+# ----------------------------------------------------------------------
+
+#: Process fault kinds.
+PROC_KILL = "kill"
+PROC_EXIT = "exit"
+PROC_HANG = "hang"
+PROC_SLOW_START = "slow-start"
+PROC_KINDS = (PROC_KILL, PROC_EXIT, PROC_HANG, PROC_SLOW_START)
+
+
+@dataclass(frozen=True)
+class ProcessFault:
+    """Scheduled fault enacted *inside* a shard worker process.
+
+    Unlike :class:`ChunkFault` (which sabotages one stateless chunk
+    parse), a process fault kills, wedges, or delays a long-lived
+    :class:`~repro.service.workers.ShardWorker` — the thing the
+    supervisor's watchdog, restart backoff, and poison-pill protocol
+    exist to survive.
+
+    Args:
+        kind: ``kill`` (``SIGKILL`` self — no cleanup, no exit code
+            beyond the signal), ``exit`` (hard nonzero ``os._exit``),
+            ``hang`` (stop heartbeating and sleep ``hang_seconds`` —
+            trips the parent watchdog), or ``slow-start`` (sleep
+            ``delay_seconds`` before the worker signals ready).
+        at_record: global record index (the shard's stream position)
+            at which ``kill``/``exit``/``hang`` fire, checked at feed
+            time so attribution is exact.  Ignored by ``slow-start``.
+        at_drain: fire when the drain request is processed (before the
+            shard finalizes) instead of at a record index.
+        lives: worker incarnation numbers (1-based) in which the fault
+            fires.  ``lives=(1,)`` models a transient crash the replay
+            survives; ``lives=(1, 2, 3)`` at one record models a
+            poison pill that keeps killing its replayer.
+        exit_code / hang_seconds / delay_seconds: kind parameters.
+
+    Frozen plain data: pickles into the worker spec and replays
+    bit-for-bit.
+    """
+
+    kind: str
+    at_record: int = 0
+    at_drain: bool = False
+    lives: tuple[int, ...] = (1,)
+    exit_code: int = 3
+    hang_seconds: float = 60.0
+    delay_seconds: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in PROC_KINDS:
+            raise ValidationError(
+                f"process fault kind must be one of {PROC_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.at_record < 0:
+            raise ValidationError(
+                f"at_record must be >= 0, got {self.at_record}"
+            )
+        if not self.lives or any(life < 1 for life in self.lives):
+            raise ValidationError(
+                f"lives must be non-empty 1-based incarnations, "
+                f"got {self.lives!r}"
+            )
+        if self.exit_code == 0:
+            raise ValidationError("exit fault must use a nonzero exit code")
+
+    def fires_at_start(self, life: int) -> bool:
+        return self.kind == PROC_SLOW_START and life in self.lives
+
+    def should_fire(self, record_index: int, life: int) -> bool:
+        """Fire at feed time for record *record_index* in *life*?"""
+        if self.kind == PROC_SLOW_START or self.at_drain:
+            return False
+        return record_index == self.at_record and life in self.lives
+
+    def should_fire_at_drain(self, life: int) -> bool:
+        if self.kind == PROC_SLOW_START or not self.at_drain:
+            return False
+        return life in self.lives
+
+    def fire(self) -> None:
+        """Enact the fault (called from inside the worker process)."""
+        if self.kind == PROC_KILL:
+            os.kill(os.getpid(), _SIGKILL)
+        elif self.kind == PROC_EXIT:
+            os._exit(self.exit_code)
+        elif self.kind == PROC_HANG:
+            time.sleep(self.hang_seconds)
+        else:  # slow-start: enacted by the worker before ready
+            time.sleep(self.delay_seconds)
+
+
+def process_fault_schedule(
+    seed: int,
+    *,
+    n: int = 3,
+    span: int = 200,
+    kinds: Sequence[str] = (PROC_KILL, PROC_EXIT, PROC_HANG),
+    lives: tuple[int, ...] | None = None,
+    hang_seconds: float = 60.0,
+) -> list[ProcessFault]:
+    """A reproducible per-tenant crash script drawn from *seed*.
+
+    Fault records land in disjoint windows of ``span // n`` records
+    (same discipline as :func:`connection_fault_schedule`), so each
+    crash resolves — restart, careful replay — before the next one
+    lands, and the same seed replays the same script bit-for-bit.
+    *span* should be the number of records the tenant will receive.
+
+    By default fault *i* is armed in worker life ``i + 1``: the first
+    fault kills the original worker, the second kills its replacement
+    once it has replayed past the first window, and so on — every
+    scheduled fault actually fires.  Pass *lives* explicitly to arm
+    all faults in the same incarnations instead (e.g. a poison pill).
+    """
+    if n < 1:
+        raise ValidationError(f"n must be >= 1, got {n}")
+    if span < n:
+        raise ValidationError(f"span must be >= n ({n}), got {span}")
+    for kind in kinds:
+        if kind not in PROC_KINDS or kind == PROC_SLOW_START:
+            raise ValidationError(
+                f"unschedulable process fault kind {kind!r}; "
+                f"choose from {(PROC_KILL, PROC_EXIT, PROC_HANG)}"
+            )
+    rng = Random(seed)
+    window = span // n
+    return [
+        ProcessFault(
+            kind=rng.choice(list(kinds)),
+            at_record=index * window + rng.randrange(window),
+            lives=lives if lives is not None else (index + 1,),
+            exit_code=rng.randint(1, 125),
+            hang_seconds=hang_seconds,
+        )
+        for index in range(n)
+    ]
+
+
+def crash_storm_schedule(
+    seed: int,
+    tenants: Sequence[str],
+    *,
+    faults_per_tenant: int = 2,
+    span: int = 200,
+    kinds: Sequence[str] = (PROC_KILL, PROC_EXIT, PROC_HANG),
+    hang_seconds: float = 60.0,
+) -> dict[str, list[ProcessFault]]:
+    """Per-tenant crash scripts for a whole-service chaos run.
+
+    Each tenant's sub-seed mixes *seed* with the tenant key, so adding
+    a tenant does not reshuffle the others' scripts.
+    """
+    if not tenants:
+        raise ValidationError("crash storm needs at least one tenant")
+    return {
+        tenant: process_fault_schedule(
+            seed ^ (zlib.crc32(tenant.encode("utf-8")) & 0x7FFFFFFF),
+            n=faults_per_tenant,
+            span=span,
+            kinds=kinds,
+            hang_seconds=hang_seconds,
+        )
+        for tenant in tenants
+    }

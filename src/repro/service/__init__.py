@@ -26,6 +26,9 @@ to batch), finalize per-tenant checkpoints and manifests, exit 0.
 
 from repro.service.admission import AdmissionController, TokenBucket
 from repro.service.server import (
+    ISOLATION_MODES,
+    ISOLATION_PROCESS,
+    ISOLATION_THREAD,
     IngestionService,
     LineServer,
     REASON_PROTOCOL,
@@ -35,13 +38,24 @@ from repro.service.shard import (
     REASON_BREAKER,
     REASON_BUDGET,
     REASON_CRASH,
+    REASON_POISON,
     TenantShard,
 )
 from repro.service.signals import ShutdownRequested, graceful_signals
+from repro.service.workers import (
+    BatchJournal,
+    ShardSupervisor,
+    ShardWorker,
+    WorkerSpec,
+    supervisor_status,
+)
 
 __all__ = [
     "AdmissionController",
     "TokenBucket",
+    "ISOLATION_MODES",
+    "ISOLATION_PROCESS",
+    "ISOLATION_THREAD",
     "IngestionService",
     "LineServer",
     "REASON_PROTOCOL",
@@ -49,7 +63,13 @@ __all__ = [
     "REASON_BREAKER",
     "REASON_BUDGET",
     "REASON_CRASH",
+    "REASON_POISON",
     "TenantShard",
     "ShutdownRequested",
     "graceful_signals",
+    "BatchJournal",
+    "ShardSupervisor",
+    "ShardWorker",
+    "WorkerSpec",
+    "supervisor_status",
 ]

@@ -38,6 +38,13 @@ from repro.observability.tracing import SPAN_SERVICE_DRAIN
 from repro.resilience.quarantine import QuarantineRecord, QuarantineSink
 from repro.service.admission import AdmissionController
 from repro.service.shard import TenantShard
+from repro.service.workers import ShardSupervisor
+
+#: Isolation modes: ``thread`` keeps PR 7's in-process shards,
+#: ``process`` moves each shard into a supervised worker subprocess.
+ISOLATION_THREAD = "thread"
+ISOLATION_PROCESS = "process"
+ISOLATION_MODES = (ISOLATION_THREAD, ISOLATION_PROCESS)
 
 #: Tenant keys are path-safe by construction (they name directories).
 TENANT_KEY_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
@@ -66,6 +73,15 @@ class IngestionService:
         admission: optional :class:`AdmissionController`; wire its
             monitor's ``queue_probe`` to :meth:`total_pending` for
             global queue-pressure shedding.
+        isolation: ``thread`` (default) routes to in-process
+            :class:`TenantShard` threads; ``process`` routes to
+            :class:`~repro.service.workers.ShardSupervisor`-managed
+            worker subprocesses, which survive crashes, hangs, and
+            poison records at the cost of queue-hop latency.
+        worker_kwargs: forwarded to every :class:`ShardSupervisor`
+            in process mode (``watchdog``, ``checkpoint_every``,
+            ``poison_threshold``, ``fence_threshold``, ``faults``,
+            ``drain_timeout``, ...); rejected in thread mode.
         shard_kwargs: forwarded to every :class:`TenantShard`
             (``flush_policy``, ``flush_size``, ``cache_capacity``,
             ``max_pending``, ``overflow``, ``budget``, ``ladder``,
@@ -81,8 +97,28 @@ class IngestionService:
         admission: AdmissionController | None = None,
         telemetry=None,
         io=None,
+        isolation: str = ISOLATION_THREAD,
+        worker_kwargs: dict | None = None,
         **shard_kwargs,
     ) -> None:
+        if isolation not in ISOLATION_MODES:
+            raise ValidationError(
+                f"unknown isolation mode {isolation!r} "
+                f"(expected one of {', '.join(ISOLATION_MODES)})"
+            )
+        if worker_kwargs and isolation != ISOLATION_PROCESS:
+            raise ValidationError(
+                "worker_kwargs only apply to process isolation"
+            )
+        if isolation == ISOLATION_PROCESS and (
+            shard_kwargs.get("budget") is not None
+            or shard_kwargs.get("ladder") is not None
+        ):
+            raise ValidationError(
+                "per-tenant budgets/ladders require thread isolation: "
+                "a budgeted shard cannot resume from its checkpoint "
+                "after a worker restart"
+            )
         self.data_dir = data_dir
         os.makedirs(data_dir, exist_ok=True)
         self.factory = factory
@@ -90,6 +126,8 @@ class IngestionService:
         self.admission = admission
         self.telemetry = telemetry
         self.io = io
+        self.isolation = isolation
+        self.worker_kwargs = dict(worker_kwargs or {})
         self.shard_kwargs = shard_kwargs
         self._shards: dict[str, TenantShard] = {}
         self._lock = threading.Lock()
@@ -131,15 +169,41 @@ class IngestionService:
             with self._lock:
                 shard = self._shards.get(tenant)
                 if shard is None:
-                    shard = TenantShard(
-                        tenant,
-                        self.data_dir,
-                        self.factory,
-                        parser_name=self.parser_name,
-                        telemetry=self.telemetry,
-                        io=self.io,
-                        **self.shard_kwargs,
-                    )
+                    if self.isolation == ISOLATION_PROCESS:
+                        worker_kwargs = dict(self.worker_kwargs)
+                        faults = worker_kwargs.get("faults")
+                        if isinstance(faults, dict):
+                            # A crash-storm schedule maps tenants to
+                            # their own fault scripts.
+                            worker_kwargs["faults"] = tuple(
+                                faults.get(tenant, ())
+                            )
+                        elif callable(faults):
+                            # Lazily derive a tenant's script (the
+                            # CLI cannot enumerate tenants up front).
+                            worker_kwargs["faults"] = tuple(
+                                faults(tenant)
+                            )
+                        shard = ShardSupervisor(
+                            tenant,
+                            self.data_dir,
+                            self.factory,
+                            parser_name=self.parser_name,
+                            telemetry=self.telemetry,
+                            io=self.io,
+                            **worker_kwargs,
+                            **self.shard_kwargs,
+                        )
+                    else:
+                        shard = TenantShard(
+                            tenant,
+                            self.data_dir,
+                            self.factory,
+                            parser_name=self.parser_name,
+                            telemetry=self.telemetry,
+                            io=self.io,
+                            **self.shard_kwargs,
+                        )
                     self._shards[tenant] = shard
         return shard
 

@@ -73,6 +73,7 @@ from repro.streaming.session import ParseSession
 REASON_BREAKER = "breaker-open"
 REASON_BUDGET = "budget-exhausted"
 REASON_CRASH = "parser-crash"
+REASON_POISON = "poison-pill"
 
 #: Outcome tags returned by :meth:`TenantShard.submit`.
 ACCEPTED = "accepted"
@@ -232,6 +233,24 @@ class TenantShard:
     def resumed(self) -> bool:
         return self._skip > 0
 
+    @property
+    def position(self) -> int:
+        """Global stream position: records consumed across all lives."""
+        return max(self._skip, self.seen)
+
+    def fast_forward(self) -> None:
+        """Declare that the source resumes *at* the checkpoint position.
+
+        The default replay contract expects the source to replay from
+        the beginning (``seen`` catches up with ``_skip`` one record
+        at a time).  A supervisor that journals in-flight records
+        replays only the suffix *after* the checkpoint — it calls this
+        so ``submit`` treats the next record as position ``_skip``
+        instead of position 0.
+        """
+        with self._lock:
+            self.seen = max(self.seen, self._skip)
+
     def _quarantine(
         self, record: LogRecord, index: int, reason: str, detail: str
     ) -> None:
@@ -312,6 +331,40 @@ class TenantShard:
                     "repro_service_lines_total"
                 ).labels(tenant=self.tenant).inc()
             return ACCEPTED
+
+    def poison(self, record: LogRecord, detail: str) -> str:
+        """Divert one record to quarantine *instead of* feeding it.
+
+        The supervisor calls this for a record whose replay killed the
+        worker ``poison_threshold`` consecutive times: the record gets
+        ``poison:<tenant>`` provenance, the stream position advances
+        past it (so the checkpoint and any later replay skip it), and
+        the engine never sees it again.
+        """
+        with self._lock:
+            index = self.seen
+            self.seen += 1
+            self.quarantine.add(
+                QuarantineRecord(
+                    source=f"poison:{self.tenant}",
+                    line_no=index,
+                    byte_offset=-1,
+                    reason=REASON_POISON,
+                    detail=detail,
+                    preview=record.content[:200],
+                )
+            )
+            if self.telemetry is not None:
+                self.telemetry.metrics.get(
+                    "repro_shard_poison_records_total"
+                ).labels(tenant=self.tenant).inc()
+                self.telemetry.events.emit(
+                    "poison_record",
+                    tenant=self.tenant,
+                    index=index,
+                    detail=detail,
+                )
+            return QUARANTINED
 
     # ------------------------------------------------------------------
 

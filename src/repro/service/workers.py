@@ -1,0 +1,1014 @@
+"""Process-isolated tenant shards: worker subprocesses + supervision.
+
+PR 7's :class:`~repro.service.shard.TenantShard` isolates tenants
+*logically* — private engine, cache, quarantine, checkpoint — but every
+shard still shares one interpreter, so a wedged parser or a hard crash
+takes all tenants down together.  This module makes the failure domain
+physical:
+
+* :class:`ShardWorker` — runs in a **subprocess** and owns the actual
+  ``TenantShard``.  It consumes records from a bounded
+  ``multiprocessing`` queue, heartbeats between records, checkpoints
+  every ``checkpoint_every`` records, and on drain finalizes the
+  tenant's artifacts before exiting 0.  Worker-side spans ship home as
+  plain dicts and are adopted by the parent tracer, exactly like
+  :class:`~repro.parsers.parallel.ChunkedParallelParser` workers.
+* :class:`ShardSupervisor` — the parent-side handle with the same
+  surface as ``TenantShard`` (``submit``/``checkpoint``/``drain``/
+  ``describe``).  A monitor thread tracks heartbeats (watchdog
+  deadline → declare hung → terminate), classifies exits (clean /
+  nonzero / signal), and restarts crashed workers with
+  :class:`~repro.resilience.supervisor.RetryPolicy` exponential
+  backoff, resuming from the shard's own checkpoint.
+
+Correctness hangs on three pieces of bookkeeping:
+
+* **The batch journal.**  Every record is appended (framed JSONL,
+  :func:`~repro.resilience.durability.frame_record`) to
+  ``out.journal.jsonl`` *before* dispatch, and only pruned when the
+  worker acknowledges a checkpoint covering it.  A restarted worker
+  restores the checkpoint, fast-forwards
+  (:meth:`~repro.service.shard.TenantShard.fast_forward`), and the
+  supervisor replays exactly the journaled suffix.  Feed messages
+  carry global record indices; the worker skips indices below its
+  restored position, so replay after an un-acked checkpoint produces
+  no duplicates and a gap is a detectable protocol violation.
+* **Careful replay and poison pills.**  After a death the supervisor
+  replays one record at a time, each awaiting an explicit ``done``
+  ack, so the record in flight when the worker dies again is known
+  *exactly*.  A record whose replay kills the worker
+  ``poison_threshold`` consecutive times is diverted to quarantine
+  with ``poison:<tenant>`` provenance
+  (:meth:`~repro.service.shard.TenantShard.poison`) instead of
+  crash-looping the shard.
+* **The fence breaker.**  Every death is a failure on a
+  :class:`~repro.resilience.supervisor.CircuitBreaker`; completing a
+  careful replay (or diverting a poison pill) records success.  A
+  shard that keeps dying on *distinct* records therefore accumulates
+  consecutive failures until the breaker opens and the shard is
+  fenced: no further restarts, neighbors unaffected.
+
+All deadlines here — watchdog, drain, restart backoff, status — are
+``time.monotonic`` based with injectable clocks, so they survive
+wall-clock steps (see ``tests/test_workers.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import queue
+import signal as signal_module
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.common.errors import ValidationError
+from repro.common.types import LogRecord
+from repro.observability.events import EventLog
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.telemetry import Telemetry
+from repro.observability.tracing import Tracer
+from repro.resilience.durability import (
+    RealIO,
+    atomic_write_text,
+    frame_record,
+    recover_jsonl,
+)
+from repro.resilience.supervisor import CircuitBreaker, RetryPolicy
+from repro.service.shard import (
+    ACCEPTED,
+    CHECKPOINT_NAME,
+    REPLAYED,
+    TenantShard,
+)
+
+#: One more outcome tag beside the shard's: the shard is fenced and no
+#: longer accepts records.
+FENCED = "fenced"
+
+#: Supervisor lifecycle states (one-hot on ``repro_shard_state``).
+STATE_STARTING = "starting"
+STATE_RUNNING = "running"
+STATE_REPLAYING = "replaying"
+STATE_DRAINING = "draining"
+STATE_RESTARTING = "restarting"
+STATE_DRAINED = "drained"
+STATE_FENCED = "fenced"
+SUPERVISOR_STATES = (
+    STATE_STARTING,
+    STATE_RUNNING,
+    STATE_REPLAYING,
+    STATE_DRAINING,
+    STATE_RESTARTING,
+    STATE_DRAINED,
+    STATE_FENCED,
+)
+
+#: Restart reasons (label on ``repro_shard_restarts_total``).
+REASON_SIGNAL = "signal"
+REASON_EXIT = "exit"
+REASON_HUNG = "hung"
+REASON_DEADLINE = "drain-deadline"
+
+#: Name of the supervisor's in-flight batch journal in the tenant dir.
+JOURNAL_NAME = "out.journal.jsonl"
+
+#: Worker root span name (adopted into the parent trace).
+SPAN_SHARD_WORKER = "shard_worker"
+
+
+def _mp_context():
+    """Fork where available (fast restarts), spawn otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker incarnation needs, as picklable plain data.
+
+    A fresh spec is built per life (the ``life`` number gates
+    :class:`~repro.resilience.faults.ProcessFault` scripts), so the
+    worker never inherits parent state beyond the two queues.
+    """
+
+    tenant: str
+    data_dir: str
+    factory: object
+    parser_name: str = "parser"
+    flush_policy: str = "prefix"
+    flush_size: int = 200
+    cache_capacity: int = 512
+    max_pending: int | None = None
+    overflow: str = "block"
+    breaker_threshold: int = 5
+    check_every: int = 100
+    checkpoint_every: int = 500
+    heartbeat_interval: float = 0.2
+    life: int = 1
+    faults: tuple = ()
+    trace_context: dict | None = None
+
+
+class ShardWorker:
+    """Worker-side owner of one tenant's :class:`TenantShard`.
+
+    Runs the message loop of one incarnation: restore the shard from
+    its checkpoint, fast-forward to the checkpoint position, announce
+    ``ready``, then consume ``feed``/``poison``/``checkpoint``/
+    ``drain`` messages until drained.  Heartbeats are sent from the
+    loop itself — a worker wedged inside a parse stops heartbeating,
+    which is exactly what the parent watchdog needs to see.
+    """
+
+    def __init__(self, spec: WorkerSpec, inbox, outbox) -> None:
+        self.spec = spec
+        self.inbox = inbox
+        self.outbox = outbox
+        self.tracer: Tracer | None = None
+        self.telemetry = None
+        self._root = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _build_shard(self) -> TenantShard:
+        spec = self.spec
+        if spec.trace_context is not None:
+            self.tracer = Tracer.from_worker_context(spec.trace_context)
+            self.telemetry = Telemetry(
+                MetricsRegistry(), self.tracer, EventLog()
+            )
+            self._root = self.tracer.start_root(
+                SPAN_SHARD_WORKER, tenant=spec.tenant, life=spec.life
+            )
+        shard = TenantShard(
+            spec.tenant,
+            spec.data_dir,
+            spec.factory,
+            parser_name=spec.parser_name,
+            flush_policy=spec.flush_policy,
+            flush_size=spec.flush_size,
+            cache_capacity=spec.cache_capacity,
+            max_pending=spec.max_pending,
+            overflow=spec.overflow,
+            breaker_threshold=spec.breaker_threshold,
+            check_every=spec.check_every,
+            telemetry=self.telemetry,
+        )
+        # The supervisor replays only the journaled suffix, not the
+        # whole stream — resume *at* the checkpoint, not behind it.
+        shard.fast_forward()
+        return shard
+
+    def _stats(self, shard: TenantShard) -> dict:
+        counters = shard.engine.counters
+        return {
+            "lines": counters.lines,
+            "events": counters.events,
+            "pending": shard.pending,
+            "quarantined": len(shard.quarantine),
+            "accepted": shard.accepted,
+            "position": shard.position,
+        }
+
+    def run(self) -> int:
+        """The incarnation's message loop; returns the exit code."""
+        spec = self.spec
+        # The parent coordinates shutdown through the drain protocol; a
+        # terminal Ctrl-C must not kill workers out from under it.
+        try:
+            signal_module.signal(
+                signal_module.SIGINT, signal_module.SIG_IGN
+            )
+        except ValueError:  # pragma: no cover - non-main thread (tests)
+            pass
+        for fault in spec.faults:
+            if fault.fires_at_start(spec.life):
+                fault.fire()
+        shard = self._build_shard()
+        self.outbox.put(("ready", spec.life, shard.position))
+        last_heartbeat = time.monotonic()
+        fed_since_checkpoint = 0
+        while True:
+            try:
+                message = self.inbox.get(timeout=spec.heartbeat_interval)
+            except queue.Empty:
+                self.outbox.put(("hb", self._stats(shard)))
+                last_heartbeat = time.monotonic()
+                continue
+            kind = message[0]
+            if kind == "feed":
+                _, index, record, confirm = message
+                position = shard.position
+                if index < position:
+                    outcome = REPLAYED
+                elif index > position:
+                    # A record the journal should have replayed never
+                    # arrived: refuse to parse past the hole.
+                    self.outbox.put(("gap", position, index))
+                    return 1
+                else:
+                    for fault in spec.faults:
+                        if fault.should_fire(index, spec.life):
+                            fault.fire()
+                    outcome = shard.submit(record)
+                    fed_since_checkpoint += 1
+                if confirm:
+                    self.outbox.put(("done", index, outcome))
+                if fed_since_checkpoint >= spec.checkpoint_every:
+                    shard.checkpoint()
+                    fed_since_checkpoint = 0
+                    self.outbox.put(
+                        ("checkpointed", shard.position, self._stats(shard))
+                    )
+                now = time.monotonic()
+                if now - last_heartbeat >= spec.heartbeat_interval:
+                    self.outbox.put(("hb", self._stats(shard)))
+                    last_heartbeat = now
+            elif kind == "poison":
+                _, index, record, detail = message
+                if index == shard.position:
+                    shard.poison(record, detail)
+                    # Pin the diversion durably before acking, so a
+                    # crash right here cannot resurrect the pill.
+                    shard.checkpoint()
+                    fed_since_checkpoint = 0
+                self.outbox.put(("poisoned", index))
+                self.outbox.put(
+                    ("checkpointed", shard.position, self._stats(shard))
+                )
+            elif kind == "checkpoint":
+                shard.checkpoint()
+                fed_since_checkpoint = 0
+                self.outbox.put(
+                    ("checkpointed", shard.position, self._stats(shard))
+                )
+            elif kind == "drain":
+                for fault in spec.faults:
+                    if fault.should_fire_at_drain(spec.life):
+                        fault.fire()
+                summary = shard.drain()
+                spans: list[dict] = []
+                if self.tracer is not None:
+                    self._root.attrs.update(
+                        lines=summary["lines"], events=summary["events"]
+                    )
+                    self.tracer.finish(self._root)
+                    spans = self.tracer.serialize()
+                self.outbox.put(
+                    ("drained", summary, spans, self._stats(shard))
+                )
+                self.outbox.close()
+                self.outbox.join_thread()
+                return 0
+            else:  # pragma: no cover - future protocol growth
+                self.outbox.put(("gap", -1, -1))
+                return 1
+
+
+def shard_worker_main(spec: WorkerSpec, inbox, outbox) -> None:
+    """Module-level process target (picklable under spawn)."""
+    sys.exit(ShardWorker(spec, inbox, outbox).run())
+
+
+class BatchJournal:
+    """Framed-JSONL journal of records not yet covered by a checkpoint.
+
+    Records append *before* dispatch and are pruned (by atomic
+    rewrite) when a worker checkpoint ack covers them — so the
+    supervisor always holds, durably, exactly the records a restarted
+    worker must replay, including the one that killed it.
+    """
+
+    def __init__(self, path: str, io: RealIO | None = None) -> None:
+        self.path = path
+        self._io = io or RealIO()
+        # A journal left by a previous *service* life is stale: the
+        # source-level at-least-once contract replays those records.
+        recover_jsonl(path, io=self._io)
+        self.reset(())
+
+    @staticmethod
+    def _frame(index: int, record: LogRecord) -> bytes:
+        return frame_record(
+            {
+                "index": index,
+                "content": record.content,
+                "timestamp": record.timestamp,
+                "session_id": record.session_id,
+                "truth_event": record.truth_event,
+            }
+        )
+
+    def append(self, index: int, record: LogRecord) -> None:
+        handle = self._io.open(self.path, "ab")
+        try:
+            self._io.write(handle, self._frame(index, record))
+            self._io.flush(handle)
+        finally:
+            handle.close()
+
+    def reset(self, entries) -> None:
+        """Atomically rewrite the journal to exactly *entries*."""
+        text = b"".join(
+            self._frame(index, record) for index, record in entries
+        ).decode("utf-8")
+        atomic_write_text(self.path, text, io=self._io)
+
+    def remove(self) -> None:
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+class ShardSupervisor:
+    """Parent-side supervised handle for one process-isolated tenant.
+
+    Presents the :class:`TenantShard` surface the
+    :class:`~repro.service.server.IngestionService` expects while the
+    real shard lives in a worker subprocess.  A monitor thread owns
+    the entire worker lifecycle — spawn, heartbeat watchdog, dispatch,
+    death classification, backoff restart, careful replay, poison
+    diversion, fencing, drain — so ``submit`` from connection threads
+    only appends to the journal-backed outbox.
+
+    Args:
+        watchdog: seconds without any worker message before the
+            worker is declared hung and terminated.
+        heartbeat_interval: worker-side heartbeat cadence (must be
+            well under *watchdog*).
+        checkpoint_every: records between worker checkpoints — the
+            journal prune cadence and the replay-window bound.
+        poison_threshold: consecutive careful-replay deaths on one
+            record before it is diverted to quarantine.
+        fence_threshold: consecutive deaths (without a completed
+            replay between) before the shard is fenced.
+        restart_policy: exponential backoff between restarts.
+        drain_timeout: drain deadline; on expiry the worker is
+            escalated SIGTERM → SIGKILL and the shard fenced.
+        term_grace: seconds between SIGTERM and SIGKILL.
+        faults: :class:`~repro.resilience.faults.ProcessFault` script
+            shipped into every worker life (chaos harness).
+        clock / sleep: injectable monotonic time sources.
+    """
+
+    def __init__(
+        self,
+        tenant: str,
+        data_dir: str,
+        factory,
+        *,
+        parser_name: str = "parser",
+        telemetry=None,
+        io=None,
+        watchdog: float = 5.0,
+        heartbeat_interval: float = 0.2,
+        checkpoint_every: int = 500,
+        queue_size: int = 512,
+        poison_threshold: int = 3,
+        fence_threshold: int = 5,
+        restart_policy: RetryPolicy | None = None,
+        fence_reset: float = 3600.0,
+        drain_timeout: float = 60.0,
+        term_grace: float = 2.0,
+        faults=(),
+        clock=time.monotonic,
+        sleep=time.sleep,
+        budget=None,
+        ladder=None,
+        **shard_kwargs,
+    ) -> None:
+        if budget is not None or ladder is not None:
+            raise ValidationError(
+                "per-tenant budgets/ladders are thread-isolation only: "
+                "a budgeted shard cannot resume from a checkpoint, so "
+                "it cannot survive the restarts process isolation exists "
+                "to provide"
+            )
+        if watchdog <= heartbeat_interval:
+            raise ValidationError(
+                f"watchdog ({watchdog}s) must exceed the heartbeat "
+                f"interval ({heartbeat_interval}s)"
+            )
+        if poison_threshold < 1:
+            raise ValidationError(
+                f"poison_threshold must be >= 1, got {poison_threshold}"
+            )
+        if fence_threshold < 1:
+            raise ValidationError(
+                f"fence_threshold must be >= 1, got {fence_threshold}"
+            )
+        self.tenant = tenant
+        self.data_dir = data_dir
+        self.dir = os.path.join(data_dir, tenant)
+        os.makedirs(self.dir, exist_ok=True)
+        self.factory = factory
+        self.parser_name = parser_name
+        self.telemetry = telemetry
+        self.io = io
+        self.watchdog = watchdog
+        self.heartbeat_interval = heartbeat_interval
+        self.checkpoint_every = checkpoint_every
+        self.queue_size = queue_size
+        self.poison_threshold = poison_threshold
+        self.fence_threshold = fence_threshold
+        self.restart_policy = restart_policy or RetryPolicy(
+            attempts=fence_threshold + 1,
+            base_delay=0.05,
+            backoff=2.0,
+            max_delay=1.0,
+        )
+        self.drain_timeout = drain_timeout
+        self.term_grace = term_grace
+        self.faults = tuple(faults)
+        self.shard_kwargs = dict(shard_kwargs)
+        self._clock = clock
+        self._sleep = sleep
+        self._mp = _mp_context()
+
+        self._lock = threading.Lock()
+        self._outbox: list[tuple[int, LogRecord]] = []
+        self._next_index = 0
+        self._skip = self._read_checkpoint_position()
+        self._acked = self._skip
+        self._sent_through = self._skip
+        self._mode_careful = False
+        self._careful_high = self._skip
+        self._in_flight: int | None = None
+        self._kill_counts: dict[int, int] = {}
+        self._poisoned: dict[int, str] = {}
+        self.state = STATE_STARTING
+        self.restarts = 0
+        self.life = 0
+        self._deaths_in_row = 0
+        self._drain_requested = False
+        self._drained_summary: dict | None = None
+        self._checkpoint_requested = False
+        self._abandoned = False
+        self._last_seen = clock()
+        self._stats: dict = {}
+        self._lines_synced = 0
+        self._done = threading.Event()
+        self._journal = BatchJournal(
+            os.path.join(self.dir, JOURNAL_NAME), io=io
+        )
+        self._breaker = CircuitBreaker(
+            failure_threshold=fence_threshold,
+            reset_timeout=fence_reset,
+            clock=clock,
+        )
+        if telemetry is not None:
+            telemetry.metrics.register_collector(self._collect_metrics)
+        self._thread = threading.Thread(
+            target=self._run, name=f"shard-supervisor-{tenant}", daemon=True
+        )
+        self._thread.start()
+
+    # -- public surface (mirrors TenantShard) --------------------------
+
+    @property
+    def seen(self) -> int:
+        return self._next_index
+
+    @property
+    def resumed(self) -> bool:
+        return self._skip > 0
+
+    @property
+    def breaker_open(self) -> bool:
+        return self.state == STATE_FENCED
+
+    @property
+    def pending(self) -> int:
+        """Records submitted but not yet checkpoint-covered."""
+        return len(self._outbox)
+
+    def heartbeat_age(self) -> float:
+        return max(0.0, self._clock() - self._last_seen)
+
+    def submit(self, record: LogRecord) -> str:
+        with self._lock:
+            if self.state == STATE_FENCED:
+                return FENCED
+            index = self._next_index
+            self._next_index += 1
+            if index < self._skip:
+                return REPLAYED
+            self._outbox.append((index, record))
+        self._journal.append(index, record)
+        return ACCEPTED
+
+    def checkpoint(self) -> None:
+        """Request an out-of-band worker checkpoint (asynchronous)."""
+        with self._lock:
+            self._checkpoint_requested = True
+
+    def drain(self) -> dict:
+        """Drain the worker; escalate SIGTERM → SIGKILL on the deadline."""
+        with self._lock:
+            if self._drained_summary is not None:
+                return self._drained_summary
+            self._drain_requested = True
+        if not self._done.wait(timeout=self.drain_timeout):
+            self._abandon()
+            self._done.wait(timeout=self.term_grace + 5.0)
+        with self._lock:
+            if self._drained_summary is None:  # pragma: no cover - fallback
+                self._drained_summary = self._fenced_summary()
+            return self._drained_summary
+
+    def describe(self) -> str:
+        stats = dict(self._stats)
+        return (
+            f"{self.tenant}: {stats.get('lines', 0)} lines, "
+            f"{stats.get('events', 0)} events, "
+            f"{stats.get('quarantined', 0)} quarantined, "
+            f"state {self.state}, {self.restarts} restart(s)"
+        )
+
+    # -- internals -----------------------------------------------------
+
+    def _read_checkpoint_position(self) -> int:
+        path = os.path.join(self.dir, CHECKPOINT_NAME)
+        if not os.path.exists(path):
+            return 0
+        try:
+            with open(path, encoding="utf-8") as handle:
+                return int(json.load(handle).get("records_consumed", 0))
+        except (OSError, ValueError):  # pragma: no cover - torn file
+            return 0
+
+    def _collect_metrics(self) -> None:
+        metrics = self.telemetry.metrics
+        metrics.get("repro_worker_heartbeat_age_seconds").labels(
+            tenant=self.tenant
+        ).set(self.heartbeat_age())
+        metrics.get("repro_shard_queue_depth").labels(
+            tenant=self.tenant
+        ).set(float(len(self._outbox)))
+        for state in SUPERVISOR_STATES:
+            metrics.get("repro_shard_state").labels(
+                tenant=self.tenant, state=state
+            ).set(1.0 if state == self.state else 0.0)
+
+    def _sync_stats(self, stats: dict) -> None:
+        self._stats = stats
+        if self.telemetry is None:
+            return
+        delta = stats.get("lines", 0) - self._lines_synced
+        if delta > 0:
+            self.telemetry.metrics.get(
+                "repro_service_lines_total"
+            ).labels(tenant=self.tenant).inc(delta)
+            self._lines_synced = stats["lines"]
+
+    def _emit(self, kind: str, **fields) -> None:
+        if self.telemetry is not None:
+            self.telemetry.events.emit(kind, tenant=self.tenant, **fields)
+
+    def _count_restart(self, reason: str) -> None:
+        self.restarts += 1
+        if self.telemetry is not None:
+            self.telemetry.metrics.get(
+                "repro_shard_restarts_total"
+            ).labels(tenant=self.tenant, reason=reason).inc()
+
+    def _spawn(self):
+        self.life += 1
+        trace_context = None
+        if self.telemetry is not None:
+            trace_context = self.telemetry.tracer.worker_context(
+                prefix=f"{self.tenant}-l{self.life}-"
+            )
+        spec = WorkerSpec(
+            tenant=self.tenant,
+            data_dir=self.data_dir,
+            factory=self.factory,
+            parser_name=self.parser_name,
+            checkpoint_every=self.checkpoint_every,
+            heartbeat_interval=self.heartbeat_interval,
+            life=self.life,
+            faults=self.faults,
+            trace_context=trace_context,
+            **self.shard_kwargs,
+        )
+        inbox = self._mp.Queue(self.queue_size)
+        results = self._mp.Queue()
+        process = self._mp.Process(
+            target=shard_worker_main,
+            args=(spec, inbox, results),
+            name=f"shard-{self.tenant}-{self.life}",
+            daemon=True,
+        )
+        process.start()
+        self._last_seen = self._clock()
+        return process, inbox, results
+
+    def _terminate(self, process) -> None:
+        """SIGTERM, grace, then SIGKILL; always reaps."""
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=self.term_grace)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=self.term_grace + 5.0)
+        else:
+            process.join(timeout=1.0)
+
+    def _classify_exit(self, process, hung: bool) -> str:
+        if hung:
+            return REASON_HUNG
+        code = process.exitcode
+        if code is not None and code < 0:
+            return REASON_SIGNAL
+        return REASON_EXIT
+
+    def _dispatch(self, inbox) -> None:
+        while True:
+            with self._lock:
+                if self._in_flight is not None:
+                    return
+                offset = self._sent_through - self._acked
+                if offset >= len(self._outbox):
+                    return
+                index, record = self._outbox[offset]
+                careful = (
+                    self._mode_careful and index < self._careful_high
+                )
+                detail = self._poisoned.get(index)
+            if detail is not None:
+                message = ("poison", index, record, detail)
+            else:
+                message = ("feed", index, record, careful)
+            try:
+                inbox.put_nowait(message)
+            except queue.Full:
+                return
+            with self._lock:
+                self._sent_through = index + 1
+                if careful or detail is not None:
+                    self._in_flight = index
+
+    def _maybe_finish_replay(self) -> None:
+        """Careful region fully acknowledged → back to normal mode."""
+        if self._mode_careful and self._sent_through >= self._careful_high:
+            self._mode_careful = False
+            self._deaths_in_row = 0
+            self._breaker.record_success()
+            if self.state == STATE_REPLAYING:
+                self.state = STATE_RUNNING
+
+    def _prune(self, position: int) -> None:
+        with self._lock:
+            if position <= self._acked:
+                return
+            drop = position - self._acked
+            del self._outbox[:drop]
+            self._acked = position
+            self._sent_through = max(self._sent_through, position)
+            for index in [i for i in self._kill_counts if i < position]:
+                del self._kill_counts[index]
+            for index in [i for i in self._poisoned if i < position]:
+                del self._poisoned[index]
+            remaining = list(self._outbox)
+        self._journal.reset(remaining)
+
+    def _handle_message(self, message, process) -> str | None:
+        kind = message[0]
+        self._last_seen = self._clock()
+        if kind == "ready":
+            with self._lock:
+                self._sent_through = self._acked
+                self._in_flight = None
+                if self._mode_careful and self._careful_high <= self._acked:
+                    self._mode_careful = False
+                self.state = (
+                    STATE_REPLAYING if self._mode_careful else STATE_RUNNING
+                )
+            return None
+        if kind == "hb":
+            self._sync_stats(message[1])
+            return None
+        if kind == "done":
+            _, index, _outcome = message
+            with self._lock:
+                if self._in_flight == index:
+                    self._in_flight = None
+                self._maybe_finish_replay()
+            return None
+        if kind == "poisoned":
+            _, index = message
+            with self._lock:
+                if self._in_flight == index:
+                    self._in_flight = None
+                was_pending = self._poisoned.pop(index, None)
+                self._kill_counts.pop(index, None)
+                if was_pending is not None:
+                    self._deaths_in_row = 0
+                    self._breaker.record_success()
+                self._maybe_finish_replay()
+            if was_pending is not None:
+                if self.telemetry is not None:
+                    self.telemetry.metrics.get(
+                        "repro_shard_poison_records_total"
+                    ).labels(tenant=self.tenant).inc()
+                self._emit("poison_diverted", index=index)
+            return None
+        if kind == "checkpointed":
+            _, position, stats = message
+            self._sync_stats(stats)
+            self._prune(position)
+            return None
+        if kind == "gap":
+            _, expected, got = message
+            self._emit("worker_protocol_violation", expected=expected, got=got)
+            self._terminate(process)
+            return self._fence("protocol gap")
+        if kind == "drained":
+            _, summary, spans, stats = message
+            self._sync_stats(stats)
+            if self.telemetry is not None and spans:
+                self.telemetry.tracer.adopt(spans)
+            self._prune(self._next_index)
+            self._journal.remove()
+            process.join(timeout=self.term_grace + 5.0)
+            if process.is_alive():  # pragma: no cover - stuck exit
+                self._terminate(process)
+            summary = dict(summary)
+            summary["restarts"] = self.restarts
+            summary["isolation"] = "process"
+            with self._lock:
+                self.state = STATE_DRAINED
+                self._drained_summary = summary
+            self._emit("worker_drained", restarts=self.restarts)
+            self._done.set()
+            return "drained"
+        return None  # pragma: no cover - unknown message
+
+    def _fence(self, why: str) -> str:
+        with self._lock:
+            self.state = STATE_FENCED
+            if self._drained_summary is None:
+                self._drained_summary = self._fenced_summary()
+        self._emit("worker_fenced", reason=why, restarts=self.restarts)
+        self._done.set()
+        return "fenced"
+
+    def _fenced_summary(self) -> dict:
+        stats = dict(self._stats)
+        return {
+            "tenant": self.tenant,
+            "fenced": True,
+            "isolation": "process",
+            "seen": self._next_index,
+            "accepted": stats.get("accepted", 0),
+            "lines": stats.get("lines", 0),
+            "events": stats.get("events", 0),
+            "quarantined": stats.get("quarantined", 0),
+            "breaker_open": True,
+            "restarts": self.restarts,
+            "manifest": None,
+        }
+
+    def _abandon(self) -> None:
+        """Drain deadline expired: stop supervising, escalate, fence."""
+        self._abandoned = True
+        self._count_restart(REASON_DEADLINE)
+
+    def _handle_death(self, process, hung: bool) -> str:
+        reason = self._classify_exit(process, hung)
+        process.join(timeout=1.0)
+        self._count_restart(reason)
+        with self._lock:
+            self._deaths_in_row += 1
+            killer = self._in_flight
+            self._in_flight = None
+            self._mode_careful = True
+            self._careful_high = self._acked + len(self._outbox)
+            self.state = STATE_RESTARTING
+            if killer is not None:
+                count = self._kill_counts.get(killer, 0) + 1
+                self._kill_counts[killer] = count
+                if count >= self.poison_threshold:
+                    self._poisoned[killer] = (
+                        f"record killed the worker {count} consecutive "
+                        f"time(s) (last exit: {reason})"
+                    )
+        self._emit(
+            "worker_exit",
+            life=self.life,
+            reason=reason,
+            exitcode=process.exitcode,
+            killer=killer,
+        )
+        self._breaker.record_failure()
+        if not self._breaker.allow():
+            return self._fence(
+                f"{self._deaths_in_row} consecutive deaths "
+                f"(last reason: {reason})"
+            )
+        delay = self.restart_policy.delay(min(self._deaths_in_row, 16))
+        if delay > 0:
+            self._sleep(delay)
+        self._emit("worker_restart", life=self.life + 1, backoff=delay)
+        return "restart"
+
+    def _run_one_life(self) -> str:
+        process, inbox, results = self._spawn()
+        ready = False
+        drain_sent = False
+        ckpt_outstanding = False
+        hung = False
+        try:
+            while True:
+                if self._abandoned:
+                    self._terminate(process)
+                    return self._fence("drain deadline exceeded")
+                try:
+                    message = results.get(timeout=0.02)
+                except queue.Empty:
+                    message = None
+                except (EOFError, OSError):  # pragma: no cover
+                    message = None
+                if message is not None:
+                    if message[0] == "ready":
+                        ready = True
+                    elif message[0] == "checkpointed":
+                        ckpt_outstanding = False
+                    verdict = self._handle_message(message, process)
+                    if verdict is not None:
+                        return verdict
+                    continue
+                if not process.is_alive():
+                    break
+                deadline = self.watchdog
+                if drain_sent:
+                    deadline = max(self.watchdog, self.drain_timeout)
+                if self._clock() - self._last_seen > deadline:
+                    hung = True
+                    self._terminate(process)
+                    break
+                if not ready:
+                    continue
+                self._dispatch(inbox)
+                with self._lock:
+                    fully_dispatched = (
+                        self._sent_through
+                        >= self._acked + len(self._outbox)
+                        and self._in_flight is None
+                        and not self._mode_careful
+                    )
+                    # Drain only once every record is *acknowledged*
+                    # by a worker checkpoint — sending drain on mere
+                    # dispatch would extend the watchdog deadline over
+                    # a worker that is actually hung mid-record.
+                    fully_acked = (
+                        fully_dispatched
+                        and self._acked >= self._next_index
+                    )
+                    want_drain = self._drain_requested and not drain_sent
+                    want_checkpoint = fully_dispatched and (
+                        self._checkpoint_requested
+                        or (
+                            want_drain
+                            and not fully_acked
+                            and not ckpt_outstanding
+                        )
+                    )
+                    if want_checkpoint:
+                        self._checkpoint_requested = False
+                if want_drain and fully_acked:
+                    try:
+                        inbox.put_nowait(("drain",))
+                        drain_sent = True
+                        with self._lock:
+                            self.state = STATE_DRAINING
+                    except queue.Full:  # pragma: no cover - retried
+                        pass
+                elif want_checkpoint:
+                    try:
+                        inbox.put_nowait(("checkpoint",))
+                        ckpt_outstanding = True
+                    except queue.Full:  # pragma: no cover - retried
+                        with self._lock:
+                            self._checkpoint_requested = True
+            # Worker died (or was terminated as hung).
+            return self._handle_death(process, hung)
+        finally:
+            inbox.close()
+            results.close()
+            inbox.cancel_join_thread()
+            results.cancel_join_thread()
+
+    def _run(self) -> None:
+        try:
+            while True:
+                verdict = self._run_one_life()
+                if verdict in ("drained", "fenced"):
+                    return
+        except Exception as error:  # pragma: no cover - supervisor bug
+            self._emit(
+                "supervisor_error",
+                error=f"{type(error).__name__}: {error}",
+            )
+            self._fence(f"supervisor error: {type(error).__name__}")
+
+
+def supervisor_status(service) -> dict:
+    """Per-tenant one-line supervisor status, registry-derived.
+
+    Reads restart counts and queue depths from the service's metrics
+    registry (falling back to live handles only for the lifecycle
+    state, which the registry mirrors one-hot in
+    ``repro_shard_state``), and renders the ``serve
+    --status-interval`` line.
+    """
+    telemetry = service.telemetry
+    tenants: dict[str, dict] = {}
+    for tenant in service.tenants():
+        shard = service.shard(tenant)
+        state = getattr(shard, "state", None)
+        if state is None:
+            state = "breaker" if shard.breaker_open else "alive"
+        restarts = 0.0
+        queue_depth = float(shard.pending)
+        if telemetry is not None:
+            registry = service.telemetry.metrics
+            restarts = sum(
+                registry.value(
+                    "repro_shard_restarts_total",
+                    tenant=tenant,
+                    reason=reason,
+                )
+                for reason in (
+                    REASON_SIGNAL,
+                    REASON_EXIT,
+                    REASON_HUNG,
+                    REASON_DEADLINE,
+                )
+            )
+            registry_depth = registry.value(
+                "repro_shard_queue_depth", tenant=tenant
+            )
+            if registry_depth:
+                queue_depth = registry_depth
+        tenants[tenant] = {
+            "state": state,
+            "restarts": int(restarts),
+            "queue": int(queue_depth),
+        }
+    line = "supervisor: " + (
+        " | ".join(
+            f"{tenant} {info['state']} "
+            f"r={info['restarts']} q={info['queue']}"
+            for tenant, info in sorted(tenants.items())
+        )
+        or "no tenants"
+    )
+    return {"tenants": tenants, "line": line}

@@ -470,3 +470,100 @@ class TestBudgetedStream:
         )
         assert code == 0
         capsys.readouterr()
+
+
+class TestServeIsolation:
+    """`serve --isolation process` flags and the status ticker."""
+
+    def _write_stream(self, tmp_path, n=40):
+        lines = []
+        for i in range(n):
+            tenant = ["alpha", "beta"][i % 2]
+            lines.append(f"{tenant}\tconn from host{i % 5} port {i}")
+        path = tmp_path / "in.log"
+        path.write_text("".join(line + "\n" for line in lines))
+        return path
+
+    def test_isolation_flag_parses(self):
+        args = build_arg_parser().parse_args(
+            [
+                "serve", "Drain", "d", "--isolation", "process",
+                "--watchdog", "2.5", "--poison-threshold", "4",
+                "--fence-threshold", "6", "--status-interval", "1.5",
+            ]
+        )
+        assert args.isolation == "process"
+        assert args.watchdog == 2.5
+        assert args.poison_threshold == 4
+        assert args.fence_threshold == 6
+        assert args.status_interval == 1.5
+
+    def test_status_interval_journals_supervisor_status(
+        self, tmp_path, capsys
+    ):
+        """Satellite 6: the status line is asserted through the events
+        artifact, not stdout scraping."""
+        from repro.resilience import read_jsonl_payloads
+
+        stream = self._write_stream(tmp_path)
+        events_path = tmp_path / "events.jsonl"
+        code = main(
+            [
+                "serve", "Drain", str(tmp_path / "data"),
+                "--replay", str(stream),
+                "--isolation", "process",
+                "--checkpoint-every", "8",
+                "--status-interval", "0.1",
+                "--events-out", str(events_path),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        statuses = [
+            event
+            for event in read_jsonl_payloads(str(events_path))
+            if event["kind"] == "supervisor_status"
+        ]
+        assert statuses, "at least the final status is always journaled"
+        final = statuses[-1]
+        assert final["line"].startswith("supervisor: ")
+        for tenant in ("alpha", "beta"):
+            info = final["tenants"][tenant]
+            assert info["state"] in (
+                "starting", "running", "replaying", "draining",
+                "restarting", "drained", "fenced",
+            )
+            assert info["restarts"] == 0
+            assert isinstance(info["queue"], int)
+
+    def test_process_isolation_replay_completes(self, tmp_path, capsys):
+        stream = self._write_stream(tmp_path)
+        data = tmp_path / "data"
+        code = main(
+            [
+                "serve", "Drain", str(data),
+                "--replay", str(stream),
+                "--isolation", "process",
+                "--checkpoint-every", "8",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "accepted=40" in out
+        assert (data / "alpha" / "out.manifest.json").exists()
+        assert (data / "beta" / "out.manifest.json").exists()
+
+    def test_process_isolation_rejects_tenant_budget_flags(
+        self, tmp_path, capsys
+    ):
+        stream = self._write_stream(tmp_path)
+        code = main(
+            [
+                "serve", "Drain", str(tmp_path / "data"),
+                "--replay", str(stream),
+                "--isolation", "process",
+                "--tenant-budget-mem", "64",
+            ]
+        )
+        capsys.readouterr()
+        assert code == 2

@@ -553,3 +553,63 @@ class TestCliTelemetry:
             if name.startswith("repro_ladder_steps_total")
         )
         assert ladder_steps >= 2
+
+
+class TestSupervisorTelemetry:
+    """Process-isolation metrics flow into the exposition and report."""
+
+    def _crashy_serve(self, tmp_path):
+        import functools
+
+        from repro.common.types import LogRecord
+        from repro.parsers import make_parser
+        from repro.resilience import ProcessFault
+        from repro.resilience.faults import PROC_EXIT
+        from repro.service import ShardSupervisor
+
+        telemetry = Telemetry.create(trace_id="t")
+        fault = ProcessFault(PROC_EXIT, at_record=5, exit_code=3)
+        supervisor = ShardSupervisor(
+            "alpha", str(tmp_path / "data"),
+            functools.partial(make_parser, "Drain"),
+            parser_name="Drain", telemetry=telemetry,
+            checkpoint_every=4, heartbeat_interval=0.02, watchdog=0.4,
+            faults=(fault,),
+        )
+        for i in range(20):
+            supervisor.submit(
+                LogRecord(content=f"conn from host{i % 3} port {i}")
+            )
+        supervisor.drain()
+        return telemetry
+
+    def test_exposition_carries_supervisor_families(self, tmp_path):
+        telemetry = self._crashy_serve(tmp_path)
+        text = render_prometheus(telemetry.metrics)
+        parsed = parse_prometheus(text)
+        assert parsed["types"]["repro_shard_restarts_total"] == "counter"
+        assert parsed["types"]["repro_shard_poison_records_total"] == (
+            "counter"
+        )
+        assert parsed["types"]["repro_worker_heartbeat_age_seconds"] == (
+            "gauge"
+        )
+        assert parsed["samples"][
+            'repro_shard_restarts_total{tenant="alpha",reason="exit"}'
+        ] == 1.0
+        assert parsed["samples"][
+            'repro_shard_state{tenant="alpha",state="drained"}'
+        ] == 1.0
+        assert (
+            'repro_worker_heartbeat_age_seconds{tenant="alpha"}'
+            in parsed["samples"]
+        )
+
+    def test_report_renders_shard_section(self, tmp_path, capsys):
+        telemetry = self._crashy_serve(tmp_path)
+        metrics_path = tmp_path / "m.prom"
+        export_metrics(telemetry.metrics, str(metrics_path))
+        assert main(["report", "--metrics", str(metrics_path)]) == 0
+        out = capsys.readouterr().out
+        assert "## Shards" in out
+        assert "alpha: 1 restart(s) (1 exit)" in out

@@ -35,9 +35,12 @@ from repro.parsers import make_parser
 from repro.resilience import (
     ConnectionFault,
     FaultyLineSender,
+    ProcessFault,
     connection_fault_schedule,
+    diff_manifests,
+    verify_manifest,
 )
-from repro.resilience.faults import CONN_KINDS
+from repro.resilience.faults import CONN_KINDS, PROC_KILL
 from repro.resilience.durability import read_jsonl_payloads
 from repro.service import IngestionService, LineServer, replay_lines
 
@@ -377,3 +380,156 @@ class TestInterruptedStreamSubprocess:
         assert completed.returncode == 0, completed.stdout
         final = json.loads(checkpoint.read_text())["records_consumed"]
         assert final == 120000
+
+
+class TestSigkillDuringDrain:
+    """SIGKILL while draining: restart, resume, identical manifests.
+
+    Process mode kills the *worker* exactly when it receives the drain
+    request (the supervisor restarts it, careful-replays, and
+    re-drains); thread mode SIGKILLs the whole serve process — no
+    drain runs at all — and a resumed serve finalizes from the
+    checkpoints.  Both must converge on artifacts whose manifests
+    match a fault-free run (`verify_manifest` + `diff_manifests`).
+    """
+
+    def _manifests_match(self, got: str, want: str) -> None:
+        assert verify_manifest(got).ok
+        assert verify_manifest(want).ok
+        differences = diff_manifests(
+            got, want, ignore=("out.checkpoint.json",)
+        )
+        assert differences == [], differences
+
+    def test_process_mode_worker_killed_mid_drain(self, tmp_path):
+        lines = _tenant_lines("alpha", 40) + _tenant_lines("beta", 30)
+
+        calm_dir = tmp_path / "calm"
+        calm = IngestionService(
+            str(calm_dir), _factory, parser_name="Drain"
+        )
+        replay_lines(calm, lines)
+        calm.drain()
+
+        faulty_dir = tmp_path / "faulty"
+        service = IngestionService(
+            str(faulty_dir), _factory, parser_name="Drain",
+            isolation="process",
+            worker_kwargs=dict(
+                faults={
+                    "alpha": (ProcessFault(PROC_KILL, at_drain=True),)
+                },
+                checkpoint_every=8,
+                heartbeat_interval=0.02,
+                watchdog=0.4,
+            ),
+        )
+        replay_lines(service, lines)
+        summary = service.drain()
+        assert summary["tenants"]["alpha"]["restarts"] == 1
+        assert summary["tenants"]["beta"]["restarts"] == 0
+        for tenant in ("alpha", "beta"):
+            self._manifests_match(
+                str(faulty_dir / tenant / "out.manifest.json"),
+                str(calm_dir / tenant / "out.manifest.json"),
+            )
+
+    def test_thread_mode_serve_killed_then_resumed(self, tmp_path):
+        lines = _tenant_lines("alpha", 40) + _tenant_lines("beta", 30)
+
+        calm_dir = tmp_path / "calm"
+        calm = IngestionService(
+            str(calm_dir), _factory, parser_name="Drain"
+        )
+        replay_lines(calm, lines)
+        calm.drain()
+
+        data = tmp_path / "data"
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", "Drain",
+                str(data),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=_env_with_src(),
+            cwd=REPO_ROOT,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert banner.startswith("serving on "), banner
+            port = int(banner.rsplit(":", 1)[1])
+            conn = socket.create_connection(("127.0.0.1", port), timeout=10)
+            conn.sendall(
+                "".join(line + "\n" for line in lines).encode()
+            )
+            conn.close()
+            time.sleep(1.0)  # let the shards consume
+            proc.send_signal(signal.SIGKILL)
+            proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == -signal.SIGKILL
+
+        # No drain ran; the at-least-once source replays the full
+        # stream and the adopted shards skip what checkpoints cover.
+        replay = tmp_path / "full_stream.log"
+        replay.write_text("".join(line + "\n" for line in lines))
+        completed = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "serve", "Drain",
+                str(data), "--replay", str(replay),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env=_env_with_src(),
+            cwd=REPO_ROOT,
+        )
+        assert completed.returncode == 0, completed.stdout
+        for tenant in ("alpha", "beta"):
+            self._manifests_match(
+                str(data / tenant / "out.manifest.json"),
+                str(calm_dir / tenant / "out.manifest.json"),
+            )
+
+    def test_process_mode_subprocess_sigterm_drains_workers(self, tmp_path):
+        """The serve subprocess path: SIGTERM with --isolation process
+        joins every worker and finalizes every manifest."""
+        data = tmp_path / "data"
+        lines = _tenant_lines("alpha", 30) + _tenant_lines("beta", 20)
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", "Drain",
+                str(data), "--isolation", "process",
+                "--checkpoint-every", "8",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=_env_with_src(),
+            cwd=REPO_ROOT,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert banner.startswith("serving on "), banner
+            port = int(banner.rsplit(":", 1)[1])
+            conn = socket.create_connection(("127.0.0.1", port), timeout=10)
+            conn.sendall("".join(line + "\n" for line in lines).encode())
+            conn.close()
+            time.sleep(1.5)
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == 0, out
+        assert "shutdown requested; draining" in out
+        for tenant in ("alpha", "beta"):
+            manifest = data / tenant / "out.manifest.json"
+            assert manifest.exists(), out
+            assert verify_manifest(str(manifest)).ok
+        structured = (data / "alpha" / "out.structured").read_text()
+        assert len(structured.splitlines()) == 30

@@ -1,0 +1,554 @@
+"""Process-isolated shard workers: supervision, poison pills, fencing.
+
+The contracts certified here:
+
+* **Byte-identity under crashes** — a process-isolated shard whose
+  worker is SIGKILLed, exits nonzero, or hangs mid-stream finalizes
+  ``.events``/``.structured``/quarantine artifacts byte-identical to
+  both a fault-free thread-mode run and a fault-free process run
+  (at-least-once replay + checkpoint skip + journal replay).
+* **Poison pills** — a record that kills its replayer
+  ``poison_threshold`` consecutive times is diverted to quarantine
+  with ``poison:<tenant>`` provenance after a deterministic number of
+  worker deaths, and the stream completes without it.
+* **Fencing** — a shard dying on *distinct* records accumulates
+  breaker failures until it is fenced: no more restarts, submits
+  refused, neighbors unaffected.
+* **Crash storm** — a seeded whole-service storm (``REPRO_PROC_SEED``
+  sweeps the script in CI) across three tenants drains every tenant
+  byte-identical to a calm run.
+
+All supervisor deadlines are monotonic with injectable clocks; the
+wall-clock audit test pins that property at the source level.
+"""
+
+import filecmp
+import functools
+import os
+import threading
+import time
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.types import LogRecord
+from repro.observability import Telemetry
+from repro.parsers import make_parser
+from repro.resilience import (
+    ProcessFault,
+    crash_storm_schedule,
+    process_fault_schedule,
+    read_jsonl_payloads,
+)
+from repro.resilience.durability import scan_framed
+from repro.resilience.faults import (
+    PROC_EXIT,
+    PROC_HANG,
+    PROC_KILL,
+    PROC_KINDS,
+    PROC_SLOW_START,
+)
+from repro.service import (
+    IngestionService,
+    ShardSupervisor,
+    TenantShard,
+    replay_lines,
+)
+from repro.service.workers import (
+    FENCED,
+    JOURNAL_NAME,
+    STATE_DRAINED,
+    STATE_FENCED,
+    BatchJournal,
+    supervisor_status,
+)
+
+PROC_SEED = int(os.environ.get("REPRO_PROC_SEED", "7"))
+
+#: Aggressive timing so fault runs resolve in well under a second of
+#: real waiting: heartbeats every 20ms, watchdog at 400ms.
+FAST = dict(
+    heartbeat_interval=0.02,
+    watchdog=0.4,
+    drain_timeout=60.0,
+)
+
+
+def _factory():
+    return functools.partial(make_parser, "Drain")
+
+
+def _lines(n, start=0):
+    return [f"conn from host{i % 5} port {i}" for i in range(start, start + n)]
+
+
+def _feed(supervisor, lines):
+    for line in lines:
+        supervisor.submit(LogRecord(content=line))
+
+
+def _reference(tmp_path, tenant, lines):
+    """Fault-free thread-mode artifacts to certify byte-identity against."""
+    ref_dir = str(tmp_path / "reference")
+    shard = TenantShard(tenant, ref_dir, _factory(), parser_name="Drain")
+    for line in lines:
+        shard.submit(LogRecord(content=line))
+    shard.drain()
+    return os.path.join(ref_dir, tenant)
+
+
+def _assert_identical(ref_dir, got_dir, names=("out.events", "out.structured")):
+    for name in names:
+        ref, got = os.path.join(ref_dir, name), os.path.join(got_dir, name)
+        assert os.path.exists(ref) == os.path.exists(got), name
+        if os.path.exists(ref):
+            assert filecmp.cmp(ref, got, shallow=False), (
+                f"{name} diverged from the fault-free run"
+            )
+
+
+class TestProcessFaultSchedule:
+    def test_same_seed_same_script(self):
+        assert process_fault_schedule(PROC_SEED) == process_fault_schedule(
+            PROC_SEED
+        )
+        assert process_fault_schedule(1) != process_fault_schedule(2)
+
+    def test_faults_land_in_disjoint_windows(self):
+        faults = process_fault_schedule(PROC_SEED, n=4, span=100)
+        records = [fault.at_record for fault in faults]
+        assert records == sorted(records)
+        for index, record in enumerate(records):
+            assert index * 25 <= record < (index + 1) * 25
+        assert all(fault.kind in PROC_KINDS for fault in faults)
+
+    def test_storm_sub_seeds_are_tenant_stable(self):
+        small = crash_storm_schedule(PROC_SEED, ["a", "b"])
+        grown = crash_storm_schedule(PROC_SEED, ["a", "b", "c"])
+        assert small["a"] == grown["a"]
+        assert small["b"] == grown["b"]
+
+    def test_rejects_unschedulable_kinds_and_bad_shapes(self):
+        with pytest.raises(ValidationError):
+            process_fault_schedule(1, kinds=(PROC_SLOW_START,))
+        with pytest.raises(ValidationError):
+            process_fault_schedule(1, n=0)
+        with pytest.raises(ValidationError):
+            process_fault_schedule(1, n=10, span=5)
+        with pytest.raises(ValidationError):
+            crash_storm_schedule(1, [])
+        with pytest.raises(ValidationError):
+            ProcessFault("segfault")
+        with pytest.raises(ValidationError):
+            ProcessFault(PROC_EXIT, exit_code=0)
+        with pytest.raises(ValidationError):
+            ProcessFault(PROC_KILL, lives=())
+
+
+class TestBatchJournal:
+    def test_append_then_reset_rewrites_atomically(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = BatchJournal(path)
+        journal.append(0, LogRecord(content="a"))
+        journal.append(1, LogRecord(content="b"))
+        payloads, _ = scan_framed(open(path, "rb").read())
+        assert [p["index"] for p in payloads] == [0, 1]
+        journal.reset([(1, LogRecord(content="b"))])
+        payloads, _ = scan_framed(open(path, "rb").read())
+        assert [p["index"] for p in payloads] == [1]
+        journal.remove()
+        assert not os.path.exists(path)
+
+    def test_init_discards_a_previous_life(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        BatchJournal(path).append(0, LogRecord(content="stale"))
+        journal = BatchJournal(path)
+        payloads, _ = scan_framed(open(path, "rb").read())
+        assert payloads == []
+        journal.remove()
+
+
+class TestSupervisedShard:
+    def test_clean_process_run_matches_thread_run(self, tmp_path):
+        lines = _lines(60)
+        ref = _reference(tmp_path, "t", lines)
+        data = str(tmp_path / "proc")
+        sup = ShardSupervisor(
+            "t", data, _factory(), parser_name="Drain",
+            checkpoint_every=16, **FAST,
+        )
+        _feed(sup, lines)
+        summary = sup.drain()
+        assert summary["lines"] == 60
+        assert summary["restarts"] == 0
+        assert summary["isolation"] == "process"
+        assert sup.state == STATE_DRAINED
+        _assert_identical(ref, os.path.join(data, "t"))
+        # drained → journal fully retired
+        assert not os.path.exists(os.path.join(data, "t", JOURNAL_NAME))
+
+    @pytest.mark.parametrize(
+        "fault",
+        [
+            ProcessFault(PROC_KILL, at_record=23),
+            ProcessFault(PROC_EXIT, at_record=23, exit_code=9),
+            ProcessFault(PROC_HANG, at_record=23, hang_seconds=30.0),
+        ],
+        ids=["sigkill", "exit-nonzero", "hang"],
+    )
+    def test_crash_restart_resumes_byte_identical(self, tmp_path, fault):
+        lines = _lines(60)
+        ref = _reference(tmp_path, "t", lines)
+        data = str(tmp_path / "proc")
+        sup = ShardSupervisor(
+            "t", data, _factory(), parser_name="Drain",
+            checkpoint_every=10, faults=(fault,), **FAST,
+        )
+        _feed(sup, lines)
+        summary = sup.drain()
+        assert summary["restarts"] == 1
+        assert summary["lines"] == 60, "no record lost or duplicated"
+        _assert_identical(ref, os.path.join(data, "t"))
+
+    def test_restart_reason_metrics(self, tmp_path):
+        telemetry = Telemetry.create(trace_id="t")
+        faults = (
+            ProcessFault(PROC_KILL, at_record=5, lives=(1,)),
+            ProcessFault(PROC_EXIT, at_record=25, lives=(2,), exit_code=3),
+            ProcessFault(PROC_HANG, at_record=45, lives=(3,),
+                         hang_seconds=30.0),
+        )
+        sup = ShardSupervisor(
+            "t", str(tmp_path), _factory(), parser_name="Drain",
+            telemetry=telemetry, checkpoint_every=10, faults=faults, **FAST,
+        )
+        _feed(sup, _lines(60))
+        summary = sup.drain()
+        assert summary["restarts"] == 3
+        value = telemetry.metrics.value
+        assert value("repro_shard_restarts_total",
+                     tenant="t", reason="signal") == 1.0
+        assert value("repro_shard_restarts_total",
+                     tenant="t", reason="exit") == 1.0
+        assert value("repro_shard_restarts_total",
+                     tenant="t", reason="hung") == 1.0
+        kinds = [e["kind"] for e in telemetry.events.events]
+        assert kinds.count("worker_exit") == 3
+        assert kinds.count("worker_restart") == 3
+        assert "worker_drained" in kinds
+        # lines synced across the process boundary
+        assert value("repro_service_lines_total", tenant="t") == 60.0
+
+    def test_worker_spans_adopted_across_process_boundary(self, tmp_path):
+        telemetry = Telemetry.create(trace_id="t")
+        sup = ShardSupervisor(
+            "t", str(tmp_path), _factory(), parser_name="Drain",
+            telemetry=telemetry, **FAST,
+        )
+        _feed(sup, _lines(10))
+        sup.drain()
+        names = [span.name for span in telemetry.tracer.spans]
+        assert "shard_worker" in names
+        worker_span = next(
+            span for span in telemetry.tracer.spans
+            if span.name == "shard_worker"
+        )
+        assert worker_span.attrs["lines"] == 10
+        assert worker_span.span_id.startswith("t-l1-")
+
+    def test_poison_record_diverted_after_exact_death_count(self, tmp_path):
+        """The pill dies N+1 times total: one unattributed normal-mode
+        death, then ``poison_threshold`` attributed careful-replay
+        deaths — then it is quarantined and the stream completes."""
+        threshold = 2
+        telemetry = Telemetry.create(trace_id="t")
+        pill = ProcessFault(PROC_KILL, at_record=30, lives=(1, 2, 3, 4, 5, 6))
+        sup = ShardSupervisor(
+            "t", str(tmp_path), _factory(), parser_name="Drain",
+            telemetry=telemetry, checkpoint_every=10, faults=(pill,),
+            poison_threshold=threshold, fence_threshold=10, **FAST,
+        )
+        _feed(sup, _lines(60))
+        summary = sup.drain()
+        assert sup.state == STATE_DRAINED, "no crash loop, no fence"
+        assert summary["restarts"] == threshold + 1
+        assert summary["lines"] == 59, "everything but the pill parsed"
+        assert summary["quarantined"] == 1
+        quarantined = read_jsonl_payloads(
+            os.path.join(str(tmp_path), "t", "out.quarantine.jsonl")
+        )
+        assert len(quarantined) == 1
+        record = quarantined[0]
+        assert record["source"] == "poison:t"
+        assert record["line_no"] == 30
+        assert record["reason"] == "poison-pill"
+        assert telemetry.metrics.value(
+            "repro_shard_poison_records_total", tenant="t"
+        ) == 1.0
+        assert any(
+            e["kind"] == "poison_diverted" for e in telemetry.events.events
+        )
+
+    def test_distinct_record_deaths_fence_the_shard(self, tmp_path):
+        telemetry = Telemetry.create(trace_id="t")
+        faults = tuple(
+            ProcessFault(PROC_KILL, at_record=record, lives=(life,))
+            for life, record in enumerate((3, 5, 7, 9), start=1)
+        )
+        sup = ShardSupervisor(
+            "t", str(tmp_path), _factory(), parser_name="Drain",
+            telemetry=telemetry, checkpoint_every=100, faults=faults,
+            poison_threshold=5, fence_threshold=3, **FAST,
+        )
+        _feed(sup, _lines(20))
+        deadline = time.monotonic() + 30
+        while sup.state != STATE_FENCED and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert sup.state == STATE_FENCED
+        assert sup.restarts == 3, "exactly fence_threshold deaths"
+        assert sup.breaker_open
+        assert sup.submit(LogRecord(content="refused")) == FENCED
+        summary = sup.drain()
+        assert summary["fenced"] is True
+        assert summary["manifest"] is None
+        assert any(
+            e["kind"] == "worker_fenced" for e in telemetry.events.events
+        )
+
+    def test_slow_start_delays_but_completes(self, tmp_path):
+        fault = ProcessFault(PROC_SLOW_START, delay_seconds=0.1)
+        sup = ShardSupervisor(
+            "t", str(tmp_path), _factory(), parser_name="Drain",
+            faults=(fault,), **FAST,
+        )
+        _feed(sup, _lines(5))
+        summary = sup.drain()
+        assert summary["lines"] == 5
+        assert summary["restarts"] == 0
+
+    def test_kill_during_drain_restarts_and_finalizes(self, tmp_path):
+        lines = _lines(40)
+        ref = _reference(tmp_path, "t", lines)
+        data = str(tmp_path / "proc")
+        fault = ProcessFault(PROC_KILL, at_drain=True, lives=(1,))
+        sup = ShardSupervisor(
+            "t", data, _factory(), parser_name="Drain",
+            checkpoint_every=10, faults=(fault,), **FAST,
+        )
+        _feed(sup, lines)
+        summary = sup.drain()
+        assert summary["restarts"] == 1
+        assert summary["lines"] == 40
+        _assert_identical(ref, os.path.join(data, "t"))
+
+    def test_budget_is_rejected_in_process_mode(self, tmp_path):
+        with pytest.raises(ValidationError):
+            ShardSupervisor(
+                "t", str(tmp_path), _factory(), parser_name="Drain",
+                budget=object(),
+            )
+
+    def test_bad_timing_shapes_are_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            ShardSupervisor(
+                "t", str(tmp_path), _factory(),
+                watchdog=0.1, heartbeat_interval=0.2,
+            )
+        with pytest.raises(ValidationError):
+            ShardSupervisor(
+                "t", str(tmp_path), _factory(), poison_threshold=0
+            )
+        with pytest.raises(ValidationError):
+            ShardSupervisor(
+                "t", str(tmp_path), _factory(), fence_threshold=0
+            )
+
+
+class TestMonotonicDeadlines:
+    def test_no_wall_clock_in_service_sources(self):
+        """Satellite audit: deadlines in service/ must be monotonic.
+
+        ``time.time()`` is steppable by NTP — a deadline computed from
+        it can fire years early or never.  The service layer's only
+        wall-clock use is the tracer's export timestamps, which live
+        in observability/, not here.
+        """
+        import repro.service as service_pkg
+
+        root = os.path.dirname(service_pkg.__file__)
+        for name in sorted(os.listdir(root)):
+            if not name.endswith(".py"):
+                continue
+            with open(os.path.join(root, name), encoding="utf-8") as handle:
+                source = handle.read()
+            assert "time.time(" not in source, (
+                f"service/{name} uses wall-clock time; deadlines must "
+                f"use time.monotonic()"
+            )
+
+    def test_watchdog_fires_on_injected_clock_not_wall_time(self, tmp_path):
+        """A hung worker is declared dead when the *injected* clock
+        passes the deadline — no real waiting involved."""
+
+        class FakeClock:
+            def __init__(self):
+                self.now = 0.0
+                self._lock = threading.Lock()
+
+            def __call__(self):
+                with self._lock:
+                    return self.now
+
+            def advance(self, seconds):
+                with self._lock:
+                    self.now += seconds
+
+        clock = FakeClock()
+        fault = ProcessFault(PROC_HANG, at_record=5, hang_seconds=120.0)
+        sup = ShardSupervisor(
+            "t", str(tmp_path), _factory(), parser_name="Drain",
+            checkpoint_every=4, heartbeat_interval=0.02,
+            watchdog=900.0, drain_timeout=60.0,
+            faults=(fault,), clock=clock, sleep=lambda _s: None,
+        )
+        _feed(sup, _lines(10))
+        deadline = time.monotonic() + 10
+        while sup._stats.get("position", 0) < 5 and (
+            time.monotonic() < deadline
+        ):
+            time.sleep(0.02)
+        # The worker now sleeps inside record 5.  Real time passing
+        # must NOT trip the 900s watchdog...
+        time.sleep(0.3)
+        assert sup.restarts == 0
+        # ...but the injected clock jumping past it must.
+        clock.advance(1000.0)
+        summary = sup.drain()
+        assert summary["restarts"] == 1
+        assert summary["lines"] == 10
+
+    def test_heartbeat_age_tracks_injected_clock(self, tmp_path):
+        sup = ShardSupervisor.__new__(ShardSupervisor)
+        sup._clock = lambda: 42.0
+        sup._last_seen = 40.0
+        assert sup.heartbeat_age() == pytest.approx(2.0)
+
+
+class TestCrashStormService:
+    def test_storm_across_three_tenants_matches_calm_run(self, tmp_path):
+        """ISSUE 8 acceptance: SIGKILL + hang + nonzero-exit across
+        three tenants; every non-fenced tenant byte-identical to a
+        fault-free run, plus a planted poison pill on a fourth."""
+        tenants = ["alpha", "beta", "gamma"]
+        per_tenant = 40
+        lines = []
+        for i in range(per_tenant * len(tenants)):
+            tenant = tenants[i % len(tenants)]
+            lines.append(f"{tenant}\tconn from host{i % 7} port {i}")
+
+        calm_dir = str(tmp_path / "calm")
+        calm = IngestionService(calm_dir, _factory(), parser_name="Drain")
+        replay_lines(calm, lines)
+        calm.drain()
+
+        storm = crash_storm_schedule(
+            PROC_SEED, tenants, faults_per_tenant=2, span=per_tenant,
+            hang_seconds=30.0,
+        )
+        fired_kinds = {f.kind for faults in storm.values() for f in faults}
+        storm_dir = str(tmp_path / "storm")
+        service = IngestionService(
+            storm_dir, _factory(), parser_name="Drain",
+            isolation="process",
+            worker_kwargs=dict(faults=storm, checkpoint_every=8, **FAST),
+        )
+        replay_lines(service, lines)
+        summary = service.drain()
+        total_restarts = 0
+        for tenant in tenants:
+            tenant_summary = summary["tenants"][tenant]
+            assert not tenant_summary.get("fenced"), tenant
+            assert tenant_summary["lines"] == per_tenant
+            total_restarts += tenant_summary["restarts"]
+            _assert_identical(
+                os.path.join(calm_dir, tenant),
+                os.path.join(storm_dir, tenant),
+                names=("out.events", "out.structured",
+                       "out.quarantine.jsonl"),
+            )
+        # every scheduled fault actually fired and was survived (the
+        # schedule arms fault i in life i+1 precisely so none is
+        # shadowed by an earlier restart)
+        assert total_restarts == sum(len(f) for f in storm.values())
+        assert fired_kinds, "schedule must not be empty"
+
+    def test_storm_with_poison_tenant(self, tmp_path):
+        threshold = 2
+        pill = ProcessFault(PROC_KILL, at_record=13, lives=(1, 2, 3, 4, 5))
+        service = IngestionService(
+            str(tmp_path), _factory(), parser_name="Drain",
+            isolation="process",
+            worker_kwargs=dict(
+                faults={"venom": (pill,)},
+                checkpoint_every=8,
+                poison_threshold=threshold,
+                fence_threshold=10,
+                **FAST,
+            ),
+        )
+        lines = [f"venom\tconn from host{i % 5} port {i}" for i in range(30)]
+        lines += [f"calm\tconn from host{i % 5} port {i}" for i in range(30)]
+        replay_lines(service, lines)
+        summary = service.drain()
+        venom = summary["tenants"]["venom"]
+        assert venom["restarts"] == threshold + 1
+        assert venom["quarantined"] == 1
+        quarantined = read_jsonl_payloads(
+            os.path.join(str(tmp_path), "venom", "out.quarantine.jsonl")
+        )
+        assert quarantined[0]["source"] == "poison:venom"
+        assert summary["tenants"]["calm"]["restarts"] == 0
+        assert summary["tenants"]["calm"]["lines"] == 30
+
+    def test_process_isolation_rejects_tenant_budgets(self, tmp_path):
+        with pytest.raises(ValidationError):
+            IngestionService(
+                str(tmp_path), _factory(),
+                isolation="process", budget=object(), ladder=object(),
+            )
+        with pytest.raises(ValidationError):
+            IngestionService(str(tmp_path), _factory(), isolation="rocket")
+        with pytest.raises(ValidationError):
+            IngestionService(
+                str(tmp_path), _factory(), worker_kwargs=dict(watchdog=1.0)
+            )
+
+
+class TestSupervisorStatus:
+    def test_status_line_from_registry(self, tmp_path):
+        telemetry = Telemetry.create(trace_id="t")
+        service = IngestionService(
+            str(tmp_path), _factory(), parser_name="Drain",
+            telemetry=telemetry, isolation="process",
+            worker_kwargs=dict(checkpoint_every=8, **FAST),
+        )
+        replay_lines(
+            service,
+            [f"alpha\tconn from host{i} port {i}" for i in range(10)],
+        )
+        status = supervisor_status(service)
+        assert "alpha" in status["tenants"]
+        assert status["line"].startswith("supervisor: alpha ")
+        assert "r=0" in status["line"]
+        service.drain()
+        status = supervisor_status(service)
+        assert status["tenants"]["alpha"]["state"] == STATE_DRAINED
+
+    def test_status_works_in_thread_mode(self, tmp_path):
+        service = IngestionService(
+            str(tmp_path), _factory(), parser_name="Drain"
+        )
+        replay_lines(service, ["alpha\tconn from host1 port 1"])
+        status = supervisor_status(service)
+        assert status["tenants"]["alpha"]["state"] == "alive"
+        service.drain()
