@@ -7,20 +7,34 @@ process mode's restart count (which must be zero on a calm run).  The
 point of the artifact is the *ratio*: process isolation buys physical
 failure domains for a queue-hop tax that this benchmark makes
 trendable across commits.
+
+Each mode also runs a **scraped** variant: the live telemetry endpoint
+enabled with a background client hammering ``/metrics`` for the whole
+replay.  The scrape tax must stay within the perf gate's tolerance of
+the unscraped run — observability that slows the hot path by more
+than a regression-gate trip is observability nobody will leave on.
 """
 
 import functools
 import json
 import os
+import threading
 import time
+import urllib.request
 
+from repro.observability import Telemetry, TelemetryServer
 from repro.parsers import make_parser
 from repro.service import IngestionService, replay_lines
 
 from .conftest import RESULTS_DIR, emit
+from .perf_gate import DEFAULT_TOLERANCE
 
 TENANTS = 4
 LINES_PER_TENANT = 5_000
+#: Pause between scrapes.  10 Hz is still two orders of magnitude
+#: hotter than a production Prometheus interval — a gate that passes
+#: here has headroom to spare at any real cadence.
+SCRAPE_PAUSE = 0.1
 
 
 def _stream():
@@ -34,40 +48,95 @@ def _stream():
     return lines
 
 
-def _run_mode(data_dir, lines, isolation):
+def _run_mode(data_dir, lines, isolation, *, telemetry=False,
+              scrape=False):
     kwargs = {}
     if isolation == "process":
         kwargs["worker_kwargs"] = dict(checkpoint_every=1_000)
+    handle = (
+        Telemetry.create(trace_id="bench")
+        if telemetry or scrape
+        else None
+    )
     service = IngestionService(
         data_dir,
         functools.partial(make_parser, "Drain"),
         parser_name="Drain",
         flush_size=512,
         isolation=isolation,
+        telemetry=handle,
         **kwargs,
     )
+    scrapes = 0
+    server = None
+    stop = threading.Event()
+    scraper = None
+    if scrape:
+        server = TelemetryServer(handle.metrics)
+        server.start()
+
+        def _hammer():
+            nonlocal scrapes
+            url = f"{server.url}/metrics"
+            while not stop.is_set():
+                with urllib.request.urlopen(url, timeout=5) as response:
+                    response.read()
+                scrapes += 1
+                time.sleep(SCRAPE_PAUSE)
+
+        scraper = threading.Thread(target=_hammer, daemon=True)
+        scraper.start()
     start = time.monotonic()
-    replay_lines(service, lines)
-    summary = service.drain()
-    elapsed = time.monotonic() - start
+    try:
+        replay_lines(service, lines)
+        summary = service.drain()
+        elapsed = time.monotonic() - start
+    finally:
+        stop.set()
+        if scraper is not None:
+            scraper.join(timeout=10)
+        if server is not None:
+            server.stop()
     restarts = sum(
         tenant.get("restarts", 0) for tenant in summary["tenants"].values()
     )
     total = sum(tenant["lines"] for tenant in summary["tenants"].values())
-    return {
+    stats = {
         "elapsed_seconds": round(elapsed, 4),
         "lines_per_second": round(total / elapsed) if elapsed > 0 else 0,
         "lines": total,
         "restarts": restarts,
     }
+    if scrape:
+        stats["scrapes"] = scrapes
+    return stats
+
+
+_MEMO: dict = {}
 
 
 def _service_run(tmp_dir):
-    lines = _stream()
-    return {
-        mode: _run_mode(os.path.join(tmp_dir, mode), lines, mode)
-        for mode in ("thread", "process")
-    }
+    # The two tests below share one measurement: these are
+    # multi-minute experiment harnesses, so the second test reuses the
+    # first's result instead of re-running the whole matrix.
+    if "modes" in _MEMO:
+        return _MEMO["modes"]
+    modes = {}
+    for mode in ("thread", "process"):
+        lines = _stream()
+        modes[mode] = _run_mode(
+            os.path.join(tmp_dir, mode), lines, mode
+        )
+        modes[f"{mode}_telemetry"] = _run_mode(
+            os.path.join(tmp_dir, f"{mode}_telemetry"), lines, mode,
+            telemetry=True,
+        )
+        modes[f"{mode}_scraped"] = _run_mode(
+            os.path.join(tmp_dir, f"{mode}_scraped"), lines, mode,
+            telemetry=True, scrape=True,
+        )
+    _MEMO["modes"] = modes
+    return modes
 
 
 def test_bench_service_isolation(once, tmp_path):
@@ -77,6 +146,7 @@ def test_bench_service_isolation(once, tmp_path):
         "parser": "Drain",
         "tenants": TENANTS,
         "lines_per_tenant": LINES_PER_TENANT,
+        "scrape_tolerance": DEFAULT_TOLERANCE,
         "modes": modes,
     }
     os.makedirs(RESULTS_DIR, exist_ok=True)
@@ -88,7 +158,12 @@ def test_bench_service_isolation(once, tmp_path):
         "BENCH_service",
         "\n".join(
             f"{mode}: {stats['lines_per_second']:,} lines/s "
-            f"({stats['lines']} lines, {stats['restarts']} restarts)"
+            f"({stats['lines']} lines, {stats['restarts']} restarts"
+            + (
+                f", {stats['scrapes']} scrapes)"
+                if "scrapes" in stats
+                else ")"
+            )
             for mode, stats in modes.items()
         ),
     )
@@ -97,3 +172,22 @@ def test_bench_service_isolation(once, tmp_path):
         assert stats["lines"] == TENANTS * LINES_PER_TENANT, mode
         assert stats["restarts"] == 0, mode
         assert stats["lines_per_second"] > 0, mode
+
+
+def test_bench_scrape_overhead_within_gate_tolerance(once, tmp_path):
+    """The scrape tax proper: telemetry-enabled runs with and without
+    a client hammering ``/metrics``.  Telemetry instrumentation itself
+    has its own (recorded, ungated) cost — comparing scraped against
+    the *plain* run would blame the endpoint for the histograms."""
+    modes = once(_service_run, str(tmp_path))
+    for mode in ("thread", "process"):
+        instrumented = modes[f"{mode}_telemetry"]["lines_per_second"]
+        scraped = modes[f"{mode}_scraped"]["lines_per_second"]
+        assert modes[f"{mode}_scraped"]["scrapes"] > 0, (
+            f"{mode}: the scraper never completed a request"
+        )
+        floor = instrumented * (1.0 - DEFAULT_TOLERANCE)
+        assert scraped >= floor, (
+            f"{mode}: scraping cost more than the perf-gate tolerance "
+            f"({scraped:,} lines/s vs floor {floor:,.0f})"
+        )

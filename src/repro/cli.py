@@ -73,10 +73,13 @@ drain.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import threading
 import time
+import urllib.error
+import urllib.request
 from contextlib import nullcontext
 from functools import partial
 
@@ -112,7 +115,10 @@ from repro.degradation import (
 )
 from repro.evaluation import evaluate_accuracy, evaluate_mining_impact
 from repro.observability import (
+    AlertEngine,
     Telemetry,
+    TelemetryServer,
+    default_rules,
     export_metrics,
     render_run_report,
     summary_from_registry,
@@ -437,6 +443,7 @@ def _add_stream(subparsers) -> None:
     )
     _add_hardening_flags(cmd)
     _add_telemetry_flags(cmd)
+    _add_endpoint_flag(cmd)
     cmd.add_argument(
         "--checkpoint",
         default=None,
@@ -565,6 +572,32 @@ def _add_telemetry_flags(cmd) -> None:
         "count of every artifact this run wrote) atomically at run "
         "end; check it later with `repro-logparse verify-run`",
     )
+
+
+def _add_endpoint_flag(cmd) -> None:
+    """The live scrape endpoint flag (long-running commands only)."""
+    cmd.add_argument(
+        "--telemetry-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve GET /metrics, /healthz, and /status over HTTP on "
+        "this port for the lifetime of the run (0 picks a free port, "
+        "published on stdout as `telemetry on URL`)",
+    )
+
+
+def _start_endpoint(args, telemetry, *, status=None, health=None):
+    """Start the scrape endpoint when --telemetry-port asked for one."""
+    port = getattr(args, "telemetry_port", None)
+    if port is None:
+        return None
+    server = TelemetryServer(
+        telemetry.metrics, port=port, status=status, health=health
+    )
+    server.start()
+    print(f"telemetry on {server.url}", flush=True)
+    return server
 
 
 def _make_telemetry(args, trace_id: str, io=None) -> Telemetry:
@@ -960,6 +993,60 @@ def _add_serve(subparsers) -> None:
         "artifact writes (writers retry and divert)",
     )
     _add_telemetry_flags(cmd)
+    _add_endpoint_flag(cmd)
+    cmd.add_argument(
+        "--alerts-out",
+        default=None,
+        metavar="PATH",
+        help="run the SLO alert engine and append its firing/resolved "
+        "transitions to this durable framed-JSONL log",
+    )
+    cmd.add_argument(
+        "--alert-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="seconds between alert-rule evaluations",
+    )
+    cmd.add_argument(
+        "--slo-objective",
+        type=float,
+        default=0.99,
+        metavar="FRACTION",
+        help="per-tenant ingest success objective for the error-budget "
+        "burn-rate rule (0.99 = 1%% error budget)",
+    )
+
+
+def _add_watch(subparsers) -> None:
+    cmd = subparsers.add_parser(
+        "watch",
+        help="top-style live view of a serve --telemetry-port endpoint",
+    )
+    cmd.add_argument(
+        "url",
+        help="endpoint base URL printed by the serving process "
+        "(e.g. http://127.0.0.1:9100)",
+    )
+    cmd.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="seconds between /status polls",
+    )
+    cmd.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N refreshes (default: run until interrupted)",
+    )
+    cmd.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (same as --iterations 1)",
+    )
 
 
 def _add_report(subparsers) -> None:
@@ -1034,6 +1121,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     _add_supervise(subparsers)
     _add_soak(subparsers)
     _add_serve(subparsers)
+    _add_watch(subparsers)
     _add_report(subparsers)
     _add_verify_run(subparsers)
     return parser
@@ -1289,6 +1377,14 @@ def _cmd_stream(args) -> int:
     )
     io = _make_io(args)
     telemetry = _make_telemetry(args, trace_id="stream", io=io)
+    tserver = _start_endpoint(
+        args,
+        telemetry,
+        status=lambda: {
+            "command": "stream",
+            "summary": summary_from_registry(telemetry.metrics),
+        },
+    )
     policy_mode, sink = _resolve_policy(args, telemetry=telemetry, io=io)
     if args.dataset is not None:
         source = f"dataset:{args.dataset}"
@@ -1345,6 +1441,8 @@ def _cmd_stream(args) -> int:
                 guard=guard,
             )
     finally:
+        if tserver is not None:
+            tserver.stop()
         _export_telemetry(args, telemetry, artifacts=artifacts, io=io)
 
 
@@ -1803,7 +1901,23 @@ def _cmd_serve(args) -> int:
             worker_kwargs["faults"] = lambda tenant: crash_storm_schedule(
                 seed, [tenant]
             )[tenant]
+    tserver = None
+    alert_engine = None
     try:
+
+        def _journal_checkpoint_status(tenant: str, position: int) -> None:
+            # Process-mode checkpoint acks journal the supervisor
+            # picture even when no --status-interval ticker runs, so
+            # the event timeline always carries liveness evidence.
+            status = supervisor_status(service)
+            telemetry.events.emit(
+                "supervisor_status",
+                tenants=status["tenants"],
+                line=status["line"],
+                tenant=tenant,
+                position=position,
+            )
+
         service = IngestionService(
             args.data_dir,
             factory,
@@ -1812,6 +1926,7 @@ def _cmd_serve(args) -> int:
             io=io,
             isolation=args.isolation,
             worker_kwargs=worker_kwargs,
+            on_checkpoint=_journal_checkpoint_status,
             **shard_kwargs,
         )
         if (
@@ -1838,6 +1953,29 @@ def _cmd_serve(args) -> int:
         adopted = service.adopt_existing()
         if adopted:
             print(f"adopted {len(adopted)} tenant(s): {', '.join(adopted)}")
+        if args.alerts_out is not None or args.telemetry_port is not None:
+            alert_engine = AlertEngine(
+                telemetry.metrics,
+                default_rules(
+                    objective=args.slo_objective,
+                    heartbeat_stall=args.watchdog,
+                ),
+                events=telemetry.events,
+                log_path=args.alerts_out,
+                io=io,
+            )
+            alert_engine.start_ticker(args.alert_interval)
+
+        def _status_payload() -> dict:
+            status = supervisor_status(service)
+            payload = {"isolation": args.isolation, **status}
+            if alert_engine is not None:
+                payload["alerts"] = alert_engine.active()
+            return payload
+
+        tserver = _start_endpoint(
+            args, telemetry, status=_status_payload, health=service.health
+        )
 
         def _emit_status() -> None:
             status = supervisor_status(service)
@@ -1919,7 +2057,89 @@ def _cmd_serve(args) -> int:
                 print(f"  manifest: {manifest}")
         return 0
     finally:
-        _export_telemetry(args, telemetry, io=io)
+        if tserver is not None:
+            tserver.stop()
+        if alert_engine is not None:
+            alert_engine.close()
+        artifacts = []
+        if args.alerts_out:
+            # A calm run still leaves a (valid, empty) alert log where
+            # the flag pointed — absence would read as "never ran".
+            ensure_artifact(args.alerts_out, io=io)
+            artifacts.append((args.alerts_out, CODEC_FRAMED))
+        _export_telemetry(args, telemetry, artifacts=artifacts, io=io)
+
+
+def _render_watch_frame(payload: dict, url: str) -> str:
+    """One ``watch`` frame: per-tenant table + firing alerts."""
+    lines = [f"watch {url}  isolation={payload.get('isolation', '?')}"]
+    tenants = payload.get("tenants", {})
+    if tenants:
+        lines.append(
+            f"{'TENANT':<16} {'STATE':<10} {'RESTARTS':>8} {'QUEUE':>6} "
+            f"{'LINES':>9} {'QUAR':>6} {'HB-AGE':>7}"
+        )
+        for tenant in sorted(tenants):
+            info = tenants[tenant]
+            lines.append(
+                f"{tenant:<16} {str(info.get('state', '?')):<10} "
+                f"{info.get('restarts', 0):>8} {info.get('queue', 0):>6} "
+                f"{info.get('lines', 0):>9} "
+                f"{info.get('quarantined', 0):>6} "
+                f"{float(info.get('heartbeat_age', 0.0)):>7.2f}"
+            )
+    else:
+        lines.append("no tenants yet")
+    alerts = payload.get("alerts", [])
+    if alerts:
+        lines.append("alerts:")
+        for alert in alerts:
+            labels = ",".join(
+                f"{key}={value}"
+                for key, value in sorted(alert.get("labels", {}).items())
+            )
+            lines.append(
+                f"  {alert.get('severity', '?'):<5} "
+                f"{alert.get('rule', '?')}{{{labels}}} "
+                f"value={float(alert.get('value', 0.0)):.2f} "
+                f"threshold={float(alert.get('threshold', 0.0)):.2f}"
+            )
+    else:
+        lines.append("alerts: none firing")
+    return "\n".join(lines)
+
+
+def _cmd_watch(args) -> int:
+    base = args.url.rstrip("/")
+    iterations = 1 if args.once else args.iterations
+    frames = 0
+    clear = sys.stdout.isatty()
+    try:
+        while True:
+            try:
+                with urllib.request.urlopen(
+                    base + "/status", timeout=5.0
+                ) as response:
+                    payload = json.loads(response.read().decode("utf-8"))
+            except (urllib.error.URLError, OSError, ValueError) as error:
+                print(
+                    f"error: cannot reach {base}/status: {error}",
+                    file=sys.stderr,
+                )
+                return EXIT_RUNTIME
+            frame = _render_watch_frame(payload, base)
+            if clear:
+                # Home + clear-to-end keeps the frame flicker-free in a
+                # terminal; piped output just gets stacked frames.
+                print(f"\x1b[H\x1b[J{frame}", flush=True)
+            else:
+                print(frame, flush=True)
+            frames += 1
+            if iterations is not None and frames >= iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_report(args) -> int:
@@ -1970,6 +2190,7 @@ _COMMANDS = {
     "supervise": _cmd_supervise,
     "soak": _cmd_soak,
     "serve": _cmd_serve,
+    "watch": _cmd_watch,
     "report": _cmd_report,
     "verify-run": _cmd_verify_run,
 }

@@ -5,12 +5,24 @@ the observability model (metric naming scheme, span taxonomy, exporter
 formats).
 """
 
+from repro.observability.alerts import (
+    AlertEngine,
+    AlertEvent,
+    BurnRateRule,
+    ThresholdRule,
+    default_rules,
+    load_alerts,
+)
 from repro.observability.events import EventLog, load_events
 from repro.observability.exporters import (
     export_metrics,
     parse_prometheus,
     render_json_snapshot,
     render_prometheus,
+)
+from repro.observability.httpd import (
+    PROMETHEUS_CONTENT_TYPE,
+    TelemetryServer,
 )
 from repro.observability.metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -20,6 +32,7 @@ from repro.observability.metrics import (
     Histogram,
     MetricFamily,
     MetricsRegistry,
+    merge_histogram_states,
 )
 from repro.observability.report import (
     format_stream_summary,
@@ -37,6 +50,9 @@ from repro.observability.tracing import (
 )
 
 __all__ = [
+    "AlertEngine",
+    "AlertEvent",
+    "BurnRateRule",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
@@ -45,16 +61,22 @@ __all__ = [
     "Histogram",
     "MetricFamily",
     "MetricsRegistry",
+    "PROMETHEUS_CONTENT_TYPE",
     "SPAN_CHUNK",
     "SPAN_PARSE_RUN",
     "SPAN_PARSER_CALL",
     "Span",
     "Telemetry",
+    "TelemetryServer",
+    "ThresholdRule",
     "Tracer",
+    "default_rules",
     "export_metrics",
     "format_stream_summary",
+    "load_alerts",
     "load_events",
     "load_jsonl_spans",
+    "merge_histogram_states",
     "parse_prometheus",
     "render_json_snapshot",
     "render_prometheus",

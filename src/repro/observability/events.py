@@ -19,6 +19,7 @@ its last complete event instead of ending in garbage.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections.abc import Callable
 
@@ -52,10 +53,14 @@ class EventLog:
         self._io = io
         self._writer: DurableJsonlWriter | None = None
         self._seq = 0
+        # Supervisor monitor threads (one per tenant), the alert
+        # ticker, and connection threads all emit into one timeline;
+        # the lock keeps sequence numbers unique and frames unsplit.
+        self._emit_lock = threading.Lock()
         self.events: list[dict] = []
 
     def emit(self, kind: str, **fields) -> dict:
-        """Append one event; returns the enveloped dict."""
+        """Append one event; returns the enveloped dict. Thread-safe."""
         if not kind:
             raise ValidationError("event kind must be non-empty")
         for reserved in ("seq", "t", "kind"):
@@ -63,15 +68,16 @@ class EventLog:
                 raise ValidationError(
                     f"field {reserved!r} is part of the event envelope"
                 )
-        self._seq += 1
-        event = {
-            "seq": self._seq,
-            "t": round(self._clock() - self._epoch, 6),
-            "kind": kind,
-        }
-        event.update(fields)
-        self.events.append(event)
-        self._persist(event)
+        with self._emit_lock:
+            self._seq += 1
+            event = {
+                "seq": self._seq,
+                "t": round(self._clock() - self._epoch, 6),
+                "kind": kind,
+            }
+            event.update(fields)
+            self.events.append(event)
+            self._persist(event)
         return event
 
     def record(self, obj) -> dict:

@@ -197,6 +197,68 @@ class Histogram:
             lower = bound
         return self.buckets[-1]
 
+    def state(self) -> dict:
+        """JSON-ready snapshot of the histogram's observations.
+
+        The cross-process sync path: shard workers ship this on their
+        heartbeat/checkpoint messages and the supervisor adopts (or
+        merges) it into the parent registry with :meth:`sync_state`.
+        """
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "inf": self.inf_count,
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    def sync_state(self, state: dict) -> None:
+        """Adopt an externally-maintained :meth:`state` wholesale.
+
+        The histogram analogue of :meth:`Counter.sync` — a collector
+        or supervisor mirroring a source-of-truth histogram (a worker
+        subprocess's) replaces this child's observations with it.
+        """
+        if tuple(float(b) for b in state["buckets"]) != self.buckets:
+            raise ValidationError(
+                f"histogram bucket mismatch: have {self.buckets}, "
+                f"state carries {tuple(state['buckets'])}"
+            )
+        self.counts = [int(c) for c in state["counts"]]
+        self.inf_count = int(state["inf"])
+        self.sum = float(state["sum"])
+        self.count = int(state["count"])
+
+
+def merge_histogram_states(base: dict | None, extra: dict | None) -> dict | None:
+    """Sum two :meth:`Histogram.state` snapshots bucket-by-bucket.
+
+    Supervisors accumulate across worker *lives*: each incarnation's
+    local histograms restart at zero, so the parent folds the last
+    state a dead worker shipped into a base and merges the live
+    worker's state on top.  Either side may be ``None`` (no
+    observations yet).
+    """
+    if base is None:
+        return dict(extra) if extra is not None else None
+    if extra is None:
+        return dict(base)
+    if list(base["buckets"]) != list(extra["buckets"]):
+        raise ValidationError(
+            "cannot merge histograms with different buckets: "
+            f"{base['buckets']} vs {extra['buckets']}"
+        )
+    return {
+        "buckets": list(base["buckets"]),
+        "counts": [
+            int(a) + int(b)
+            for a, b in zip(base["counts"], extra["counts"])
+        ],
+        "inf": int(base["inf"]) + int(extra["inf"]),
+        "sum": float(base["sum"]) + float(extra["sum"]),
+        "count": int(base["count"]) + int(extra["count"]),
+    }
+
 
 class MetricFamily:
     """One named metric with a fixed label schema and typed children."""
@@ -269,7 +331,14 @@ class MetricFamily:
         return self._default_child().value
 
     def children(self) -> Iterable[tuple[tuple[str, ...], object]]:
-        return self._children.items()
+        """A point-in-time list of ``(label key, child)`` pairs.
+
+        A *copy*, not a live view: the HTTP scrape endpoint iterates
+        families from its own thread while ingest threads materialize
+        new label children, and ``list(dict.items())`` is atomic under
+        the GIL where iterating a growing view is not.
+        """
+        return list(self._children.items())
 
 
 class MetricsRegistry:

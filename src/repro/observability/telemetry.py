@@ -212,6 +212,57 @@ def _register_schema(metrics: MetricsRegistry) -> None:
         "repro_service_queue_depth",
         "Pending records summed across all tenant shards",
     )
+    # Live telemetry plane (per-tenant SLOs + alerts) --------------------
+    metrics.counter(
+        "repro_tenant_lines_total",
+        "Lines parsed per tenant, synced live from the owning shard",
+        labelnames=("tenant",),
+    )
+    metrics.counter(
+        "repro_tenant_cache_hits_total",
+        "Template-cache hits per tenant by kind (exact/template)",
+        labelnames=("tenant", "kind"),
+    )
+    metrics.counter(
+        "repro_tenant_cache_misses_total",
+        "Template-cache misses per tenant",
+        labelnames=("tenant",),
+    )
+    metrics.counter(
+        "repro_tenant_quarantined_total",
+        "Records quarantined per tenant (all reasons)",
+        labelnames=("tenant",),
+    )
+    metrics.gauge(
+        "repro_tenant_events",
+        "Distinct event templates discovered per tenant",
+        labelnames=("tenant",),
+    )
+    metrics.histogram(
+        "repro_tenant_ingest_latency_seconds",
+        "End-to-end per-record ingest latency (enqueue to parsed)",
+        labelnames=("tenant",),
+        buckets=DEFAULT_LATENCY_BUCKETS,
+    )
+    metrics.histogram(
+        "repro_tenant_queue_wait_seconds",
+        "Time records spend queued before the shard worker dequeues them",
+        labelnames=("tenant",),
+        buckets=DEFAULT_LATENCY_BUCKETS,
+    )
+    metrics.gauge(
+        "repro_tenant_error_budget_remaining",
+        "Fraction of the SLO error budget left in the slow window",
+        labelnames=("tenant",),
+    )
+    metrics.counter(
+        "repro_alerts_total",
+        "Alert state transitions by rule",
+        labelnames=("rule", "state"),
+    )
+    metrics.gauge(
+        "repro_alerts_active", "Alert instances currently firing"
+    )
     # Process isolation (shard workers + supervision) --------------------
     metrics.counter(
         "repro_shard_restarts_total",

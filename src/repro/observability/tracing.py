@@ -242,6 +242,17 @@ class Tracer:
         """Finished spans as plain dicts (picklable / JSON-able)."""
         return [span.to_dict() for span in self.spans]
 
+    def serialize_new(self, cursor: int) -> tuple[list[dict], int]:
+        """Finished spans appended since *cursor*, plus the new cursor.
+
+        The incremental form of :meth:`serialize` for continuous
+        cross-process shipping: a shard worker that sends spans on
+        every checkpoint ack (not just at drain) keeps the cursor so
+        repeated adoption by the parent never duplicates a span.
+        """
+        end = len(self.spans)
+        return [span.to_dict() for span in self.spans[cursor:end]], end
+
     def adopt(self, serialized: list[dict]) -> None:
         """Fold spans shipped back from a worker into this tracer."""
         for data in serialized:

@@ -99,6 +99,7 @@ class IngestionService:
         io=None,
         isolation: str = ISOLATION_THREAD,
         worker_kwargs: dict | None = None,
+        on_checkpoint=None,
         **shard_kwargs,
     ) -> None:
         if isolation not in ISOLATION_MODES:
@@ -127,6 +128,7 @@ class IngestionService:
         self.telemetry = telemetry
         self.io = io
         self.isolation = isolation
+        self.on_checkpoint = on_checkpoint
         self.worker_kwargs = dict(worker_kwargs or {})
         self.shard_kwargs = shard_kwargs
         self._shards: dict[str, TenantShard] = {}
@@ -191,6 +193,7 @@ class IngestionService:
                             parser_name=self.parser_name,
                             telemetry=self.telemetry,
                             io=self.io,
+                            on_checkpoint=self.on_checkpoint,
                             **worker_kwargs,
                             **self.shard_kwargs,
                         )
@@ -323,6 +326,37 @@ class IngestionService:
             self.telemetry.tracer.finish(span)
         self._drained = summary
         return summary
+
+    def health(self) -> dict:
+        """Liveness verdict for the ``/healthz`` endpoint.
+
+        Healthy means every materialized shard is still willing to
+        parse: a fenced process-mode supervisor or an open thread-mode
+        circuit breaker flips ``ok`` to ``False`` (the endpoint maps
+        that to HTTP 503) while leaving per-tenant detail in place so
+        an operator sees *which* tenant went dark.
+        """
+        tenants: dict[str, dict] = {}
+        ok = True
+        with self._lock:
+            shards = dict(self._shards)
+        for tenant in sorted(shards):
+            shard = shards[tenant]
+            state = getattr(shard, "state", None)
+            if state is None:
+                state = "breaker" if shard.breaker_open else "alive"
+            breaker_open = bool(shard.breaker_open)
+            if breaker_open or state == "fenced":
+                ok = False
+            tenants[tenant] = {
+                "state": state,
+                "breaker_open": breaker_open,
+            }
+        return {
+            "ok": ok,
+            "isolation": self.isolation,
+            "tenants": tenants,
+        }
 
     def describe(self) -> str:
         lines = [

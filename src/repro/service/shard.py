@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 
 from repro.common.errors import BudgetExceededError, ValidationError
 from repro.common.types import LogRecord
@@ -164,6 +165,11 @@ class TenantShard:
         self._failures = 0
         self._budgeted = budget is not None
         self._drained: dict | None = None
+        # High-water marks for the read-time per-tenant counter sync
+        # (engine counters are the source of truth; the registry child
+        # catches up by delta at collect time).
+        self._published: dict[str, float] = {}
+        self._publish_lock = threading.Lock()
 
         resuming = os.path.exists(self.checkpoint_path)
         if self._budgeted:
@@ -222,7 +228,57 @@ class TenantShard:
             )
             self._session = ParseSession(self.engine, track_matrix=False)
 
+        if telemetry is not None:
+            telemetry.metrics.register_collector(
+                self._collect_tenant_metrics
+            )
+
     # ------------------------------------------------------------------
+
+    def _publish_counter(
+        self, metric: str, key: str, value: float, **labels
+    ) -> None:
+        """Delta-sync one monotonic engine counter into the registry."""
+        last = self._published.get(key, 0.0)
+        if value > last:
+            self.telemetry.metrics.get(metric).labels(
+                tenant=self.tenant, **labels
+            ).inc(value - last)
+            self._published[key] = value
+
+    def _collect_tenant_metrics(self) -> None:
+        """Read-time sync of per-tenant SLO families (thread mode).
+
+        Registered as a registry collector so any scrape or
+        ``value()`` read sees live engine counters without the shard
+        pushing on its hot path.  Serialized by its own lock — two
+        concurrent scrapes must not double-apply a delta — and never
+        takes the shard lock, so a scrape cannot stall ingest.
+        """
+        with self._publish_lock:
+            counters = self.engine.counters
+            self._publish_counter(
+                "repro_tenant_lines_total", "lines", counters.lines
+            )
+            self._publish_counter(
+                "repro_tenant_cache_hits_total", "exact_hits",
+                counters.exact_hits, kind="exact",
+            )
+            self._publish_counter(
+                "repro_tenant_cache_hits_total", "template_hits",
+                counters.template_hits, kind="template",
+            )
+            self._publish_counter(
+                "repro_tenant_cache_misses_total", "misses",
+                counters.misses,
+            )
+            self._publish_counter(
+                "repro_tenant_quarantined_total", "quarantined",
+                float(len(self.quarantine)),
+            )
+            self.telemetry.metrics.get("repro_tenant_events").labels(
+                tenant=self.tenant
+            ).set(float(counters.events))
 
     @property
     def pending(self) -> int:
@@ -303,6 +359,7 @@ class TenantShard:
                 )
                 return BREAKER
             try:
+                fed_at = time.perf_counter()
                 line_no = self._session.feed(record)
             except BudgetExceededError as error:
                 self._trip(f"budget exhausted: {error}")
@@ -323,6 +380,12 @@ class TenantShard:
                     )
                 return QUARANTINED
             self._failures = 0
+            if self.telemetry is not None:
+                self.telemetry.metrics.get(
+                    "repro_tenant_ingest_latency_seconds"
+                ).labels(tenant=self.tenant).observe(
+                    max(0.0, time.perf_counter() - fed_at)
+                )
             if line_no < 0:
                 return REJECTED
             self.accepted += 1

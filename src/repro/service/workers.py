@@ -68,7 +68,12 @@ from dataclasses import dataclass, field
 from repro.common.errors import ValidationError
 from repro.common.types import LogRecord
 from repro.observability.events import EventLog
-from repro.observability.metrics import MetricsRegistry
+from repro.observability.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    merge_histogram_states,
+)
 from repro.observability.telemetry import Telemetry
 from repro.observability.tracing import Tracer
 from repro.resilience.durability import (
@@ -173,6 +178,13 @@ class ShardWorker:
         self.tracer: Tracer | None = None
         self.telemetry = None
         self._root = None
+        # Per-life SLO histograms, shipped as plain state on every
+        # heartbeat/checkpoint message.  They restart at zero with each
+        # incarnation; the supervisor folds dead lives into a base.
+        self._latency = Histogram(DEFAULT_LATENCY_BUCKETS)
+        self._queue_wait = Histogram(DEFAULT_LATENCY_BUCKETS)
+        # serialize_new cursor: spans already shipped to the parent.
+        self._span_cursor = 0
 
     # -- lifecycle -----------------------------------------------------
 
@@ -214,7 +226,21 @@ class ShardWorker:
             "quarantined": len(shard.quarantine),
             "accepted": shard.accepted,
             "position": shard.position,
+            "exact_hits": counters.exact_hits,
+            "template_hits": counters.template_hits,
+            "misses": counters.misses,
+            "latency": self._latency.state(),
+            "queue_wait": self._queue_wait.state(),
         }
+
+    def _new_spans(self) -> list[dict]:
+        """Finished spans not yet shipped home (continuous sync)."""
+        if self.tracer is None:
+            return []
+        spans, self._span_cursor = self.tracer.serialize_new(
+            self._span_cursor
+        )
+        return spans
 
     def run(self) -> int:
         """The incarnation's message loop; returns the exit code."""
@@ -243,7 +269,7 @@ class ShardWorker:
                 continue
             kind = message[0]
             if kind == "feed":
-                _, index, record, confirm = message
+                _, index, record, confirm, enqueued_at = message
                 position = shard.position
                 if index < position:
                     outcome = REPLAYED
@@ -256,7 +282,19 @@ class ShardWorker:
                     for fault in spec.faults:
                         if fault.should_fire(index, spec.life):
                             fault.fire()
+                    # CLOCK_MONOTONIC is comparable across processes
+                    # on the same boot, so the parent's enqueue stamp
+                    # prices the queue hop end to end.
+                    dequeued_at = time.monotonic()
+                    if enqueued_at is not None:
+                        self._queue_wait.observe(
+                            max(0.0, dequeued_at - enqueued_at)
+                        )
                     outcome = shard.submit(record)
+                    if enqueued_at is not None:
+                        self._latency.observe(
+                            max(0.0, time.monotonic() - enqueued_at)
+                        )
                     fed_since_checkpoint += 1
                 if confirm:
                     self.outbox.put(("done", index, outcome))
@@ -264,7 +302,12 @@ class ShardWorker:
                     shard.checkpoint()
                     fed_since_checkpoint = 0
                     self.outbox.put(
-                        ("checkpointed", shard.position, self._stats(shard))
+                        (
+                            "checkpointed",
+                            shard.position,
+                            self._stats(shard),
+                            self._new_spans(),
+                        )
                     )
                 now = time.monotonic()
                 if now - last_heartbeat >= spec.heartbeat_interval:
@@ -280,13 +323,23 @@ class ShardWorker:
                     fed_since_checkpoint = 0
                 self.outbox.put(("poisoned", index))
                 self.outbox.put(
-                    ("checkpointed", shard.position, self._stats(shard))
+                    (
+                        "checkpointed",
+                        shard.position,
+                        self._stats(shard),
+                        self._new_spans(),
+                    )
                 )
             elif kind == "checkpoint":
                 shard.checkpoint()
                 fed_since_checkpoint = 0
                 self.outbox.put(
-                    ("checkpointed", shard.position, self._stats(shard))
+                    (
+                        "checkpointed",
+                        shard.position,
+                        self._stats(shard),
+                        self._new_spans(),
+                    )
                 )
             elif kind == "drain":
                 for fault in spec.faults:
@@ -299,7 +352,9 @@ class ShardWorker:
                         lines=summary["lines"], events=summary["events"]
                     )
                     self.tracer.finish(self._root)
-                    spans = self.tracer.serialize()
+                    # Only the spans not already shipped on checkpoint
+                    # acks — repeated adoption must never duplicate.
+                    spans = self._new_spans()
                 self.outbox.put(
                     ("drained", summary, spans, self._stats(shard))
                 )
@@ -422,6 +477,7 @@ class ShardSupervisor:
         sleep=time.sleep,
         budget=None,
         ladder=None,
+        on_checkpoint=None,
         **shard_kwargs,
     ) -> None:
         if budget is not None or ladder is not None:
@@ -473,7 +529,8 @@ class ShardSupervisor:
         self._mp = _mp_context()
 
         self._lock = threading.Lock()
-        self._outbox: list[tuple[int, LogRecord]] = []
+        # (index, record, enqueued_at monotonic stamp) triples.
+        self._outbox: list[tuple[int, LogRecord, float]] = []
         self._next_index = 0
         self._skip = self._read_checkpoint_position()
         self._acked = self._skip
@@ -493,7 +550,21 @@ class ShardSupervisor:
         self._abandoned = False
         self._last_seen = clock()
         self._stats: dict = {}
-        self._lines_synced = 0
+        # Last cumulative value synced into the parent registry, per
+        # stat key.  Worker counters restore from the checkpoint and
+        # re-climb after a restart, so only positive deltas count and
+        # the high-water mark guards against replay regressions.
+        self._synced: dict[str, float] = {}
+        # SLO histograms accumulate across worker lives: each life's
+        # local histograms restart at zero, so the last state a dead
+        # life shipped folds into a base the live state merges onto.
+        self._hist_base: dict[str, dict | None] = {
+            "latency": None, "queue_wait": None,
+        }
+        self._hist_live: dict[str, dict | None] = {
+            "latency": None, "queue_wait": None,
+        }
+        self._on_checkpoint = on_checkpoint
         self._done = threading.Event()
         self._journal = BatchJournal(
             os.path.join(self.dir, JOURNAL_NAME), io=io
@@ -533,6 +604,11 @@ class ShardSupervisor:
         return max(0.0, self._clock() - self._last_seen)
 
     def submit(self, record: LogRecord) -> str:
+        # The enqueue stamp rides the feed message so the worker can
+        # price queue wait and end-to-end latency.  Raw monotonic, not
+        # the injectable clock: it must be comparable with the worker
+        # process's own time.monotonic().
+        enqueued_at = time.monotonic()
         with self._lock:
             if self.state == STATE_FENCED:
                 return FENCED
@@ -540,7 +616,7 @@ class ShardSupervisor:
             self._next_index += 1
             if index < self._skip:
                 return REPLAYED
-            self._outbox.append((index, record))
+            self._outbox.append((index, record, enqueued_at))
         self._journal.append(index, record)
         return ACCEPTED
 
@@ -597,16 +673,73 @@ class ShardSupervisor:
                 tenant=self.tenant, state=state
             ).set(1.0 if state == self.state else 0.0)
 
+    def _sync_counter(
+        self, metric: str, key: str, value: float, **labels
+    ) -> None:
+        """High-water-mark delta sync of one worker-cumulative counter.
+
+        Worker counters restore from the checkpoint and re-climb
+        through journal replay after a restart, so a freshly-reported
+        value may sit *below* the high-water mark for a while; only
+        the excess over the mark is new work.
+        """
+        value = float(value or 0)
+        last = self._synced.get(key, 0.0)
+        if value > last:
+            self.telemetry.metrics.get(metric).labels(
+                tenant=self.tenant, **labels
+            ).inc(value - last)
+            self._synced[key] = value
+
     def _sync_stats(self, stats: dict) -> None:
+        """Fold a worker stats message into the parent registry, live.
+
+        This is the continuous half of the telemetry plane: it runs on
+        every heartbeat and checkpoint ack, so a mid-run scrape sees
+        per-tenant lines, cache traffic, quarantines, and SLO
+        histograms without waiting for drain.
+        """
         self._stats = stats
         if self.telemetry is None:
             return
-        delta = stats.get("lines", 0) - self._lines_synced
-        if delta > 0:
-            self.telemetry.metrics.get(
-                "repro_service_lines_total"
-            ).labels(tenant=self.tenant).inc(delta)
-            self._lines_synced = stats["lines"]
+        metrics = self.telemetry.metrics
+        lines = stats.get("lines", 0)
+        self._sync_counter("repro_service_lines_total", "lines", lines)
+        self._sync_counter(
+            "repro_tenant_lines_total", "tenant_lines", lines
+        )
+        self._sync_counter(
+            "repro_tenant_cache_hits_total", "exact_hits",
+            stats.get("exact_hits", 0), kind="exact",
+        )
+        self._sync_counter(
+            "repro_tenant_cache_hits_total", "template_hits",
+            stats.get("template_hits", 0), kind="template",
+        )
+        self._sync_counter(
+            "repro_tenant_cache_misses_total", "misses",
+            stats.get("misses", 0),
+        )
+        self._sync_counter(
+            "repro_tenant_quarantined_total", "quarantined",
+            stats.get("quarantined", 0),
+        )
+        metrics.get("repro_tenant_events").labels(tenant=self.tenant).set(
+            float(stats.get("events", 0) or 0)
+        )
+        for key, metric in (
+            ("latency", "repro_tenant_ingest_latency_seconds"),
+            ("queue_wait", "repro_tenant_queue_wait_seconds"),
+        ):
+            state = stats.get(key)
+            if state is None:
+                continue
+            self._hist_live[key] = state
+            merged = merge_histogram_states(self._hist_base[key], state)
+            if merged is not None:
+                metrics.get(metric).labels(
+                    tenant=self.tenant
+                ).sync_state(merged)
 
     def _emit(self, kind: str, **fields) -> None:
         if self.telemetry is not None:
@@ -677,7 +810,7 @@ class ShardSupervisor:
                 offset = self._sent_through - self._acked
                 if offset >= len(self._outbox):
                     return
-                index, record = self._outbox[offset]
+                index, record, enqueued_at = self._outbox[offset]
                 careful = (
                     self._mode_careful and index < self._careful_high
                 )
@@ -685,7 +818,7 @@ class ShardSupervisor:
             if detail is not None:
                 message = ("poison", index, record, detail)
             else:
-                message = ("feed", index, record, careful)
+                message = ("feed", index, record, careful, enqueued_at)
             try:
                 inbox.put_nowait(message)
             except queue.Full:
@@ -716,7 +849,9 @@ class ShardSupervisor:
                 del self._kill_counts[index]
             for index in [i for i in self._poisoned if i < position]:
                 del self._poisoned[index]
-            remaining = list(self._outbox)
+            remaining = [
+                (index, record) for index, record, _ in self._outbox
+            ]
         self._journal.reset(remaining)
 
     def _handle_message(self, message, process) -> str | None:
@@ -761,9 +896,16 @@ class ShardSupervisor:
                 self._emit("poison_diverted", index=index)
             return None
         if kind == "checkpointed":
-            _, position, stats = message
+            _, position, stats, spans = message
             self._sync_stats(stats)
+            if self.telemetry is not None and spans:
+                self.telemetry.tracer.adopt(spans)
             self._prune(position)
+            if self._on_checkpoint is not None:
+                try:
+                    self._on_checkpoint(self.tenant, position)
+                except Exception:  # pragma: no cover - callback bug
+                    pass  # a status hook must never kill the monitor
             return None
         if kind == "gap":
             _, expected, got = message
@@ -826,6 +968,14 @@ class ShardSupervisor:
         process.join(timeout=1.0)
         self._count_restart(reason)
         with self._lock:
+            # Worker SLO histograms are per-life: fold the dead life's
+            # last report into the base so the replacement's fresh
+            # histogram stacks on top instead of erasing history.
+            for key in self._hist_base:
+                self._hist_base[key] = merge_histogram_states(
+                    self._hist_base[key], self._hist_live[key]
+                )
+                self._hist_live[key] = None
             self._deaths_in_row += 1
             killer = self._in_flight
             self._in_flight = None
@@ -978,6 +1128,9 @@ def supervisor_status(service) -> dict:
             state = "breaker" if shard.breaker_open else "alive"
         restarts = 0.0
         queue_depth = float(shard.pending)
+        lines = 0.0
+        quarantined = 0.0
+        heartbeat_age = 0.0
         if telemetry is not None:
             registry = service.telemetry.metrics
             restarts = sum(
@@ -998,10 +1151,22 @@ def supervisor_status(service) -> dict:
             )
             if registry_depth:
                 queue_depth = registry_depth
+            lines = registry.value(
+                "repro_tenant_lines_total", tenant=tenant
+            )
+            quarantined = registry.value(
+                "repro_tenant_quarantined_total", tenant=tenant
+            )
+            heartbeat_age = registry.value(
+                "repro_worker_heartbeat_age_seconds", tenant=tenant
+            )
         tenants[tenant] = {
             "state": state,
             "restarts": int(restarts),
             "queue": int(queue_depth),
+            "lines": int(lines),
+            "quarantined": int(quarantined),
+            "heartbeat_age": round(heartbeat_age, 3),
         }
     line = "supervisor: " + (
         " | ".join(
