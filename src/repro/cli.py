@@ -33,7 +33,17 @@ Subcommands:
   SIGTERM triggers a graceful drain: every tenant's outputs are
   flushed through the prefix policy (byte-identical to batch),
   checkpoints and per-tenant manifests are committed, and the process
-  exits 0.
+  exits 0.  With ``--protocol v2`` the TCP front end also negotiates
+  the acked wire protocol: sequence-tagged lines, cumulative per-
+  tenant acknowledgements sent only after durable ownership, and
+  per-client dedup windows that make redelivery safe (v1 clients
+  keep working unchanged).
+* ``send`` — the producer half of protocol v2: spool
+  ``tenant<TAB>content`` lines durably (framed JSONL), transmit them
+  sequence-tagged, and resend the unacknowledged suffix across
+  reconnects until the server owns every line exactly once.  An
+  interrupted send exits 4 with its lines still spooled; rerunning
+  with the same ``--spool`` (and no input) finishes the delivery.
 * ``report`` — render a human-readable post-mortem from the telemetry
   artifacts (``--metrics-out`` / ``--trace-out`` / ``--events-out``)
   a previous run exported.
@@ -139,6 +149,7 @@ from repro.resilience import (
     ensure_artifact,
     io_fault_schedule,
     load_checkpoint,
+    network_fault_schedule,
     reconcile_jsonl,
     restore_accumulator,
     restore_streaming_parser,
@@ -148,8 +159,12 @@ from repro.resilience import (
 )
 from repro.service import (
     AdmissionController,
+    DurableSender,
     IngestionService,
     LineServer,
+    PROTOCOL_V1,
+    PROTOCOL_V2,
+    PROTOCOLS,
     ShutdownRequested,
     graceful_signals,
     replay_lines,
@@ -815,6 +830,16 @@ def _add_serve(subparsers) -> None:
         help="drain and exit once N lines have been submitted "
         "(bounded soaks / CI; default: run until SIGINT/SIGTERM)",
     )
+    cmd.add_argument(
+        "--protocol",
+        choices=list(PROTOCOLS),
+        default=PROTOCOL_V1,
+        help="wire protocol for the TCP front end: 'v1' is the "
+        "fire-and-forget tenant<TAB>content stream, 'v2' adds "
+        "HELLO negotiation, sequence-tagged lines, cumulative "
+        "acks, and per-tenant dedup windows (exactly-once with "
+        "a `send`-side spool; v1 clients still work unchanged)",
+    )
     cmd.add_argument("--flush-size", type=int, default=200)
     cmd.add_argument("--cache-capacity", type=int, default=512)
     cmd.add_argument(
@@ -1018,6 +1043,56 @@ def _add_serve(subparsers) -> None:
     )
 
 
+def _add_send(subparsers) -> None:
+    cmd = subparsers.add_parser(
+        "send",
+        help="deliver tenant<TAB>content lines to a --protocol v2 "
+        "serve endpoint exactly once, via a durable local spool",
+    )
+    cmd.add_argument("host")
+    cmd.add_argument("port", type=int)
+    cmd.add_argument(
+        "input",
+        nargs="?",
+        default=None,
+        help="file of tenant<TAB>content lines; omit to only flush "
+        "lines a previous interrupted send left in the spool",
+    )
+    cmd.add_argument(
+        "--client-id",
+        default="sender",
+        help="stable client identity keying the server's dedup "
+        "windows; reuse the same id with the same spool",
+    )
+    cmd.add_argument(
+        "--spool",
+        required=True,
+        metavar="PATH",
+        help="framed-JSONL spool file: every line is spooled before "
+        "it is wired and removed only once acknowledged, so an "
+        "interrupted send loses nothing",
+    )
+    cmd.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="flush deadline; on expiry the command exits 4 with the "
+        "unacknowledged lines still safe in the spool",
+    )
+    cmd.add_argument(
+        "--net-faults",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="enact a seeded network-fault schedule (partition, "
+        "half-close, duplicate delivery, reorder, ack drop) while "
+        "sending — chaos testing only; the server-side outcome "
+        "must still be exactly-once",
+    )
+    _add_telemetry_flags(cmd)
+
+
 def _add_watch(subparsers) -> None:
     cmd = subparsers.add_parser(
         "watch",
@@ -1121,6 +1196,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     _add_supervise(subparsers)
     _add_soak(subparsers)
     _add_serve(subparsers)
+    _add_send(subparsers)
     _add_watch(subparsers)
     _add_report(subparsers)
     _add_verify_run(subparsers)
@@ -1866,6 +1942,13 @@ def _cmd_serve(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.replay is not None and args.protocol == PROTOCOL_V2:
+        print(
+            "error: --protocol v2 only applies to the TCP front end "
+            "(--replay has no connection to negotiate)",
+            file=sys.stderr,
+        )
+        return 2
     params = _parser_params(args.parser, args)
     factory = partial(make_parser, args.parser, **params)
     io = _make_io(args)
@@ -1925,6 +2008,7 @@ def _cmd_serve(args) -> int:
             telemetry=telemetry,
             io=io,
             isolation=args.isolation,
+            protocol=args.protocol,
             worker_kwargs=worker_kwargs,
             on_checkpoint=_journal_checkpoint_status,
             **shard_kwargs,
@@ -2070,9 +2154,62 @@ def _cmd_serve(args) -> int:
         _export_telemetry(args, telemetry, artifacts=artifacts, io=io)
 
 
-def _render_watch_frame(payload: dict, url: str) -> str:
+def _cmd_send(args) -> int:
+    faults = (
+        network_fault_schedule(args.net_faults)
+        if args.net_faults is not None
+        else ()
+    )
+    telemetry = _make_telemetry(args, trace_id="send")
+    try:
+        with DurableSender(
+            args.host,
+            args.port,
+            args.client_id,
+            args.spool,
+            faults=faults,
+            telemetry=telemetry,
+        ) as sender:
+            recovered = sender.spool_depth
+            if recovered:
+                print(
+                    f"recovered {recovered} unacknowledged line(s) "
+                    f"from {args.spool}"
+                )
+            if args.input is not None:
+                with open(
+                    args.input, encoding="utf-8", errors="replace"
+                ) as handle:
+                    for number, raw in enumerate(handle, start=1):
+                        line = raw.rstrip("\n")
+                        if not line:
+                            continue
+                        tenant, sep, content = line.partition("\t")
+                        if not sep or not tenant:
+                            raise DatasetError(
+                                f"{args.input}:{number}: expected "
+                                "tenant<TAB>content"
+                            )
+                        sender.send(tenant, content)
+            summary = sender.flush(timeout=args.timeout)
+            print(
+                f"delivered {summary['delivered']} line(s) as "
+                f"{args.client_id} ({summary['resends']} resend(s), "
+                f"{summary['reconnects']} reconnect(s)); spool clear"
+            )
+        return 0
+    finally:
+        # Exported even when the flush deadline expires: the metrics
+        # then show the surviving spool depth, and the spool itself
+        # still holds every undelivered line for the next attempt.
+        _export_telemetry(args, telemetry)
+
+
+def _render_watch_frame(payload: dict, url: str, banner: str | None = None) -> str:
     """One ``watch`` frame: per-tenant table + firing alerts."""
     lines = [f"watch {url}  isolation={payload.get('isolation', '?')}"]
+    if banner is not None:
+        lines.append(banner)
     tenants = payload.get("tenants", {})
     if tenants:
         lines.append(
@@ -2113,21 +2250,39 @@ def _cmd_watch(args) -> int:
     base = args.url.rstrip("/")
     iterations = 1 if args.once else args.iterations
     frames = 0
+    failures = 0
+    last_payload: dict = {}
     clear = sys.stdout.isatty()
     try:
         while True:
+            # An unreachable endpoint is a frame, not a crash: the
+            # serving process may be mid-restart.  The view keeps the
+            # last good table under a DISCONNECTED banner and re-polls
+            # with capped backoff until the endpoint returns.
             try:
                 with urllib.request.urlopen(
                     base + "/status", timeout=5.0
                 ) as response:
                     payload = json.loads(response.read().decode("utf-8"))
             except (urllib.error.URLError, OSError, ValueError) as error:
-                print(
-                    f"error: cannot reach {base}/status: {error}",
-                    file=sys.stderr,
+                failures += 1
+                delay = min(
+                    args.interval * 2 ** (failures - 1),
+                    max(args.interval * 8, 1.0),
                 )
-                return EXIT_RUNTIME
-            frame = _render_watch_frame(payload, base)
+                frame = _render_watch_frame(
+                    last_payload,
+                    base,
+                    banner=(
+                        f"DISCONNECTED ({failures} failed poll(s): "
+                        f"{error}) — retrying in {delay:.1f}s"
+                    ),
+                )
+            else:
+                failures = 0
+                delay = args.interval
+                last_payload = payload
+                frame = _render_watch_frame(payload, base)
             if clear:
                 # Home + clear-to-end keeps the frame flicker-free in a
                 # terminal; piped output just gets stacked frames.
@@ -2136,8 +2291,10 @@ def _cmd_watch(args) -> int:
                 print(frame, flush=True)
             frames += 1
             if iterations is not None and frames >= iterations:
-                return 0
-            time.sleep(args.interval)
+                # A bounded run that *ends* disconnected still fails —
+                # `watch --once` against a dead endpoint must not lie.
+                return EXIT_RUNTIME if failures else 0
+            time.sleep(delay)
     except KeyboardInterrupt:
         return 0
 
@@ -2190,6 +2347,7 @@ _COMMANDS = {
     "supervise": _cmd_supervise,
     "soak": _cmd_soak,
     "serve": _cmd_serve,
+    "send": _cmd_send,
     "watch": _cmd_watch,
     "report": _cmd_report,
     "verify-run": _cmd_verify_run,

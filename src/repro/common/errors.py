@@ -119,3 +119,15 @@ class FallbackExhaustedError(ReproError):
     def __init__(self, message: str, report=None) -> None:
         super().__init__(message)
         self.report = report
+
+
+class DeliveryError(ReproError):
+    """Exactly-once delivery could not be completed.
+
+    Raised by :class:`~repro.service.client.DurableSender` when the
+    flush deadline expires with lines still unacknowledged — the lines
+    are safe in the client's durable spool and a later flush (or a
+    fresh sender over the same spool) will deliver them, but the
+    caller's synchronous delivery guarantee did not land.  Maps to the
+    runtime-failure exit code (4).
+    """

@@ -1,0 +1,75 @@
+"""Small networking helpers shared by the service and telemetry planes.
+
+The one thing both TCP front ends (:class:`~repro.service.server.LineServer`
+and :class:`~repro.observability.httpd.TelemetryServer`) need beyond the
+standard library is tolerance for ``EADDRINUSE`` races: a rapid
+``serve`` restart — exactly the respawn path the exactly-once delivery
+contract exercises — can land while the previous life's listening
+socket is still lingering in ``TIME_WAIT`` or being torn down.  A
+bounded retry with exponential backoff absorbs that window; a port
+that is *genuinely* owned by someone else still fails after the
+retries are spent, so misconfiguration is not masked.
+"""
+
+from __future__ import annotations
+
+import errno
+import socket
+import time
+
+#: Default bind-retry shape: 5 retries at 0.05 * 2**n seconds spans
+#: roughly 1.5 s — comfortably past a same-host socket teardown, far
+#: below any human-visible startup delay.
+DEFAULT_BIND_RETRIES = 5
+DEFAULT_BIND_BACKOFF = 0.05
+
+
+def retry_eaddrinuse(
+    attempt,
+    *,
+    retries: int = DEFAULT_BIND_RETRIES,
+    backoff: float = DEFAULT_BIND_BACKOFF,
+    sleep=time.sleep,
+):
+    """Call *attempt* until it stops raising ``EADDRINUSE``.
+
+    *attempt* is a zero-argument callable whose result is returned on
+    success.  Any other ``OSError`` — permission denied, bad address —
+    propagates immediately; only the address-in-use race is retried,
+    *retries* times with exponential backoff, after which the final
+    error propagates.
+    """
+    tries = 0
+    while True:
+        try:
+            return attempt()
+        except OSError as error:
+            if error.errno != errno.EADDRINUSE or tries >= retries:
+                raise
+            tries += 1
+            sleep(backoff * (2 ** (tries - 1)))
+
+
+def bind_with_retry(
+    host: str,
+    port: int,
+    *,
+    retries: int = DEFAULT_BIND_RETRIES,
+    backoff: float = DEFAULT_BIND_BACKOFF,
+    sleep=time.sleep,
+) -> socket.socket:
+    """A bound (not yet listening) TCP socket, retrying ``EADDRINUSE``."""
+
+    def attempt() -> socket.socket:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            sock.bind((host, port))
+        except OSError:
+            sock.close()
+            raise
+        return sock
+
+    return retry_eaddrinuse(
+        attempt, retries=retries, backoff=backoff, sleep=sleep
+    )

@@ -36,10 +36,12 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from collections.abc import Callable
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.common.errors import ValidationError
+from repro.common.net import retry_eaddrinuse
 from repro.observability.exporters import render_prometheus
 from repro.observability.metrics import MetricsRegistry
 
@@ -133,10 +135,16 @@ class TelemetryServer:
         port: int = 0,
         status: Callable[[], dict] | None = None,
         health: Callable[[], dict] | None = None,
+        bind_retries: int = 5,
+        bind_backoff: float = 0.05,
+        sleep=None,
     ) -> None:
         self.registry = registry
         self.host = host
         self.port = port
+        self.bind_retries = bind_retries
+        self.bind_backoff = bind_backoff
+        self._sleep = sleep or time.sleep
         self._status = status or (lambda: {})
         self._health = health or (lambda: {"ok": True})
         self._httpd: ThreadingHTTPServer | None = None
@@ -145,8 +153,15 @@ class TelemetryServer:
     def start(self) -> None:
         if self._httpd is not None:
             raise ValidationError("telemetry server already started")
-        httpd = ThreadingHTTPServer(
-            (self.host, self.port), _TelemetryHandler
+        # A rapid serve restart can race the previous life's lingering
+        # socket; absorb the EADDRINUSE window instead of dying on it.
+        httpd = retry_eaddrinuse(
+            lambda: ThreadingHTTPServer(
+                (self.host, self.port), _TelemetryHandler
+            ),
+            retries=self.bind_retries,
+            backoff=self.bind_backoff,
+            sleep=self._sleep,
         )
         httpd.daemon_threads = True
         # The handler reaches these through its ``server`` attribute.

@@ -183,6 +183,36 @@ def _render_metrics_section(path: str) -> list[str]:
         out.append("## Incidents")
         out.append("  " + ", ".join(extras))
     out.extend(_render_shard_section(samples))
+    out.extend(_render_delivery_section(samples))
+    return out
+
+
+def _render_delivery_section(samples: dict[str, float]) -> list[str]:
+    """Exactly-once delivery summary (protocol-v2 runs only)."""
+    acked = _sample(samples, "repro_delivery_acked_total")
+    resends = _sample(samples, "repro_delivery_resend_total")
+    spool = _sample(samples, "repro_delivery_spool_depth")
+    suppressed: dict[str, int] = {}
+    prefix = "repro_delivery_duplicates_suppressed_total{"
+    for sample, value in samples.items():
+        if sample.startswith(prefix) and value:
+            tenant = (
+                sample[len(prefix):-1].replace('"', "").split("=", 1)[1]
+            )
+            suppressed[tenant] = int(value)
+    if not acked and not resends and not suppressed:
+        return []
+    out = ["## Delivery"]
+    out.append(
+        f"  {int(acked)} ack(s) sent, {int(resends)} resend(s), "
+        f"spool depth {int(spool)}"
+    )
+    if suppressed:
+        detail = ", ".join(
+            f"{tenant}: {count}"
+            for tenant, count in sorted(suppressed.items())
+        )
+        out.append(f"  duplicates suppressed — {detail}")
     return out
 
 

@@ -289,3 +289,21 @@ def _register_schema(metrics: MetricsRegistry) -> None:
         "Supervisor lifecycle state (one-hot per tenant)",
         labelnames=("tenant", "state"),
     )
+    # Exactly-once delivery (wire protocol v2) ---------------------------
+    metrics.counter(
+        "repro_delivery_acked_total",
+        "Cumulative acknowledgements sent to v2 clients",
+    )
+    metrics.counter(
+        "repro_delivery_duplicates_suppressed_total",
+        "Sequence-tagged lines dropped by the per-tenant dedup window",
+        labelnames=("tenant",),
+    )
+    metrics.gauge(
+        "repro_delivery_spool_depth",
+        "Client-side spooled lines not yet acknowledged",
+    )
+    metrics.counter(
+        "repro_delivery_resend_total",
+        "Spooled lines retransmitted by a flush or reconnect",
+    )

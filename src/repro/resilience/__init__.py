@@ -61,12 +61,15 @@ from repro.resilience.faults import (
     FlakyFactory,
     InjectedFault,
     IoFault,
+    NET_KINDS,
+    NetworkFault,
     ProcessFault,
     connection_fault_schedule,
     corrupt_raw_file,
     corrupt_records,
     crash_storm_schedule,
     io_fault_schedule,
+    network_fault_schedule,
     process_fault_schedule,
 )
 from repro.resilience.quarantine import (
@@ -115,12 +118,15 @@ __all__ = [
     "FlakyFactory",
     "InjectedFault",
     "IoFault",
+    "NET_KINDS",
+    "NetworkFault",
     "ProcessFault",
     "connection_fault_schedule",
     "corrupt_raw_file",
     "corrupt_records",
     "crash_storm_schedule",
     "io_fault_schedule",
+    "network_fault_schedule",
     "process_fault_schedule",
     "ERROR_POLICIES",
     "ErrorPolicy",

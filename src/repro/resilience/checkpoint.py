@@ -71,6 +71,12 @@ class StreamCheckpoint:
             of the run's append-mode JSONL artifacts at save time,
             used by resume to truncate post-checkpoint records the
             replayed stream re-emits.
+        delivery: exactly-once delivery state (protocol v2), or
+            ``None``: ``{"clients": {client_id: high}}`` — the
+            highest-contiguous acknowledged sequence per client, so a
+            resumed shard suppresses resends of lines it already
+            owns.  Optional and backward-compatible (older
+            checkpoints simply lack it), so no version bump.
     """
 
     version: int
@@ -80,9 +86,10 @@ class StreamCheckpoint:
     engine: dict
     accumulator: dict | None = None
     artifacts: dict = field(default_factory=dict)
+    delivery: dict | None = None
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "version": self.version,
             "parser": self.parser,
             "source": self.source,
@@ -91,6 +98,9 @@ class StreamCheckpoint:
             "accumulator": self.accumulator,
             "artifacts": self.artifacts,
         }
+        if self.delivery is not None:
+            data["delivery"] = self.delivery
+        return data
 
 
 def _note_checkpoint_op(
@@ -115,6 +125,7 @@ def save_checkpoint(
     source: str | None = None,
     accumulator: "EventMatrixAccumulator | None" = None,
     artifacts: dict | None = None,
+    delivery: dict | None = None,
     io: "RealIO | None" = None,
     telemetry=None,
 ) -> StreamCheckpoint:
@@ -137,6 +148,7 @@ def save_checkpoint(
         engine=engine.checkpoint_state(),
         accumulator=accumulator.state() if accumulator is not None else None,
         artifacts=dict(artifacts or {}),
+        delivery=dict(delivery) if delivery else None,
     )
     try:
         atomic_write_text(
@@ -193,6 +205,7 @@ def load_checkpoint(path: str, telemetry=None) -> StreamCheckpoint:
             engine=data["engine"],
             accumulator=data.get("accumulator"),
             artifacts=data.get("artifacts") or {},
+            delivery=data.get("delivery"),
         )
     except KeyError as error:
         raise CheckpointError(

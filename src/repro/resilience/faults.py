@@ -843,6 +843,136 @@ def process_fault_schedule(
     ]
 
 
+# ----------------------------------------------------------------------
+# Network faults (exactly-once delivery layer, protocol v2)
+# ----------------------------------------------------------------------
+
+#: Network fault kinds.
+NET_PARTITION = "partition"
+NET_HALF_CLOSE = "half-close"
+NET_DUPLICATE = "duplicate"
+NET_REORDER = "reorder"
+NET_ACK_DROP = "ack-drop"
+NET_KINDS = (
+    NET_PARTITION,
+    NET_HALF_CLOSE,
+    NET_DUPLICATE,
+    NET_REORDER,
+    NET_ACK_DROP,
+)
+
+
+@dataclass(frozen=True)
+class NetworkFault:
+    """One scripted network-level misbehavior on a v2 delivery stream.
+
+    Where :class:`ConnectionFault` models a *misbehaving producer*
+    against the fire-and-forget v1 front end, a ``NetworkFault``
+    models the *network itself* misbehaving under a client that is
+    trying to be correct — the
+    :class:`~repro.service.client.DurableSender` enacts the script and
+    must still converge to exactly-once server-side effects.
+
+    Args:
+        kind: ``partition`` (the connection drops mid-line; the
+            sender reconnects and resends its unacked suffix — the
+            server sees a dangling partial plus duplicates),
+            ``half-close`` (the write side closes mid-line and the
+            tail of that transmission is lost; the spooled line is
+            resent whole on reconnect), ``duplicate`` (the encoded
+            line is delivered ``repeats`` times back-to-back — a
+            duplicated packet), ``reorder`` (the line is held back
+            and delivered *after* its successor, within the server's
+            holdback window), ``ack-drop`` (the next ``drop_acks``
+            acknowledgement lines the client reads are discarded, as
+            if lost in flight — forcing a redundant resend the server
+            must suppress).
+        at_line: 0-based index within the sender's transmission
+            sequence at which the fault fires.
+        cut_fraction: for ``partition``/``half-close``: where within
+            the encoded line the cut lands.
+        repeats: for ``duplicate``: total copies delivered.
+        drop_acks: for ``ack-drop``: acknowledgement lines discarded.
+    """
+
+    kind: str
+    at_line: int
+    cut_fraction: float = 0.5
+    repeats: int = 2
+    drop_acks: int = 2
+
+    def __post_init__(self) -> None:
+        if self.kind not in NET_KINDS:
+            raise ValidationError(
+                f"network fault kind must be one of {NET_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.at_line < 0:
+            raise ValidationError(
+                f"at_line must be >= 0, got {self.at_line}"
+            )
+        if not 0.0 <= self.cut_fraction <= 1.0:
+            raise ValidationError(
+                f"cut_fraction must be in [0, 1], got {self.cut_fraction}"
+            )
+        if self.repeats < 2:
+            raise ValidationError(
+                f"repeats must be >= 2 (one copy is not a duplicate), "
+                f"got {self.repeats}"
+            )
+        if self.drop_acks < 1:
+            raise ValidationError(
+                f"drop_acks must be >= 1, got {self.drop_acks}"
+            )
+
+
+def network_fault_schedule(
+    seed: int,
+    *,
+    n: int = 5,
+    span: int = 200,
+    kinds: Sequence[str] = NET_KINDS,
+) -> list[NetworkFault]:
+    """A reproducible network fault storm drawn from *seed*.
+
+    Fault lines land in disjoint windows of ``span // n`` lines (the
+    same discipline as :func:`connection_fault_schedule`), so each
+    fault resolves before the next fires and the same seed replays the
+    same storm bit-for-bit.  Kinds are assigned by shuffled repeated
+    cycle rather than independent draws, so whenever ``n >=
+    len(kinds)`` every kind appears at least once — a certification
+    run that claims to cover partitions, duplicates, reorders, and ack
+    drops actually does.
+    """
+    if n < 1:
+        raise ValidationError(f"n must be >= 1, got {n}")
+    if span < n:
+        raise ValidationError(f"span must be >= n ({n}), got {span}")
+    for kind in kinds:
+        if kind not in NET_KINDS:
+            raise ValidationError(
+                f"unknown network fault kind {kind!r}; "
+                f"choose from {NET_KINDS}"
+            )
+    rng = Random(seed)
+    window = span // n
+    assigned: list[str] = []
+    while len(assigned) < n:
+        cycle = list(kinds)
+        rng.shuffle(cycle)
+        assigned.extend(cycle)
+    return [
+        NetworkFault(
+            kind=assigned[index],
+            at_line=index * window + rng.randrange(window),
+            cut_fraction=rng.uniform(0.2, 0.8),
+            repeats=rng.randint(2, 3),
+            drop_acks=rng.randint(1, 3),
+        )
+        for index in range(n)
+    ]
+
+
 def crash_storm_schedule(
     seed: int,
     tenants: Sequence[str],

@@ -17,7 +17,12 @@ manifests — into that shape:
   (:class:`LineServer`), and the in-process replay adapter;
 * :mod:`~repro.service.signals` — SIGINT/SIGTERM →
   :class:`ShutdownRequested`, so an interrupted run finalizes through
-  the same path as a clean one.
+  the same path as a clean one;
+* :mod:`~repro.service.protocol` — wire protocol v2: sequence-tagged
+  lines, cumulative acks, per-client :class:`DeliveryWindow` dedup,
+  and the ownership :class:`BatchJournal`;
+* :mod:`~repro.service.client` — :class:`DurableSender`, the
+  spool-backed exactly-once producer.
 
 The drain protocol is the contract everything hangs off: stop
 accepting, flush every shard through the prefix policy (byte-identical
@@ -25,6 +30,13 @@ to batch), finalize per-tenant checkpoints and manifests, exit 0.
 """
 
 from repro.service.admission import AdmissionController, TokenBucket
+from repro.service.client import DurableSender
+from repro.service.protocol import (
+    DeliveryWindow,
+    PROTOCOL_V1,
+    PROTOCOL_V2,
+    PROTOCOLS,
+)
 from repro.service.server import (
     ISOLATION_MODES,
     ISOLATION_PROCESS,
@@ -53,6 +65,11 @@ from repro.service.workers import (
 __all__ = [
     "AdmissionController",
     "TokenBucket",
+    "DurableSender",
+    "DeliveryWindow",
+    "PROTOCOL_V1",
+    "PROTOCOL_V2",
+    "PROTOCOLS",
     "ISOLATION_MODES",
     "ISOLATION_PROCESS",
     "ISOLATION_THREAD",

@@ -1,0 +1,289 @@
+"""Delivery layer for exactly-once ingestion: wire protocol v2.
+
+The v1 line protocol (``tenant<TAB>content\\n``) is fire-and-forget:
+a server crash after ``recv`` silently drops lines, and a client that
+retries re-ingests duplicates.  Protocol v2 closes that hop with three
+cooperating pieces, all in this module:
+
+* **Wire format.**  A v2 connection opens with a capability
+  handshake — the client sends ``HELLO v2 <client_id>`` and the
+  server answers ``OK v2`` — after which every data line carries a
+  per-tenant monotonic sequence number::
+
+      <seq> <tenant>\\t<content>\\n
+
+  and the server answers with *cumulative* acknowledgements::
+
+      ACK <tenant> <high>\\n
+
+  where ``high`` is the highest contiguous sequence the server
+  durably owns for that (client, tenant) stream.  A first line that
+  is not a ``HELLO`` falls back to protocol v1 verbatim, so v1
+  clients keep working against a v2 server unchanged (they simply get
+  no acks, and no delivery guarantee).
+
+* **:class:`DeliveryWindow`** — the per-(client, tenant) dedup state:
+  a highest-contiguous-sequence watermark plus a bounded sparse
+  holdback of out-of-order arrivals.  Duplicates (retries, duplicated
+  packets, resends after a lost ack) are suppressed; gaps are held
+  back and released *in sequence order* once the missing line
+  arrives, so reordering on the wire never reorders the bytes a
+  tenant's artifacts are built from.  Only the watermark persists in
+  checkpoints — held-back lines were never acked, so the client
+  resends them.
+
+* **:class:`BatchJournal`** — the framed-JSONL ownership journal
+  (previously private to :mod:`repro.service.workers`).  A line is
+  *owned* — and therefore ackable — once appended here: the journal
+  survives a ``SIGKILL`` and is replayed into the engine on resume,
+  which is exactly the at-least-once contract PR 8 certified for the
+  worker hop, now extended back to the network hop.
+
+Acks are cumulative, so the ack channel is idempotent and lossy-safe:
+a dropped ack is repaired by the next one, and a resend triggered by
+a lost ack collapses in the window.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from repro.common.errors import ValidationError
+from repro.common.types import LogRecord
+from repro.resilience.durability import (
+    RealIO,
+    atomic_write_text,
+    frame_record,
+    recover_jsonl,
+)
+
+#: Supported wire protocols for the line front end.
+PROTOCOL_V1 = "v1"
+PROTOCOL_V2 = "v2"
+PROTOCOLS = (PROTOCOL_V1, PROTOCOL_V2)
+
+#: Client ids are path-safe, like tenant keys (they key checkpoint
+#: state and journal metadata).
+CLIENT_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+#: Delivery outcome tags (beside the shard/service outcome tags).
+DUPLICATE = "duplicate"
+PENDING = "pending"
+
+#: Handshake reply lines.
+OK_LINE = b"OK v2\n"
+ERR_LINE = b"ERR unsupported-protocol\n"
+
+#: Default bound on a window's out-of-order holdback buffer.
+DEFAULT_HOLDBACK = 512
+
+
+def hello_line(client_id: str) -> bytes:
+    """The v2 capability-negotiation opener a client sends."""
+    if not CLIENT_ID_RE.match(client_id):
+        raise ValidationError(
+            f"invalid client id {client_id[:64]!r} "
+            "(expected [A-Za-z0-9._-]{1,64})"
+        )
+    return f"HELLO v2 {client_id}\n".encode("utf-8")
+
+
+def parse_hello(text: str) -> str | None:
+    """The client id of a well-formed ``HELLO v2`` line, else ``None``."""
+    parts = text.rstrip("\r").split(" ")
+    if len(parts) != 3 or parts[0] != "HELLO" or parts[1] != PROTOCOL_V2:
+        return None
+    if not CLIENT_ID_RE.match(parts[2]):
+        return None
+    return parts[2]
+
+
+def data_line(seq: int, tenant: str, content: str) -> bytes:
+    """One encoded v2 data line (sequence-tagged v1 payload)."""
+    return f"{seq} {tenant}\t{content}\n".encode("utf-8")
+
+
+def parse_data(text: str) -> tuple[int, str] | None:
+    """Split a v2 data line into ``(seq, v1_payload)``; ``None`` if torn.
+
+    The payload half is *exactly* a v1 line (``tenant<TAB>content``),
+    so tenant-key validation stays in one place — the service's v1
+    router — and a v2 reject quarantines with the same provenance.
+    """
+    seq_text, sep, payload = text.partition(" ")
+    if not sep or not seq_text.isdigit():
+        return None
+    seq = int(seq_text)
+    if seq < 1:
+        return None
+    return seq, payload
+
+
+def ack_line(tenant: str, high: int) -> bytes:
+    """One encoded cumulative acknowledgement."""
+    return f"ACK {tenant} {high}\n".encode("utf-8")
+
+
+def parse_ack(text: str) -> tuple[str, int] | None:
+    """Split an ``ACK`` line into ``(tenant, high)``; ``None`` if torn."""
+    parts = text.rstrip("\r").split(" ")
+    if len(parts) != 3 or parts[0] != "ACK" or not parts[2].isdigit():
+        return None
+    return parts[1], int(parts[2])
+
+
+class DeliveryWindow:
+    """Per-(client, tenant) exactly-once dedup window.
+
+    Tracks ``high`` — the highest sequence such that every sequence
+    ``1..high`` has been released downstream — plus a bounded sparse
+    holdback of out-of-order arrivals.  :meth:`observe` classifies one
+    arrival:
+
+    * ``duplicate`` — at or below the watermark, or already held
+      back; the payload is dropped (this is the suppression that
+      makes retries idempotent);
+    * ``release`` — the next contiguous sequence; it and any
+      now-contiguous held-back successors are returned *in sequence
+      order* for ingestion, and the watermark advances past them;
+    * ``pending`` — a gap; the payload is held back (or, past the
+      holdback bound, dropped unacked — the client resends it).
+
+    Only ``high`` is checkpointed: held-back payloads were never
+    acknowledged, so crash recovery costs nothing but a resend.
+    """
+
+    def __init__(self, high: int = 0, holdback: int = DEFAULT_HOLDBACK) -> None:
+        if high < 0:
+            raise ValidationError(f"high must be >= 0, got {high}")
+        if holdback < 1:
+            raise ValidationError(f"holdback must be >= 1, got {holdback}")
+        self.high = high
+        self.holdback = holdback
+        self._pending: dict[int, object] = {}
+
+    @property
+    def pending(self) -> int:
+        """Held-back out-of-order arrivals (awaiting the gap line)."""
+        return len(self._pending)
+
+    def observe(self, seq: int, payload) -> tuple[str, list[tuple[int, object]]]:
+        """Classify one arrival; returns ``(status, released)``.
+
+        *released* is non-empty only for ``release``, and lists
+        ``(seq, payload)`` pairs in strictly increasing sequence
+        order — the exact order the engine must ingest them.
+        """
+        if seq < 1:
+            raise ValidationError(f"sequence must be >= 1, got {seq}")
+        if seq <= self.high or seq in self._pending:
+            return DUPLICATE, []
+        if seq != self.high + 1:
+            if len(self._pending) < self.holdback:
+                self._pending[seq] = payload
+            return PENDING, []
+        released = [(seq, payload)]
+        self.high = seq
+        while self.high + 1 in self._pending:
+            self.high += 1
+            released.append((self.high, self._pending.pop(self.high)))
+        return "release", released
+
+    def advance(self, seq: int) -> None:
+        """Declare sequences through *seq* released (journal replay)."""
+        if seq > self.high:
+            self.high = seq
+            for held in [s for s in self._pending if s <= seq]:
+                del self._pending[held]
+
+
+class BatchJournal:
+    """Framed-JSONL journal of records not yet covered by a checkpoint.
+
+    Records append *before* dispatch and are pruned (by atomic
+    rewrite) when a checkpoint covers them — so the owner always
+    holds, durably, exactly the records a restart must replay,
+    including the one in flight at the crash.
+
+    Entries are ``(index, record, delivery)`` triples where *index*
+    is the tenant-global stream position and *delivery* is ``None``
+    (a v1 line) or ``(client_id, seq)`` — the metadata that lets a
+    resume rebuild its :class:`DeliveryWindow` watermarks past the
+    checkpoint.
+
+    With ``recover=True`` the surviving entries of a previous life
+    are parsed (torn tail truncated) and exposed as
+    :attr:`recovered` instead of being discarded — the exactly-once
+    resume path.  The default discards them, preserving the original
+    at-least-once contract where the *source* replays the stream.
+    """
+
+    def __init__(
+        self, path: str, io: RealIO | None = None, *, recover: bool = False
+    ) -> None:
+        self.path = path
+        self._io = io or RealIO()
+        recovery = recover_jsonl(path, io=self._io)
+        self.recovered: list[tuple[int, LogRecord, tuple | None]] = []
+        if recover:
+            self.recovered = sorted(
+                (self._thaw(payload) for payload in recovery.records),
+                key=lambda entry: entry[0],
+            )
+        else:
+            # A journal left by a previous *service* life is stale
+            # under the v1 contract: the source replays those records.
+            self.reset(())
+
+    @staticmethod
+    def _frame(index: int, record: LogRecord, delivery=None) -> bytes:
+        payload = {
+            "index": index,
+            "content": record.content,
+            "timestamp": record.timestamp,
+            "session_id": record.session_id,
+            "truth_event": record.truth_event,
+        }
+        if delivery is not None:
+            payload["client"] = delivery[0]
+            payload["seq"] = delivery[1]
+        return frame_record(payload)
+
+    @staticmethod
+    def _thaw(payload: dict) -> tuple[int, LogRecord, tuple | None]:
+        record = LogRecord(
+            content=payload.get("content", ""),
+            timestamp=payload.get("timestamp"),
+            session_id=payload.get("session_id"),
+            truth_event=payload.get("truth_event"),
+        )
+        delivery = None
+        if payload.get("client") is not None:
+            delivery = (payload["client"], int(payload.get("seq", 0)))
+        return int(payload.get("index", 0)), record, delivery
+
+    def append(self, index: int, record: LogRecord, delivery=None) -> None:
+        handle = self._io.open(self.path, "ab")
+        try:
+            self._io.write(handle, self._frame(index, record, delivery))
+            self._io.flush(handle)
+        finally:
+            handle.close()
+
+    def reset(self, entries) -> None:
+        """Atomically rewrite the journal to exactly *entries*.
+
+        Entries are ``(index, record)`` pairs or
+        ``(index, record, delivery)`` triples.
+        """
+        text = b"".join(
+            self._frame(*entry) for entry in entries
+        ).decode("utf-8")
+        atomic_write_text(self.path, text, io=self._io)
+
+    def remove(self) -> None:
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass

@@ -30,13 +30,24 @@ import os
 import re
 import socket
 import threading
+import time
 from collections.abc import Iterable
 
 from repro.common.errors import ValidationError
+from repro.common.net import bind_with_retry
 from repro.common.types import LogRecord
 from repro.observability.tracing import SPAN_SERVICE_DRAIN
 from repro.resilience.quarantine import QuarantineRecord, QuarantineSink
 from repro.service.admission import AdmissionController
+from repro.service.protocol import (
+    OK_LINE,
+    PROTOCOL_V1,
+    PROTOCOL_V2,
+    PROTOCOLS,
+    ack_line,
+    parse_data,
+    parse_hello,
+)
 from repro.service.shard import TenantShard
 from repro.service.workers import ShardSupervisor
 
@@ -60,6 +71,10 @@ SHED = "shed"
 
 #: Basename of the service-level quarantine in the data root.
 SERVICE_QUARANTINE_NAME = "service.quarantine.jsonl"
+
+
+class _ConnectionDone(Exception):
+    """Internal: unwind one connection's read loop (peer went away)."""
 
 
 class IngestionService:
@@ -98,6 +113,7 @@ class IngestionService:
         telemetry=None,
         io=None,
         isolation: str = ISOLATION_THREAD,
+        protocol: str = PROTOCOL_V1,
         worker_kwargs: dict | None = None,
         on_checkpoint=None,
         **shard_kwargs,
@@ -106,6 +122,11 @@ class IngestionService:
             raise ValidationError(
                 f"unknown isolation mode {isolation!r} "
                 f"(expected one of {', '.join(ISOLATION_MODES)})"
+            )
+        if protocol not in PROTOCOLS:
+            raise ValidationError(
+                f"unknown wire protocol {protocol!r} "
+                f"(expected one of {', '.join(PROTOCOLS)})"
             )
         if worker_kwargs and isolation != ISOLATION_PROCESS:
             raise ValidationError(
@@ -128,9 +149,19 @@ class IngestionService:
         self.telemetry = telemetry
         self.io = io
         self.isolation = isolation
+        self.protocol = protocol
         self.on_checkpoint = on_checkpoint
         self.worker_kwargs = dict(worker_kwargs or {})
         self.shard_kwargs = shard_kwargs
+        if protocol == PROTOCOL_V2:
+            # Exactly-once state lives wherever the dedup windows do:
+            # in the shard itself under thread isolation, in the
+            # parent-side supervisor under process isolation (the
+            # worker's TenantShard only mirrors watermarks).
+            if isolation == ISOLATION_PROCESS:
+                self.worker_kwargs["exactly_once"] = True
+            else:
+                self.shard_kwargs["exactly_once"] = True
         self._shards: dict[str, TenantShard] = {}
         self._lock = threading.Lock()
         self._submitted = 0
@@ -282,6 +313,60 @@ class IngestionService:
         outcome = self.shard(tenant).submit(LogRecord(content=content))
         return outcome
 
+    def submit_line_v2(
+        self, line: str, client: str, origin: str = "<stream>"
+    ) -> tuple[str, str | None, int | None]:
+        """Route one sequence-tagged line (protocol v2).
+
+        Returns ``(outcome, tenant, high)``.  *high* is the client's
+        cumulative acknowledgement watermark for *tenant* — every
+        sequence it covers is durably owned — or ``None`` when no ack
+        may be sent: the line was unroutable (``protocol``) or
+        admission shed it before anything took ownership (the client
+        must resend).
+        """
+        if self.protocol != PROTOCOL_V2:
+            raise ValidationError(
+                "sequence-tagged lines require a protocol-v2 service"
+            )
+        line = line.rstrip("\r")
+        parsed = parse_data(line)
+        if parsed is None:
+            self._protocol_reject(
+                line,
+                origin,
+                "no sequence number (expected seq<SP>tenant<TAB>content)",
+            )
+            self._count_rejection("<none>", PROTOCOL)
+            with self._lock:
+                self._submitted += 1
+            return PROTOCOL, None, None
+        seq, payload = parsed
+        tenant, sep, content = payload.partition("\t")
+        if not sep or not TENANT_KEY_RE.match(tenant):
+            self._protocol_reject(
+                line,
+                origin,
+                "no tenant key (expected seq tenant<TAB>content)"
+                if not sep
+                else f"invalid tenant key {tenant[:64]!r}",
+            )
+            self._count_rejection(tenant or "<none>", PROTOCOL)
+            with self._lock:
+                self._submitted += 1
+            return PROTOCOL, None, None
+        with self._lock:
+            self._submitted += 1
+            if self.admission is not None:
+                admitted, cause = self.admission.admit(tenant)
+                if not admitted:
+                    self._count_rejection(tenant, cause)
+                    return cause, tenant, None
+        outcome, high = self.shard(tenant).submit_seq(
+            LogRecord(content=content), client, seq
+        )
+        return outcome, tenant, high
+
     def note_partial(self, fragment: str, origin: str) -> None:
         """A connection died mid-line; quarantine the dangling bytes."""
         self._protocol_reject(
@@ -414,11 +499,17 @@ class LineServer:
         port: int = 0,
         *,
         backlog: int = 16,
+        bind_retries: int = 5,
+        bind_backoff: float = 0.05,
+        sleep=time.sleep,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
         self.backlog = backlog
+        self.bind_retries = bind_retries
+        self.bind_backoff = bind_backoff
+        self._sleep = sleep
         self._sock: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         self._conn_threads: list[threading.Thread] = []
@@ -429,9 +520,13 @@ class LineServer:
     def start(self) -> None:
         if self._sock is not None:
             raise ValidationError("server already started")
-        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        sock.bind((self.host, self.port))
+        sock = bind_with_retry(
+            self.host,
+            self.port,
+            retries=self.bind_retries,
+            backoff=self.bind_backoff,
+            sleep=self._sleep,
+        )
         sock.listen(self.backlog)
         self.port = sock.getsockname()[1]
         self._sock = sock
@@ -464,10 +559,23 @@ class LineServer:
                 "repro_service_connections_total"
             ).labels(outcome=outcome).inc()
 
+    def _count_ack(self) -> None:
+        telemetry = self.service.telemetry
+        if telemetry is not None:
+            telemetry.metrics.get("repro_delivery_acked_total").inc()
+
     def _serve_connection(self, conn: socket.socket, addr) -> None:
         origin = f"tcp:{addr[0]}:{addr[1]}"
         buffer = b""
         outcome = "eof"
+        # Did any complete line reach the router?  An OSError after
+        # data was ingested is a different animal from a pre-data
+        # reset — the v2 resend metrics must not conflate them.
+        ingested = False
+        # Per-connection protocol state: v1 until (and unless) the
+        # first line is a well-formed v2 HELLO on a v2 service.
+        first_line = True
+        client_id: str | None = None
         conn.settimeout(0.2)
         try:
             while True:
@@ -479,17 +587,54 @@ class LineServer:
                         break
                     continue
                 except OSError:
-                    outcome = "reset"
+                    outcome = "reset_after_data" if ingested else "reset"
                     break
                 if not data:
                     break
                 buffer += data
                 while b"\n" in buffer:
                     raw, _, buffer = buffer.partition(b"\n")
+                    text = raw.decode("utf-8", errors="replace")
+                    if (
+                        first_line
+                        and self.service.protocol == PROTOCOL_V2
+                    ):
+                        first_line = False
+                        negotiated = parse_hello(text)
+                        if negotiated is not None:
+                            client_id = negotiated
+                            try:
+                                conn.sendall(OK_LINE)
+                            except OSError:
+                                outcome = "reset"
+                                buffer = b""
+                                raise _ConnectionDone()
+                            continue
+                        # Not a HELLO: a v1 client — fall through and
+                        # route the line verbatim, fire-and-forget.
+                    first_line = False
                     try:
-                        self.service.submit_line(
-                            raw.decode("utf-8", errors="replace"), origin
-                        )
+                        if client_id is not None:
+                            _, tenant, high = self.service.submit_line_v2(
+                                text, client_id, origin
+                            )
+                            ingested = True
+                            if tenant is not None and high is not None:
+                                try:
+                                    conn.sendall(ack_line(tenant, high))
+                                    self._count_ack()
+                                except OSError:
+                                    # The line is owned; only the ack
+                                    # was lost.  The client repairs
+                                    # that by resending on reconnect.
+                                    outcome = "reset_after_data"
+                                    buffer = b""
+                                    raise _ConnectionDone()
+                        else:
+                            self.service.submit_line(text, origin)
+                            ingested = True
+                    except _ConnectionDone:
+                        raise
                     except Exception as error:  # noqa: BLE001 - keep serving
                         # Shards never let tenant faults escape; anything
                         # landing here is a service bug — record it, keep
@@ -502,6 +647,8 @@ class LineServer:
                                 origin=origin,
                                 error=f"{type(error).__name__}: {error}",
                             )
+        except _ConnectionDone:
+            pass
         finally:
             if buffer:
                 self.service.note_partial(

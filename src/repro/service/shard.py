@@ -67,6 +67,12 @@ from repro.resilience.durability import (
     reconcile_jsonl,
 )
 from repro.resilience.quarantine import QuarantineRecord, QuarantineSink
+from repro.service.protocol import (
+    DUPLICATE,
+    PENDING,
+    BatchJournal,
+    DeliveryWindow,
+)
 from repro.streaming.engine import StreamingParser
 from repro.streaming.session import ParseSession
 
@@ -88,6 +94,9 @@ STEM = "out"
 CHECKPOINT_NAME = f"{STEM}.checkpoint.json"
 QUARANTINE_NAME = f"{STEM}.quarantine.jsonl"
 MANIFEST_NAME = f"{STEM}.manifest.json"
+#: Thread-mode exactly-once ownership journal (protocol v2).  Process
+#: mode reuses the supervisor's ``out.journal.jsonl`` instead.
+DELIVERY_JOURNAL_NAME = f"{STEM}.delivery.journal.jsonl"
 
 
 class TenantShard:
@@ -111,6 +120,20 @@ class TenantShard:
         ladder: rung order for the budgeted mode.
         breaker_threshold: consecutive ``feed`` crashes that trip the
             circuit breaker.
+        exactly_once: run the shard under the protocol-v2 delivery
+            contract: sequence-tagged submissions
+            (:meth:`submit_seq`) are deduplicated per client through
+            :class:`~repro.service.protocol.DeliveryWindow`, every
+            released record is journaled *before* the engine feeds it
+            (the durable-ownership point an ack certifies), and on
+            resume the journaled suffix past the checkpoint replays
+            into the engine while the restored watermarks suppress
+            client resends — so retries, duplicated packets, and
+            server restarts collapse to exactly-once effects on the
+            tenant's artifacts.  An exactly-once resume fast-forwards
+            to the checkpoint position (clients resend only the
+            unacked suffix), unlike the v1 replay-from-start
+            contract.
         telemetry / io: observability handle and IO seam, both
             optional.
     """
@@ -131,6 +154,7 @@ class TenantShard:
         ladder: DegradationLadder | None = None,
         check_every: int = 100,
         breaker_threshold: int = 5,
+        exactly_once: bool = False,
         telemetry=None,
         io=None,
     ) -> None:
@@ -142,6 +166,11 @@ class TenantShard:
             raise ValidationError(
                 "a budgeted shard needs a degradation ladder "
                 "(it must be able to shed fidelity before it trips)"
+            )
+        if exactly_once and budget is not None:
+            raise ValidationError(
+                "exactly-once delivery requires checkpoint resume, "
+                "which budgeted shards do not support"
             )
         self.tenant = tenant
         self.dir = os.path.join(data_dir, tenant)
@@ -165,6 +194,16 @@ class TenantShard:
         self._failures = 0
         self._budgeted = budget is not None
         self._drained: dict | None = None
+        # Exactly-once delivery state (protocol v2).  ``_ack_high`` is
+        # the checkpointed view — highest contiguous acknowledged
+        # sequence per client — maintained in *both* modes: the
+        # thread shard derives it from its live windows, the worker
+        # shard mirrors the metadata riding its feed messages so the
+        # supervisor's windows survive in its checkpoint.
+        self.exactly_once = exactly_once
+        self._ack_high: dict[str, int] = {}
+        self._windows: dict[str, DeliveryWindow] = {}
+        self._djournal: BatchJournal | None = None
         # High-water marks for the read-time per-tenant counter sync
         # (engine counters are the source of truth; the registry child
         # catches up by delta at collect time).
@@ -172,6 +211,7 @@ class TenantShard:
         self._publish_lock = threading.Lock()
 
         resuming = os.path.exists(self.checkpoint_path)
+        delivery_state: dict | None = None
         if self._budgeted:
             if resuming:
                 raise ValidationError(
@@ -213,6 +253,7 @@ class TenantShard:
             self._session = ParseSession(self.engine, track_matrix=False)
             self._skip = checkpoint.records_consumed
             self.seen = 0
+            delivery_state = checkpoint.delivery
         else:
             self.engine = StreamingParser(
                 factory,
@@ -227,6 +268,36 @@ class TenantShard:
                 telemetry=telemetry,
             )
             self._session = ParseSession(self.engine, track_matrix=False)
+
+        for client, high in (delivery_state or {}).get("clients", {}).items():
+            self._ack_high[client] = int(high)
+            if exactly_once:
+                self._windows[client] = DeliveryWindow(high=int(high))
+        if exactly_once:
+            # Ownership journal: recover the suffix a previous life
+            # appended after its last checkpoint and replay it into
+            # the engine.  Those lines were acked — the client will
+            # not resend them — so replay here is what makes the ack
+            # a durable promise across SIGKILL.
+            self._djournal = BatchJournal(
+                os.path.join(self.dir, DELIVERY_JOURNAL_NAME),
+                io=io,
+                recover=True,
+            )
+            if resuming:
+                # v2 sources resend only the unacked suffix (the
+                # windows identify it); nobody replays from record 0.
+                self.seen = self._skip
+            for index, record, delivery in self._djournal.recovered:
+                if index < self._skip:
+                    continue  # already inside the checkpoint
+                if delivery is not None:
+                    window = self._windows.setdefault(
+                        delivery[0], DeliveryWindow()
+                    )
+                    window.advance(delivery[1])
+                    self._ack_high[delivery[0]] = window.high
+                self._submit_locked(record)
 
         if telemetry is not None:
             telemetry.metrics.register_collector(
@@ -334,7 +405,7 @@ class TenantShard:
 
     # ------------------------------------------------------------------
 
-    def submit(self, record: LogRecord) -> str:
+    def submit(self, record: LogRecord, delivery=None) -> str:
         """Feed one record through the tenant's failure domain.
 
         Returns an outcome tag: ``accepted`` (parsed or buffered),
@@ -344,69 +415,133 @@ class TenantShard:
         (this feed crashed the parser; the record is in quarantine),
         or ``breaker`` (the circuit breaker is open).  Never raises on
         tenant-attributable faults — that is the isolation contract.
+
+        *delivery* is an optional ``(client_id, seq)`` pair: a
+        process-mode worker mirrors the supervisor's delivery
+        metadata here so its checkpoint carries the acknowledged
+        watermarks (the supervisor deduplicates; the worker only
+        persists).
         """
         with self._lock:
-            index = self.seen
-            self.seen += 1
-            if self.seen <= self._skip:
-                return REPLAYED
-            if self.breaker_open:
-                self._quarantine(
-                    record,
-                    index,
-                    REASON_BREAKER,
-                    f"circuit breaker open: {self.breaker_reason}",
-                )
-                return BREAKER
-            try:
-                fed_at = time.perf_counter()
-                line_no = self._session.feed(record)
-            except BudgetExceededError as error:
-                self._trip(f"budget exhausted: {error}")
-                self._quarantine(record, index, REASON_BUDGET, str(error))
-                return BREAKER
-            except Exception as error:  # noqa: BLE001 - isolation boundary
-                self._failures += 1
-                self._quarantine(
-                    record,
-                    index,
-                    REASON_CRASH,
-                    f"{type(error).__name__}: {error}",
-                )
-                if self._failures >= self.breaker_threshold:
-                    self._trip(
-                        f"{self._failures} consecutive parser crashes "
-                        f"(last: {type(error).__name__}: {error})"
-                    )
-                return QUARANTINED
-            self._failures = 0
-            if self.telemetry is not None:
-                self.telemetry.metrics.get(
-                    "repro_tenant_ingest_latency_seconds"
-                ).labels(tenant=self.tenant).observe(
-                    max(0.0, time.perf_counter() - fed_at)
-                )
-            if line_no < 0:
-                return REJECTED
-            self.accepted += 1
-            if self.telemetry is not None:
-                self.telemetry.metrics.get(
-                    "repro_service_lines_total"
-                ).labels(tenant=self.tenant).inc()
-            return ACCEPTED
+            outcome = self._submit_locked(record)
+            if delivery is not None:
+                client, seq = delivery
+                if seq > self._ack_high.get(client, 0):
+                    self._ack_high[client] = seq
+            return outcome
 
-    def poison(self, record: LogRecord, detail: str) -> str:
+    def submit_seq(
+        self, record: LogRecord, client: str, seq: int
+    ) -> tuple[str, int]:
+        """Feed one sequence-tagged record exactly once (protocol v2).
+
+        The (client, tenant) :class:`DeliveryWindow` classifies the
+        arrival: duplicates are suppressed, gaps are held back, and
+        releases are journaled (the durable-ownership point) then fed
+        in sequence order.  Returns ``(outcome, high)`` where *high*
+        is the cumulative acknowledgement watermark the caller sends
+        back to the client — by the time it is returned, every
+        sequence it covers is either in the checkpointed engine or in
+        the ownership journal.
+        """
+        if not self.exactly_once:
+            raise ValidationError(
+                "sequence-tagged submit requires an exactly-once "
+                "shard (protocol v2)"
+            )
+        with self._lock:
+            window = self._windows.get(client)
+            if window is None:
+                window = self._windows.setdefault(client, DeliveryWindow())
+            status, released = window.observe(seq, record)
+            if status == DUPLICATE:
+                if self.telemetry is not None:
+                    self.telemetry.metrics.get(
+                        "repro_delivery_duplicates_suppressed_total"
+                    ).labels(tenant=self.tenant).inc()
+                return DUPLICATE, window.high
+            if status == PENDING:
+                return PENDING, window.high
+            outcome = ACCEPTED
+            for rseq, rrecord in released:
+                self._djournal.append(self.seen, rrecord, (client, rseq))
+                result = self._submit_locked(rrecord)
+                if rseq == seq:
+                    outcome = result
+            self._ack_high[client] = window.high
+            return outcome, window.high
+
+    def _submit_locked(self, record: LogRecord) -> str:
+        index = self.seen
+        self.seen += 1
+        if self.seen <= self._skip:
+            return REPLAYED
+        if self.breaker_open:
+            self._quarantine(
+                record,
+                index,
+                REASON_BREAKER,
+                f"circuit breaker open: {self.breaker_reason}",
+            )
+            return BREAKER
+        try:
+            fed_at = time.perf_counter()
+            line_no = self._session.feed(record)
+        except BudgetExceededError as error:
+            self._trip(f"budget exhausted: {error}")
+            self._quarantine(record, index, REASON_BUDGET, str(error))
+            return BREAKER
+        except Exception as error:  # noqa: BLE001 - isolation boundary
+            self._failures += 1
+            self._quarantine(
+                record,
+                index,
+                REASON_CRASH,
+                f"{type(error).__name__}: {error}",
+            )
+            if self._failures >= self.breaker_threshold:
+                self._trip(
+                    f"{self._failures} consecutive parser crashes "
+                    f"(last: {type(error).__name__}: {error})"
+                )
+            return QUARANTINED
+        self._failures = 0
+        if self.telemetry is not None:
+            self.telemetry.metrics.get(
+                "repro_tenant_ingest_latency_seconds"
+            ).labels(tenant=self.tenant).observe(
+                max(0.0, time.perf_counter() - fed_at)
+            )
+        if line_no < 0:
+            return REJECTED
+        self.accepted += 1
+        if self.telemetry is not None:
+            self.telemetry.metrics.get(
+                "repro_service_lines_total"
+            ).labels(tenant=self.tenant).inc()
+        return ACCEPTED
+
+    def poison(
+        self, record: LogRecord, detail: str, delivery=None
+    ) -> str:
         """Divert one record to quarantine *instead of* feeding it.
 
         The supervisor calls this for a record whose replay killed the
         worker ``poison_threshold`` consecutive times: the record gets
         ``poison:<tenant>`` provenance, the stream position advances
         past it (so the checkpoint and any later replay skip it), and
-        the engine never sees it again.
+        the engine never sees it again.  *delivery* mirrors the
+        ``(client_id, seq)`` metadata into the checkpointed watermarks
+        exactly as :meth:`submit` does — a poisoned line was still
+        acknowledged, so its sequence must not regress on restart.
         """
         with self._lock:
             index = self.seen
             self.seen += 1
+            if delivery is not None:
+                client, seq = delivery
+                if seq > self._ack_high.get(client, 0):
+                    self._ack_high[client] = seq
             self.quarantine.add(
                 QuarantineRecord(
                     source=f"poison:{self.tenant}",
@@ -436,6 +571,12 @@ class TenantShard:
         with self._lock:
             self._checkpoint_locked()
 
+    def _delivery_state(self) -> dict | None:
+        """Checkpoint-ready acknowledgement watermarks (sorted, stable)."""
+        if not self._ack_high:
+            return None
+        return {"clients": dict(sorted(self._ack_high.items()))}
+
     def _checkpoint_locked(self) -> None:
         artifacts = {}
         q_bytes, q_records = self.quarantine.offset()
@@ -451,9 +592,15 @@ class TenantShard:
             parser=self.parser_name,
             source=f"tenant:{self.tenant}",
             artifacts=artifacts,
+            delivery=self._delivery_state(),
             io=self.io,
             telemetry=self.telemetry,
         )
+        if self._djournal is not None:
+            # Every journaled record is now inside the checkpoint
+            # (append is immediately followed by the engine feed the
+            # checkpoint just captured) — prune to empty.
+            self._djournal.reset(())
 
     def drain(self) -> dict:
         """Finalize, write outputs + checkpoint + manifest; idempotent.
@@ -483,6 +630,10 @@ class TenantShard:
                 artifacts.append((events_path, CODEC_LINES))
                 artifacts.append((structured_path, CODEC_LINES))
             self._checkpoint_locked()
+            if self._djournal is not None:
+                # Fully captured by the final checkpoint; a clean
+                # tenant directory holds only manifest-covered files.
+                self._djournal.remove()
             artifacts.append((self.checkpoint_path, CODEC_OPAQUE))
             self.quarantine.close()
             if os.path.exists(self.quarantine_path):

@@ -76,13 +76,13 @@ from repro.observability.metrics import (
 )
 from repro.observability.telemetry import Telemetry
 from repro.observability.tracing import Tracer
-from repro.resilience.durability import (
-    RealIO,
-    atomic_write_text,
-    frame_record,
-    recover_jsonl,
-)
 from repro.resilience.supervisor import CircuitBreaker, RetryPolicy
+from repro.service.protocol import (
+    DUPLICATE,
+    PENDING,
+    BatchJournal,
+    DeliveryWindow,
+)
 from repro.service.shard import (
     ACCEPTED,
     CHECKPOINT_NAME,
@@ -269,7 +269,7 @@ class ShardWorker:
                 continue
             kind = message[0]
             if kind == "feed":
-                _, index, record, confirm, enqueued_at = message
+                _, index, record, confirm, enqueued_at, delivery = message
                 position = shard.position
                 if index < position:
                     outcome = REPLAYED
@@ -290,7 +290,7 @@ class ShardWorker:
                         self._queue_wait.observe(
                             max(0.0, dequeued_at - enqueued_at)
                         )
-                    outcome = shard.submit(record)
+                    outcome = shard.submit(record, delivery=delivery)
                     if enqueued_at is not None:
                         self._latency.observe(
                             max(0.0, time.monotonic() - enqueued_at)
@@ -314,9 +314,9 @@ class ShardWorker:
                     self.outbox.put(("hb", self._stats(shard)))
                     last_heartbeat = now
             elif kind == "poison":
-                _, index, record, detail = message
+                _, index, record, detail, delivery = message
                 if index == shard.position:
-                    shard.poison(record, detail)
+                    shard.poison(record, detail, delivery=delivery)
                     # Pin the diversion durably before acking, so a
                     # crash right here cannot resurrect the pill.
                     shard.checkpoint()
@@ -369,57 +369,6 @@ class ShardWorker:
 def shard_worker_main(spec: WorkerSpec, inbox, outbox) -> None:
     """Module-level process target (picklable under spawn)."""
     sys.exit(ShardWorker(spec, inbox, outbox).run())
-
-
-class BatchJournal:
-    """Framed-JSONL journal of records not yet covered by a checkpoint.
-
-    Records append *before* dispatch and are pruned (by atomic
-    rewrite) when a worker checkpoint ack covers them — so the
-    supervisor always holds, durably, exactly the records a restarted
-    worker must replay, including the one that killed it.
-    """
-
-    def __init__(self, path: str, io: RealIO | None = None) -> None:
-        self.path = path
-        self._io = io or RealIO()
-        # A journal left by a previous *service* life is stale: the
-        # source-level at-least-once contract replays those records.
-        recover_jsonl(path, io=self._io)
-        self.reset(())
-
-    @staticmethod
-    def _frame(index: int, record: LogRecord) -> bytes:
-        return frame_record(
-            {
-                "index": index,
-                "content": record.content,
-                "timestamp": record.timestamp,
-                "session_id": record.session_id,
-                "truth_event": record.truth_event,
-            }
-        )
-
-    def append(self, index: int, record: LogRecord) -> None:
-        handle = self._io.open(self.path, "ab")
-        try:
-            self._io.write(handle, self._frame(index, record))
-            self._io.flush(handle)
-        finally:
-            handle.close()
-
-    def reset(self, entries) -> None:
-        """Atomically rewrite the journal to exactly *entries*."""
-        text = b"".join(
-            self._frame(index, record) for index, record in entries
-        ).decode("utf-8")
-        atomic_write_text(self.path, text, io=self._io)
-
-    def remove(self) -> None:
-        try:
-            os.unlink(self.path)
-        except FileNotFoundError:  # pragma: no cover - already gone
-            pass
 
 
 class ShardSupervisor:
@@ -478,6 +427,7 @@ class ShardSupervisor:
         budget=None,
         ladder=None,
         on_checkpoint=None,
+        exactly_once: bool = False,
         **shard_kwargs,
     ) -> None:
         if budget is not None or ladder is not None:
@@ -528,13 +478,26 @@ class ShardSupervisor:
         self._sleep = sleep
         self._mp = _mp_context()
 
+        self.exactly_once = exactly_once
+        #: Per-client exactly-once dedup windows (protocol v2).  The
+        #: shard is per-tenant, so (client, tenant) collapses to the
+        #: client id here.
+        self._windows: dict[str, DeliveryWindow] = {}
+
         self._lock = threading.Lock()
-        # (index, record, enqueued_at monotonic stamp) triples.
-        self._outbox: list[tuple[int, LogRecord, float]] = []
-        self._next_index = 0
-        self._skip = self._read_checkpoint_position()
+        # (index, record, enqueued_at monotonic stamp, delivery meta)
+        # quadruples; delivery is None for v1 lines.
+        self._outbox: list[tuple[int, LogRecord, float, tuple | None]] = []
+        self._skip, delivery_state = self._read_checkpoint_meta()
+        # v1 resume replays the whole stream from the source and skips
+        # to the checkpoint; exactly-once resume starts *at* the
+        # checkpoint (the delivery journal replays the suffix).
+        self._next_index = self._skip if exactly_once else 0
         self._acked = self._skip
         self._sent_through = self._skip
+        if exactly_once and delivery_state:
+            for client, high in delivery_state.get("clients", {}).items():
+                self._windows[client] = DeliveryWindow(high=int(high))
         self._mode_careful = False
         self._careful_high = self._skip
         self._in_flight: int | None = None
@@ -567,8 +530,28 @@ class ShardSupervisor:
         self._on_checkpoint = on_checkpoint
         self._done = threading.Event()
         self._journal = BatchJournal(
-            os.path.join(self.dir, JOURNAL_NAME), io=io
+            os.path.join(self.dir, JOURNAL_NAME), io=io,
+            recover=exactly_once,
         )
+        if exactly_once:
+            # Records journaled but not checkpoint-covered by the
+            # previous *service* life: they were acked to clients, so
+            # this life must re-feed them itself (no source replay).
+            now = time.monotonic()
+            preload = [
+                entry for entry in self._journal.recovered
+                if entry[0] >= self._skip
+            ]
+            for index, record, delivery in preload:
+                self._outbox.append((index, record, now, delivery))
+                if delivery is not None:
+                    self._windows.setdefault(
+                        delivery[0], DeliveryWindow()
+                    ).advance(delivery[1])
+            if preload:
+                self._next_index = max(
+                    self._next_index, preload[-1][0] + 1
+                )
         self._breaker = CircuitBreaker(
             failure_threshold=fence_threshold,
             reset_timeout=fence_reset,
@@ -616,9 +599,53 @@ class ShardSupervisor:
             self._next_index += 1
             if index < self._skip:
                 return REPLAYED
-            self._outbox.append((index, record, enqueued_at))
+            self._outbox.append((index, record, enqueued_at, None))
         self._journal.append(index, record)
         return ACCEPTED
+
+    def submit_seq(
+        self, record: LogRecord, client: str, seq: int
+    ) -> tuple[str, int]:
+        """Exactly-once submit of one sequence-tagged record.
+
+        Returns ``(outcome, high)`` where *high* is the client's
+        cumulative ack watermark.  The ack contract: *high* covers a
+        sequence only once its record is journal-owned — appended to
+        ``out.journal.jsonl`` — so a ``SIGKILL`` at any later point
+        replays it from the journal instead of losing it.
+        """
+        if not self.exactly_once:
+            raise ValidationError(
+                "submit_seq requires an exactly_once supervisor"
+            )
+        enqueued_at = time.monotonic()
+        with self._lock:
+            window = self._windows.setdefault(client, DeliveryWindow())
+            if self.state == STATE_FENCED:
+                return FENCED, window.high
+            status, released = window.observe(seq, record)
+            if status == DUPLICATE:
+                if self.telemetry is not None:
+                    self.telemetry.metrics.get(
+                        "repro_delivery_duplicates_suppressed_total"
+                    ).labels(tenant=self.tenant).inc()
+                return DUPLICATE, window.high
+            if status == PENDING:
+                return PENDING, window.high
+            # Journal under the lock: appends from concurrent
+            # connections must land in index order, or a crash between
+            # out-of-order appends would leave an index gap the
+            # restarted worker's feed gap-check fences on.
+            for rseq, rrecord in released:
+                index = self._next_index
+                self._next_index += 1
+                self._outbox.append(
+                    (index, rrecord, enqueued_at, (client, rseq))
+                )
+                self._journal.append(
+                    index, rrecord, delivery=(client, rseq)
+                )
+            return ACCEPTED, window.high
 
     def checkpoint(self) -> None:
         """Request an out-of-band worker checkpoint (asynchronous)."""
@@ -650,15 +677,20 @@ class ShardSupervisor:
 
     # -- internals -----------------------------------------------------
 
-    def _read_checkpoint_position(self) -> int:
+    def _read_checkpoint_meta(self) -> tuple[int, dict | None]:
+        """Stream position and delivery state of the shard checkpoint."""
         path = os.path.join(self.dir, CHECKPOINT_NAME)
         if not os.path.exists(path):
-            return 0
+            return 0, None
         try:
             with open(path, encoding="utf-8") as handle:
-                return int(json.load(handle).get("records_consumed", 0))
+                data = json.load(handle)
+            return (
+                int(data.get("records_consumed", 0)),
+                data.get("delivery"),
+            )
         except (OSError, ValueError):  # pragma: no cover - torn file
-            return 0
+            return 0, None
 
     def _collect_metrics(self) -> None:
         metrics = self.telemetry.metrics
@@ -810,15 +842,17 @@ class ShardSupervisor:
                 offset = self._sent_through - self._acked
                 if offset >= len(self._outbox):
                     return
-                index, record, enqueued_at = self._outbox[offset]
+                index, record, enqueued_at, delivery = self._outbox[offset]
                 careful = (
                     self._mode_careful and index < self._careful_high
                 )
                 detail = self._poisoned.get(index)
             if detail is not None:
-                message = ("poison", index, record, detail)
+                message = ("poison", index, record, detail, delivery)
             else:
-                message = ("feed", index, record, careful, enqueued_at)
+                message = (
+                    "feed", index, record, careful, enqueued_at, delivery
+                )
             try:
                 inbox.put_nowait(message)
             except queue.Full:
@@ -850,7 +884,8 @@ class ShardSupervisor:
             for index in [i for i in self._poisoned if i < position]:
                 del self._poisoned[index]
             remaining = [
-                (index, record) for index, record, _ in self._outbox
+                (index, record, delivery)
+                for index, record, _, delivery in self._outbox
             ]
         self._journal.reset(remaining)
 

@@ -99,12 +99,16 @@ def test_library_raises_only_repro_errors_for_bad_config():
 #: control-flow signal (a graceful SIGINT/SIGTERM, akin to
 #: KeyboardInterrupt), not a fault — handlers that catch ReproError to
 #: classify failures must never swallow a shutdown request.
+#: _ConnectionDone is the line server's private unwind signal (a dead
+#: peer ends one connection's read loop); it is raised and caught
+#: inside ``_serve_connection`` and never crosses an API boundary.
 _ALLOWED_NON_REPRO = {
     "KeyError",
     "NotImplementedError",
     "AssertionError",
     "OSError",
     "ShutdownRequested",
+    "_ConnectionDone",
 }
 
 _SRC_ROOT = os.path.join(os.path.dirname(__file__), "..", "src", "repro")

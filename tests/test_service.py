@@ -476,6 +476,133 @@ class TestLineServer:
         # not a tenant record and not a crash.
         assert summary["protocol_rejects"] == 1
 
+    def test_multibyte_utf8_split_across_recv_chunks(self, tmp_path):
+        """A codepoint torn across two TCP segments parses cleanly.
+
+        The server splits the *byte* buffer on newlines and decodes
+        whole lines only, so a chunk boundary landing mid-codepoint
+        must never mojibake or quarantine the line.
+        """
+        import socket as socketlib
+        import time
+
+        service = IngestionService(str(tmp_path), self.factory)
+        line = (
+            "alpha\tConnection from host-καλημέρα "
+            "port 9999 established\n"
+        ).encode("utf-8")
+        # Split inside the two-byte κ (0xCE 0xBA).
+        cut = line.index("κ".encode("utf-8")) + 1
+        with LineServer(service) as server:
+            conn = socketlib.create_connection(
+                (server.host, server.port), timeout=5
+            )
+            conn.sendall(line[:cut])
+            # Let the first fragment land as its own recv chunk.
+            time.sleep(0.3)
+            conn.sendall(line[cut:])
+            conn.close()
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline and service.submitted < 1:
+                time.sleep(0.05)
+        summary = service.drain()
+        assert summary["tenants"]["alpha"]["lines"] == 1
+        assert summary["protocol_rejects"] == 0
+        events = (tmp_path / "alpha" / "out.events").read_text(
+            encoding="utf-8"
+        )
+        assert "καλημέρα" in events
+
+    def test_mid_line_disconnect_quarantined_with_tcp_origin(
+        self, tmp_path
+    ):
+        """The dangling bytes of a dead connection carry provenance:
+        the quarantine record's source is the ``tcp:host:port`` peer,
+        so an operator can tell which client keeps tearing lines."""
+        import socket as socketlib
+        import time
+
+        from repro.resilience import read_jsonl_payloads
+
+        service = IngestionService(str(tmp_path), self.factory)
+        with LineServer(service) as server:
+            conn = socketlib.create_connection(
+                (server.host, server.port), timeout=5
+            )
+            conn.sendall(_lines("alpha", 1)[0].encode() + b"\n")
+            conn.sendall("beta\ttorn at byte ¢".encode("utf-8")[:-1])
+            conn.close()
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline and service.submitted < 1:
+                time.sleep(0.05)
+        summary = service.drain()
+        assert summary["protocol_rejects"] == 1
+        payloads = read_jsonl_payloads(
+            str(tmp_path / "service.quarantine.jsonl")
+        )
+        assert len(payloads) == 1
+        assert payloads[0]["reason"] == "protocol"
+        assert payloads[0]["source"].startswith("tcp:")
+        assert "torn at byte" in payloads[0]["preview"]
+
+    def test_reset_outcomes_split_by_ingestion(self, tmp_path):
+        """A peer resetting before any complete line counts as
+        ``reset``; one resetting after data was routed counts as
+        ``reset_after_data`` — the two must not conflate."""
+        import socket as socketlib
+        import struct
+        import time
+
+        from repro.observability import Telemetry
+
+        telemetry = Telemetry.create()
+        service = IngestionService(
+            str(tmp_path), self.factory, telemetry=telemetry
+        )
+
+        def rst_close(conn) -> None:
+            conn.setsockopt(
+                socketlib.SOL_SOCKET,
+                socketlib.SO_LINGER,
+                struct.pack("ii", 1, 0),
+            )
+            conn.close()
+
+        def outcome_count(outcome: str) -> float:
+            return telemetry.metrics.value(
+                "repro_service_connections_total", outcome=outcome
+            )
+
+        def await_outcome(outcome: str) -> None:
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if outcome_count(outcome) >= 1:
+                    return
+                time.sleep(0.05)
+            raise AssertionError(f"no {outcome} connection counted")
+
+        with LineServer(service) as server:
+            # Reset with zero lines routed.
+            conn = socketlib.create_connection(
+                (server.host, server.port), timeout=5
+            )
+            rst_close(conn)
+            await_outcome("reset")
+
+            # Reset after a complete line was ingested.
+            conn = socketlib.create_connection(
+                (server.host, server.port), timeout=5
+            )
+            conn.sendall(_lines("alpha", 1)[0].encode() + b"\n")
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline and service.submitted < 1:
+                time.sleep(0.05)
+            rst_close(conn)
+            await_outcome("reset_after_data")
+        assert outcome_count("reset") == 1
+        assert outcome_count("reset_after_data") == 1
+        service.drain()
+
     def test_cli_serve_replay_mode(self, tmp_path, capsys):
         replay = tmp_path / "replay.log"
         replay.write_text(

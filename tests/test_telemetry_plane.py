@@ -218,6 +218,67 @@ class TestTelemetryServer:
             server.stop()
 
 
+class TestWatchReconnect:
+    """``watch`` rides out endpoint restarts instead of crashing."""
+
+    def test_bounded_watch_ends_dark_with_runtime_exit(self, capsys):
+        # Nothing ever listens here: every poll fails, the banner
+        # shows, and a bounded run must not pretend success.
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+        code = main(
+            [
+                "watch", f"http://127.0.0.1:{dead_port}",
+                "--iterations", "2", "--interval", "0.05",
+            ]
+        )
+        assert code == 4
+        out = capsys.readouterr().out
+        assert "DISCONNECTED" in out
+        assert "retrying in" in out
+
+    def test_watch_survives_endpoint_restart(self, capsys):
+        telemetry = Telemetry.create(trace_id="t")
+        first = TelemetryServer(
+            telemetry.metrics, status=lambda: {"isolation": "thread"}
+        )
+        first.start()
+        port = first.port
+        # The endpoint dies (a serve restart)...
+        first.stop()
+        second = TelemetryServer(
+            telemetry.metrics,
+            port=port,
+            status=lambda: {"isolation": "thread"},
+        )
+
+        def revive() -> None:
+            time.sleep(0.4)
+            second.start()
+
+        reviver = threading.Thread(target=revive, daemon=True)
+        reviver.start()
+        try:
+            code = main(
+                [
+                    "watch", f"http://127.0.0.1:{port}",
+                    "--iterations", "8", "--interval", "0.2",
+                ]
+            )
+        finally:
+            reviver.join()
+            second.stop()
+        # ...and watch reconnects: the run ends on a live frame.
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DISCONNECTED" in out
+        assert out.rstrip().endswith("alerts: none firing")
+
+
 # ---------------------------------------------------------------------------
 # Alert rules (deterministic under a fake clock)
 # ---------------------------------------------------------------------------
